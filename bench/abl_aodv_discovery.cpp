@@ -1,0 +1,71 @@
+// Ablation (§4.3 discussion): how the AODV route-discovery flood affects
+// route quality and total traffic.
+//
+// "One may think that by optimizing the route discovery procedure, the
+//  total number of packet transmissions can be reduced in AODV. However,
+//  ... the reduction of the number of route request packets only increases
+//  the average length of routes and, as a result, increases the total
+//  number of packet transmissions."
+//
+// Three discovery modes on a 100-node network:
+//   blind    — per-copy rebroadcast ("original flooding", broadcast storm)
+//   dedup    — rebroadcast once per RREQ (mainstream AODV)
+//   suppress — counter-based suppression (fewest RREQ relays, worst routes)
+#include "bench_common.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrnet;
+  const util::Flags flags(argc, argv);
+  sim::ScenarioConfig base = bench::figure1_setup();
+  std::size_t replications = 3;
+  bench::apply_flags(flags, base, replications);
+  base.protocol = sim::ProtocolKind::Aodv;
+  base.pairs = 10;
+  base.bidirectional = true;
+  // Heavy data relative to the discovery phase, so the route-length cost of
+  // a cheap discovery dominates the total, as the paper's argument needs.
+  base.cbr_interval = 0.5;
+  base.radio.bitrate_bps = 2e6;
+
+  bench::print_header("Ablation — AODV discovery flooding variants",
+                      "WMAN'05 §4.3: fewer route-request packets => longer "
+                      "routes => more total transmissions");
+
+  util::Table table({"discovery", "delivery", "delay_s", "avg_hops",
+                     "mac_pkts", "mac_per_delivered"});
+  struct Mode {
+    const char* name;
+    proto::RreqFlooding flooding;
+  };
+  for (const Mode& mode :
+       {Mode{"suppress", proto::RreqFlooding::Suppress},
+        Mode{"dedup", proto::RreqFlooding::Dedup},
+        Mode{"blind", proto::RreqFlooding::Blind}}) {
+    sim::ScenarioConfig config = base;
+    config.aodv.discovery = mode.flooding;
+    const sim::Aggregated agg = sim::run_replications(config, replications);
+    table.add_row({std::string(mode.name), agg.delivery_ratio.mean,
+                   agg.delay_s.mean, agg.hops.mean, agg.mac_packets.mean,
+                   agg.mac_per_delivered.mean});
+    std::fprintf(stderr, "  [%s] done\n", mode.name);
+  }
+  bench::emit(table, "abl_aodv_discovery.csv");
+
+  const double hops_suppress = std::get<double>(table.at(0, 3));
+  const double hops_dedup = std::get<double>(table.at(1, 3));
+  const double mac_suppress = std::get<double>(table.at(0, 5));
+  const double mac_dedup = std::get<double>(table.at(1, 5));
+  std::printf("\nshape check: suppressed discovery lengthens routes: %s "
+              "(%.2f vs %.2f hops) — the mechanism behind the paper's §4.3 "
+              "argument.\n",
+              hops_suppress > hops_dedup ? "YES" : "NO", hops_suppress,
+              hops_dedup);
+  std::printf("note: in this substrate the paper's *total-packet* claim "
+              "inverts (%.1f vs %.1f MAC/delivered): under an SINR channel "
+              "a denser discovery flood interferes with itself, so its "
+              "shorter routes do not pay for the flood (see EXPERIMENTS.md)."
+              "\n",
+              mac_suppress, mac_dedup);
+  return 0;
+}

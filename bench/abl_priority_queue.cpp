@@ -1,0 +1,56 @@
+// Ablation (§3): the net->MAC priority queue.
+//
+// "A priority queue favors those packets with a shorter backoff delay.
+//  Therefore, the prioritization takes effect not only among packets in
+//  different nodes, but also among packets in the same node. ... for
+//  smaller packet generation intervals, the gap becomes much more
+//  significant."
+//
+// Runs SSAF at a congesting generation interval with the priority queue on
+// and off; the delay advantage should shrink when the queue degrades to
+// FIFO.
+#include "bench_common.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrnet;
+  const util::Flags flags(argc, argv);
+  sim::ScenarioConfig base = bench::figure1_setup();
+  std::size_t replications = 3;
+  bench::apply_flags(flags, base, replications);
+  base.protocol = sim::ProtocolKind::Ssaf;
+
+  bench::print_header("Ablation — net->MAC priority queue (SSAF)",
+                      "WMAN'05 §3: the priority queue between network and "
+                      "MAC layers drives the small-interval delay gap");
+
+  util::Table table({"interval_s", "queue", "delivery", "delay_s",
+                     "avg_hops"});
+  // The queue effect only exists when frames actually pile up between the
+  // network layer and the MAC, i.e. at the congesting end of Figure 1.
+  std::vector<double> intervals = {0.25, 0.5, 1.0, 4.0};
+  if (flags.get_bool("quick", false)) intervals = {0.25, 1.0};
+  for (const double interval : intervals) {
+    for (const bool prioritized : {true, false}) {
+      sim::ScenarioConfig config = base;
+      config.cbr_interval = interval;
+      config.mac.priority_queue = prioritized;
+      const sim::Aggregated agg = sim::run_replications(config, replications);
+      table.add_row({interval, std::string(prioritized ? "priority" : "fifo"),
+                     agg.delivery_ratio.mean, agg.delay_s.mean,
+                     agg.hops.mean});
+    }
+    std::fprintf(stderr, "  [interval=%gs] done\n", interval);
+  }
+  bench::emit(table, "abl_priority_queue.csv");
+  const double priority_delay = std::get<double>(table.at(0, 3));
+  const double fifo_delay = std::get<double>(table.at(1, 3));
+  std::printf("\nshape check: at the smallest interval the priority queue "
+              "delays %.1f ms vs FIFO %.1f ms (%+.1f%%). In this substrate "
+              "the effect is small: most of SSAF's Figure-1 delay gap comes "
+              "from far-first relay ordering, not intra-node queueing (see "
+              "EXPERIMENTS.md).\n",
+              priority_delay * 1e3, fifo_delay * 1e3,
+              100.0 * (priority_delay - fifo_delay) / fifo_delay);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Extension experiment: RTS/CTS virtual carrier sense under hidden
+// terminals.
+//
+// AODV's unicast chains are exactly the traffic RTS/CTS protects. With the
+// default radio, the carrier-sense range (~2.2x the transmission range)
+// hides few senders from each other; this bench also runs a harsher radio
+// whose carrier-sense range equals the transmission range, where hidden
+// terminals are endemic and the handshake pays for itself.
+#include "bench_common.hpp"
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrnet;
+  const util::Flags flags(argc, argv);
+  sim::ScenarioConfig base = bench::figure1_setup();
+  std::size_t replications = 3;
+  bench::apply_flags(flags, base, replications);
+  base.protocol = sim::ProtocolKind::Aodv;
+  base.aodv.discovery = proto::RreqFlooding::Dedup;
+  // Light enough that losses come from hidden-terminal collisions rather
+  // than plain congestion (where the handshake's overhead dominates).
+  base.pairs = 4;
+  base.bidirectional = true;
+  base.cbr_interval = 1.0;
+  base.payload_bytes = 768;
+  base.radio.bitrate_bps = 2e6;
+  base.mac.rts_threshold_bytes = 256;
+
+  bench::print_header("Extension — RTS/CTS under hidden terminals (AODV)",
+                      "802.11-style virtual carrier sense on the CSMA MAC; "
+                      "hidden-terminal density set by the CS/TX range ratio");
+
+  util::Table table({"radio", "rts_cts", "delivery", "delay_s",
+                     "mac_retries_frac", "mac_pkts"});
+  struct RadioCase {
+    const char* name;
+    double cs_offset_db;  ///< cs threshold relative to rx threshold
+  };
+  for (const RadioCase& radio_case :
+       {RadioCase{"default_cs_2.2x", -7.0}, RadioCase{"harsh_cs_1.0x", 0.0}}) {
+    for (const bool rts : {false, true}) {
+      sim::ScenarioConfig config = base;
+      config.radio.cs_threshold_dbm =
+          config.radio.rx_threshold_dbm + radio_case.cs_offset_db;
+      config.mac.rts_cts = rts;
+      util::Accumulator delivery, delay, retried, mac;
+      for (std::size_t rep = 0; rep < replications; ++rep) {
+        config.seed = base.seed + rep;
+        sim::SimInstance sim(config);
+        sim.run();
+        const sim::ScenarioResult r = sim.result();
+        delivery.add(r.delivery_ratio);
+        delay.add(r.mean_delay_s);
+        std::uint64_t retries = 0, data = 0;
+        for (std::uint32_t i = 0; i < sim.network().size(); ++i) {
+          retries += sim.network().node(i).mac().stats().retries;
+          data += sim.network().node(i).mac().stats().data_tx;
+        }
+        retried.add(data > 0 ? static_cast<double>(retries) /
+                                   static_cast<double>(data)
+                             : 0.0);
+        mac.add(static_cast<double>(r.mac_packets));
+      }
+      table.add_row({std::string(radio_case.name),
+                     std::string(rts ? "on" : "off"), delivery.mean(),
+                     delay.mean(), retried.mean(), mac.mean()});
+    }
+    std::fprintf(stderr, "  [%s] done\n", radio_case.name);
+  }
+  bench::emit(table, "abl_rts_cts.csv");
+
+  const double harsh_off_delivery = std::get<double>(table.at(2, 2));
+  const double harsh_on_delivery = std::get<double>(table.at(3, 2));
+  const double harsh_off_delay = std::get<double>(table.at(2, 3));
+  const double harsh_on_delay = std::get<double>(table.at(3, 3));
+  std::printf("\nshape check: harsh radio delivery %.3f -> %.3f, delay "
+              "%.3f s -> %.3f s. The link-level benefit is decisive (see "
+              "rts_cts_test: hidden senders go from 0%% to ~98%% frame "
+              "success), but at network scale AODV's losses are dominated "
+              "by broadcast RREQ floods and ACK collisions the handshake "
+              "cannot protect — the classic reason 802.11 deployments "
+              "leave RTS/CTS off.\n",
+              harsh_off_delivery, harsh_on_delivery, harsh_off_delay,
+              harsh_on_delay);
+  return 0;
+}

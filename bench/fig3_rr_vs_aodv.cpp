@@ -1,0 +1,60 @@
+// Figure 3: Routeless Routing vs AODV with no node failures.
+//
+// 500 nodes, 2000x2000 m, range ~250 m, bidirectional CBR; the number of
+// communicating pairs sweeps 1..10. Four panels: end-to-end delay, delivery
+// ratio, number of MAC packets, average hops. Expected shapes: delivery
+// roughly equal, RR delay higher (per-hop election backoff), RR fewer MAC
+// packets and fewer hops (shortest-path tracking).
+#include "bench_common.hpp"
+#include "sim/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrnet;
+  const util::Flags flags(argc, argv);
+  sim::ScenarioConfig base = bench::figure3_setup();
+  std::size_t replications = 2;
+  bench::apply_flags(flags, base, replications);
+
+  bench::print_header(
+      "Figure 3 — Routeless Routing vs AODV (no failures)",
+      "WMAN'05 Fig. 3: delay / delivery / MAC packets / avg hops vs number "
+      "of communicating pairs");
+
+  sim::SweepSpec spec;
+  spec.x_label = "pairs";
+  spec.x_values = {1, 2, 4, 6, 8, 10};
+  if (flags.get_bool("quick", false)) spec.x_values = {1, 5, 10};
+  spec.replications = replications;
+
+  sim::Sweep sweep(spec, base);
+  const auto set_pairs = [](sim::ScenarioConfig& c, double x) {
+    c.pairs = static_cast<std::size_t>(x);
+  };
+  sweep.run("aodv", sim::ProtocolKind::Aodv, set_pairs);
+  sweep.run("rr", sim::ProtocolKind::Routeless, set_pairs);
+
+  const util::Table table = sweep.table();
+  bench::emit(table, "fig3_rr_vs_aodv.csv");
+
+  std::size_t rr_fewer_mac = 0, rr_fewer_hops = 0, rr_higher_delay = 0;
+  double min_delivery = 1.0;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    const double aodv_delivery = std::get<double>(table.at(r, 1));
+    const double aodv_delay = std::get<double>(table.at(r, 2));
+    const double aodv_hops = std::get<double>(table.at(r, 3));
+    const double aodv_mac = std::get<double>(table.at(r, 4));
+    const double rr_delivery = std::get<double>(table.at(r, 5));
+    const double rr_delay = std::get<double>(table.at(r, 6));
+    const double rr_hops = std::get<double>(table.at(r, 7));
+    const double rr_mac = std::get<double>(table.at(r, 8));
+    if (rr_mac < aodv_mac) ++rr_fewer_mac;
+    if (rr_hops < aodv_hops) ++rr_fewer_hops;
+    if (rr_delay > aodv_delay) ++rr_higher_delay;
+    min_delivery = std::min({min_delivery, rr_delivery, aodv_delivery});
+  }
+  std::printf("\nshape check: RR fewer MAC packets at %zu/%zu points, fewer "
+              "hops at %zu/%zu, higher delay at %zu/%zu; min delivery %.3f\n",
+              rr_fewer_mac, table.rows(), rr_fewer_hops, table.rows(),
+              rr_higher_delay, table.rows(), min_delivery);
+  return 0;
+}

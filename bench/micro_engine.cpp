@@ -1,0 +1,175 @@
+// Microbenchmarks of the simulation substrate (google-benchmark):
+// scheduler throughput, timer churn, RNG, spatial-grid queries, channel
+// fan-out, election arm/cancel, and a whole-scenario end-to-end benchmark.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/election.hpp"
+#include "des/scheduler.hpp"
+#include "des/timer.hpp"
+#include "geom/placement.hpp"
+#include "geom/spatial_grid.hpp"
+#include "phy/channel.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace rrnet;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  des::Rng rng(1);
+  for (auto _ : state) {
+    des::Scheduler sched;
+    for (std::size_t i = 0; i < n; ++i) {
+      sched.schedule_at(rng.uniform01(), []() {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.executed_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  des::Rng rng(2);
+  for (auto _ : state) {
+    des::Scheduler sched;
+    std::vector<des::EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(sched.schedule_at(rng.uniform01(), []() {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) sched.cancel(ids[i]);
+    sched.run();
+    benchmark::DoNotOptimize(sched.executed_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerCancelHeavy)->Arg(16384);
+
+void BM_TimerRestartChurn(benchmark::State& state) {
+  des::Scheduler sched;
+  des::Timer timer(sched);
+  for (auto _ : state) {
+    timer.start(1.0, []() {});
+  }
+  benchmark::DoNotOptimize(timer.active());
+}
+BENCHMARK(BM_TimerRestartChurn);
+
+void BM_RngUniform(benchmark::State& state) {
+  des::Rng rng(3);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng.uniform01();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngExponential(benchmark::State& state) {
+  des::Rng rng(4);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng.exponential(1.0);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_SpatialGridQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const geom::Terrain terrain(2000.0, 2000.0);
+  des::Rng rng(5);
+  const auto positions = geom::place_uniform(terrain, n, rng);
+  geom::SpatialGrid grid(terrain, 500.0, positions);
+  std::vector<std::uint32_t> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    grid.query(positions[i++ % n], 500.0, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_SpatialGridQuery)->Arg(100)->Arg(500)->Arg(2000);
+
+struct NullListener final : phy::RadioListener {
+  void on_receive(const phy::Airframe&, const phy::RxInfo&) override {}
+  void on_tx_done(std::uint64_t) override {}
+  void on_medium_changed(bool) override {}
+};
+
+void BM_ChannelBroadcastFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const geom::Terrain terrain(2000.0, 2000.0);
+  des::Rng rng(6);
+  const auto positions = geom::place_uniform(terrain, n, rng);
+  des::Scheduler sched;
+  phy::FreeSpace for_power;
+  phy::RadioParams radio;
+  radio.tx_power_dbm =
+      phy::tx_power_for_range(for_power, 250.0, radio.rx_threshold_dbm);
+  phy::Channel channel(sched, terrain, std::make_unique<phy::FreeSpace>(),
+                       radio, positions, des::Rng(7));
+  std::vector<NullListener> listeners(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    channel.transceiver(i).attach(listeners[i]);
+  }
+  std::uint32_t sender = 0;
+  for (auto _ : state) {
+    phy::Airframe frame;
+    frame.id = channel.next_frame_id();
+    frame.sender = sender++ % n;
+    frame.size_bytes = 128;
+    frame.payload = std::make_shared<int>(0);
+    channel.transmit(frame);
+    sched.run();  // drain all reception events
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelBroadcastFanout)->Arg(100)->Arg(500);
+
+void BM_ElectionArmCancel(benchmark::State& state) {
+  des::Scheduler sched;
+  core::ElectionTable table(sched);
+  core::HopGradientBackoff policy(0.05);
+  des::Rng rng(8);
+  core::ElectionContext ctx;
+  ctx.hops_table = 3;
+  ctx.hops_expected = 4;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    table.arm(++key, policy, ctx, rng, [](des::Time) {});
+    table.cancel(key, core::CancelReason::DuplicateHeard);
+  }
+  benchmark::DoNotOptimize(table.stats().armed);
+}
+BENCHMARK(BM_ElectionArmCancel);
+
+void BM_EndToEndScenario(benchmark::State& state) {
+  sim::ScenarioConfig config;
+  config.nodes = 100;
+  config.width_m = config.height_m = 1000.0;
+  config.pairs = 5;
+  config.protocol = sim::ProtocolKind::Routeless;
+  config.cbr_interval = 1.0;
+  config.traffic_stop = 6.0;
+  config.sim_end = 10.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    const sim::ScenarioResult r = sim::run_scenario(config);
+    benchmark::DoNotOptimize(r.events_executed);
+    state.counters["events"] = static_cast<double>(r.events_executed);
+  }
+}
+BENCHMARK(BM_EndToEndScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+// Cluster-head rotation via energy-aware leader election.
+//
+// LEACH-style sensor clustering, expressed directly with the paper's
+// operator: each round a sink broadcasts a beacon (the implicit
+// synchronization point); cluster candidates compete with a backoff that
+// shrinks with *remaining energy*, so the richest node wins, serves as
+// cluster head for the round (burning energy faster than the others), and
+// headship rotates as budgets drain — no coordinator, no global knowledge.
+//
+// This mirrors the Span coordinator election the paper cites in §2 ("more
+// connectivity and more energy [gives] higher priority to become the
+// coordinators").
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/backoff_policy.hpp"
+#include "core/election.hpp"
+#include "net/network.hpp"
+#include "proto/flooding.hpp"
+
+using namespace rrnet;
+
+namespace {
+
+constexpr int kCandidates = 8;
+constexpr double kInitialEnergy = 100.0;
+constexpr double kHeadCostPerRound = 18.0;
+constexpr double kMemberCostPerRound = 2.0;
+
+class ClusterProtocol final : public net::Protocol {
+ public:
+  ClusterProtocol(net::Node& node, std::vector<double>* energy,
+                  std::vector<int>* head_rounds)
+      : net::Protocol(node),
+        policy_(50e-3, 0.3),
+        elections_(node.scheduler()),
+        rng_(node.rng().fork("cluster")),
+        energy_(energy),
+        head_rounds_(head_rounds) {}
+
+  std::uint64_t send_data(std::uint32_t, std::uint32_t) override { return 0; }
+  const char* name() const noexcept override { return "cluster-election"; }
+
+  void on_packet(const net::Packet& packet, const phy::RxInfo&, bool,
+                 std::uint32_t) override {
+    if (packet.type != net::PacketType::Data) return;
+    const std::uint64_t key = packet.flood_key();
+    if (packet.expected_hops == 1) {  // round beacon from the sink
+      if (node().id() == 0) return;   // the sink doesn't run for head
+      core::ElectionContext ctx;
+      ctx.energy_fraction = (*energy_)[node().id()] / kInitialEnergy;
+      pending_key_ = key;
+      elections_.arm(key, policy_, ctx, rng_, [this, round = packet.sequence](
+                                                  des::Time) {
+        become_head(round);
+      });
+    } else if (packet.expected_hops == 2) {  // head announcement
+      elections_.cancel(pending_key_, core::CancelReason::DuplicateHeard);
+      (*energy_)[node().id()] -= kMemberCostPerRound;
+    }
+  }
+
+ private:
+  void become_head(std::uint32_t round) {
+    auto& e = (*energy_)[node().id()];
+    std::printf("  round %2u: node %u becomes cluster head "
+                "(%.0f%% energy left)\n",
+                round, node().id(), 100.0 * e / kInitialEnergy);
+    e -= kHeadCostPerRound;
+    ++(*head_rounds_)[node().id()];
+    net::Packet announce;
+    announce.type = net::PacketType::Data;
+    announce.origin = node().id();
+    announce.target = net::kNoNode;
+    announce.sequence = round;
+    announce.uid = node().network().next_packet_uid();
+    announce.expected_hops = 2;  // head-announcement marker
+    announce.payload_bytes = 8;
+    announce.created_at = node().scheduler().now();
+    node().send_packet(announce, mac::kBroadcastAddress, 0.0);
+  }
+
+  core::EnergyAwareBackoff policy_;
+  core::ElectionTable elections_;
+  des::Rng rng_;
+  std::vector<double>* energy_;
+  std::vector<int>* head_rounds_;
+  std::uint64_t pending_key_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  // Sink (node 0) plus candidates clustered within one radio neighborhood.
+  std::vector<geom::Vec2> positions{{500.0, 500.0}};
+  des::Rng place(9);
+  for (int i = 0; i < kCandidates; ++i) {
+    positions.push_back({450.0 + place.uniform(0.0, 100.0),
+                         450.0 + place.uniform(0.0, 100.0)});
+  }
+  phy::FreeSpace for_power;
+  phy::RadioParams radio;
+  radio.tx_power_dbm =
+      phy::tx_power_for_range(for_power, 250.0, radio.rx_threshold_dbm);
+  des::Scheduler scheduler;
+  net::Network network(scheduler, geom::Terrain(1000, 1000),
+                       std::make_unique<phy::FreeSpace>(), radio,
+                       mac::MacParams{}, positions, des::Rng(10));
+  std::vector<double> energy(network.size(), kInitialEnergy);
+  std::vector<int> head_rounds(network.size(), 0);
+  for (std::uint32_t i = 0; i < network.size(); ++i) {
+    network.node(i).set_protocol(std::make_unique<ClusterProtocol>(
+        network.node(i), &energy, &head_rounds));
+  }
+  network.start_protocols();
+
+  std::printf("%d candidates, %0.f J each; a cluster-head round costs "
+              "%0.f J, membership %0.f J.\n"
+              "the energy-aware backoff rotates headship to the richest "
+              "node each round:\n\n",
+              kCandidates, kInitialEnergy, kHeadCostPerRound,
+              kMemberCostPerRound);
+
+  // The sink beacons a new round every 200 ms.
+  for (std::uint32_t round = 0; round < 16; ++round) {
+    scheduler.schedule_at(0.2 * (round + 1), [&network, &scheduler, round]() {
+      net::Packet beacon;
+      beacon.type = net::PacketType::Data;
+      beacon.origin = 0;
+      beacon.target = net::kNoNode;
+      beacon.sequence = round;
+      beacon.uid = network.next_packet_uid();
+      beacon.expected_hops = 1;  // round-beacon marker
+      beacon.payload_bytes = 8;
+      beacon.created_at = scheduler.now();
+      network.node(0).send_packet(beacon, mac::kBroadcastAddress, 0.0);
+    });
+  }
+  scheduler.run_until(4.0);
+
+  std::printf("\nheadship distribution (16 rounds over %d nodes = 2 each;\n"
+              "occasional double winners are the paper's tolerated "
+              "multi-leader case):\n",
+              kCandidates);
+  int min_rounds = 1000, max_rounds = 0;
+  for (std::uint32_t i = 1; i < network.size(); ++i) {
+    std::printf("  node %u: %d rounds as head, %.0f%% energy left\n", i,
+                head_rounds[i], 100.0 * energy[i] / kInitialEnergy);
+    min_rounds = std::min(min_rounds, head_rounds[i]);
+    max_rounds = std::max(max_rounds, head_rounds[i]);
+  }
+  std::printf("\nrotation fairness: every node served %d-%d rounds — the\n"
+              "election balanced the load without any central bookkeeping.\n",
+              min_rounds, max_rounds);
+  return 0;
+}

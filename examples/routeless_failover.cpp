@@ -1,0 +1,117 @@
+// Routeless Routing's headline property (§4.2): seamless failover.
+//
+// A CBR flow runs across a network; halfway through, we kill the radio of
+// every node that has been relaying the flow's packets. A route-keeping
+// protocol would have to detect the break, tear down state and re-discover;
+// Routeless Routing simply elects different leaders for the very next
+// packet. The demo prints the delivery log and which relays carried each
+// packet before and after the failure.
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "sim/builder.hpp"
+
+using namespace rrnet;
+
+int main() {
+  sim::ScenarioConfig config;
+  config.seed = 21;
+  config.nodes = 120;
+  config.width_m = 1200.0;
+  config.height_m = 1200.0;
+  config.range_m = 250.0;
+  config.protocol = sim::ProtocolKind::Routeless;
+  config.explicit_pairs = {{0, 1}};
+  config.cbr_interval = 1.0;
+  config.payload_bytes = 128;
+  config.traffic_start = 1.0;
+  config.traffic_stop = 25.0;
+  config.sim_end = 30.0;
+  config.trace_paths = true;
+
+  // Pick the two most separated nodes as endpoints so the flow needs
+  // several relays. Placement is deterministic per seed, so a probe
+  // instance sees the same layout the real run will.
+  std::uint32_t src = 0, dst = 1;
+  {
+    sim::SimInstance probe(config);
+    double best = 0.0;
+    net::Network& network = probe.network();
+    for (std::uint32_t i = 0; i < network.size(); ++i) {
+      for (std::uint32_t j = i + 1; j < network.size(); ++j) {
+        const double d = geom::distance(network.channel().position(i),
+                                        network.channel().position(j));
+        if (d > best) {
+          best = d;
+          src = i;
+          dst = j;
+        }
+      }
+    }
+  }
+  config.explicit_pairs = {{src, dst}};
+  sim::SimInstance sim(config);
+  const double separation = geom::distance(
+      sim.network().channel().position(src),
+      sim.network().channel().position(dst));
+  std::printf("flow %u -> %u, endpoint separation %.0f m (~%d hops)\n", src,
+              dst, separation, static_cast<int>(separation / 250.0) + 1);
+
+  int delivered = 0;
+  sim.network().node(dst).set_delivery_handler([&](const net::Packet& packet) {
+    ++delivered;
+    std::printf("  t=%5.2f s  packet #%-2u delivered after %u hops\n",
+                sim.scheduler().now(), packet.sequence, packet.actual_hops);
+  });
+
+  // Phase 1: let the flow establish itself.
+  sim.run_until(12.0);
+  // Collect the relay chain of the most recent delivered packet — the
+  // "route" a route-keeping protocol would have installed.
+  std::set<std::uint32_t> relays_used;
+  const trace::PacketPath* latest = nullptr;
+  for (const auto& [uid, path] : sim.path_trace()->paths()) {
+    if (!path.delivered) continue;
+    if (latest == nullptr || path.delivered_at > latest->delivered_at) {
+      latest = &path;
+    }
+  }
+  if (latest != nullptr) {
+    for (const auto& hop : latest->hops) {
+      if (hop.node != src && hop.node != dst) relays_used.insert(hop.node);
+    }
+  }
+  std::printf("\n>>> t=12 s: killing the %zu relays that carried the latest packet:",
+              relays_used.size());
+  for (const std::uint32_t node : relays_used) {
+    std::printf(" %u", node);
+    sim.network().channel().transceiver(node).turn_off();
+  }
+  std::printf("\n    (no route repair, no control packets — the next data\n"
+              "     packet simply elects different leaders)\n\n");
+
+  // Phase 2: the flow continues over fresh relays.
+  const int delivered_before = delivered;
+  sim.run();
+  std::printf("\ndelivered %d packets before the failure, %d after — ",
+              delivered_before, delivered - delivered_before);
+  std::printf("%s\n", delivered > delivered_before
+                          ? "the flow survived without any route maintenance"
+                          : "the flow did NOT survive (unexpected)");
+
+  // Show which relays carried traffic after the failure.
+  std::set<std::uint32_t> relays_after;
+  for (const auto& [uid, path] : sim.path_trace()->paths()) {
+    if (path.hops.empty() || path.hops.front().time < 12.0) continue;
+    for (const auto& hop : path.hops) {
+      if (hop.node != src && hop.node != dst &&
+          relays_used.count(hop.node) == 0) {
+        relays_after.insert(hop.node);
+      }
+    }
+  }
+  std::printf("fresh relays elected after the failure: %zu distinct nodes\n",
+              relays_after.size());
+  return 0;
+}

@@ -1,0 +1,136 @@
+// General-purpose scenario driver: every knob of the simulator on the
+// command line. The "I just want to run an experiment" tool.
+//
+//   ./simulate --protocol rr --nodes 500 --width 2000 --height 2000
+//              --pairs 10 --interval 2 --bidirectional --reps 3
+//
+// Protocols: rr | aodv | ssaf | counter1 | blind | gradient
+// Propagation: freespace | tworay | logdistance | rayleigh | shadowing
+#include <cstdio>
+#include <string>
+
+#include "sim/replication.hpp"
+#include "sim/runner.hpp"
+#include "util/flags.hpp"
+
+using namespace rrnet;
+
+namespace {
+
+bool parse_protocol(const std::string& name, sim::ScenarioConfig& config) {
+  if (name == "rr") {
+    config.protocol = sim::ProtocolKind::Routeless;
+  } else if (name == "aodv") {
+    config.protocol = sim::ProtocolKind::Aodv;
+    config.aodv.discovery = proto::RreqFlooding::Dedup;
+  } else if (name == "ssaf") {
+    config.protocol = sim::ProtocolKind::Ssaf;
+  } else if (name == "counter1") {
+    config.protocol = sim::ProtocolKind::Counter1Flooding;
+  } else if (name == "blind") {
+    config.protocol = sim::ProtocolKind::BlindFlooding;
+  } else if (name == "gradient") {
+    config.protocol = sim::ProtocolKind::Gradient;
+  } else if (name == "dsdv") {
+    config.protocol = sim::ProtocolKind::Dsdv;
+  } else if (name == "dsr") {
+    config.protocol = sim::ProtocolKind::Dsr;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_propagation(const std::string& name, sim::ScenarioConfig& config) {
+  if (name == "freespace") {
+    config.propagation = sim::PropagationKind::FreeSpace;
+  } else if (name == "tworay") {
+    config.propagation = sim::PropagationKind::TwoRay;
+  } else if (name == "logdistance") {
+    config.propagation = sim::PropagationKind::LogDistance;
+  } else if (name == "rayleigh") {
+    config.propagation = sim::PropagationKind::Rayleigh;
+  } else if (name == "shadowing") {
+    config.propagation = sim::PropagationKind::Shadowing;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    std::printf(
+        "usage: simulate [options]\n"
+        "  --protocol rr|aodv|ssaf|counter1|blind|gradient|dsdv|dsr  (default rr)\n"
+        "  --propagation freespace|tworay|logdistance|rayleigh|shadowing\n"
+        "  --nodes N --width M --height M --range M\n"
+        "  --pairs N --bidirectional --interval S --payload BYTES\n"
+        "  --duration S (traffic window) --seed N --reps N\n"
+        "  --failures PCT --mobility --speed MPS --energy\n"
+        "  --lambda MS (RR election backoff)\n");
+    return 0;
+  }
+
+  sim::ScenarioConfig config;
+  config.protocol = sim::ProtocolKind::Routeless;
+  config.aodv.discovery = proto::RreqFlooding::Dedup;
+  if (!parse_protocol(flags.get_string("protocol", "rr"), config)) {
+    std::fprintf(stderr, "unknown protocol\n");
+    return 1;
+  }
+  if (!parse_propagation(flags.get_string("propagation", "freespace"),
+                         config)) {
+    std::fprintf(stderr, "unknown propagation model\n");
+    return 1;
+  }
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.nodes = static_cast<std::size_t>(flags.get_int("nodes", 100));
+  config.width_m = flags.get_double("width", 1000.0);
+  config.height_m = flags.get_double("height", 1000.0);
+  config.range_m = flags.get_double("range", 250.0);
+  config.pairs = static_cast<std::size_t>(flags.get_int("pairs", 3));
+  config.bidirectional = flags.get_bool("bidirectional", false);
+  config.cbr_interval = flags.get_double("interval", 1.0);
+  config.payload_bytes =
+      static_cast<std::uint32_t>(flags.get_int("payload", 256));
+  const double duration = flags.get_double("duration", 20.0);
+  config.traffic_start = 1.0;
+  config.traffic_stop = 1.0 + duration;
+  config.sim_end = config.traffic_stop + 8.0;
+  config.failure_fraction = flags.get_double("failures", 0.0) / 100.0;
+  config.mobility = flags.get_bool("mobility", false);
+  config.mobility_max_speed_mps = flags.get_double("speed", 5.0);
+  config.track_energy = flags.get_bool("energy", false);
+  if (flags.has("lambda")) {
+    config.routeless.lambda = flags.get_double("lambda", 50.0) * 1e-3;
+    config.routeless.arbiter.relay_timeout =
+        10.0 * config.routeless.lambda + 50e-3;
+  }
+
+  const auto reps = static_cast<std::size_t>(flags.get_int("reps", 1));
+  std::printf("simulating %s: %zu nodes, %.0fx%.0f m, %zu pairs%s, "
+              "interval %.2g s, %zu replication(s)\n",
+              sim::to_string(config.protocol), config.nodes, config.width_m,
+              config.height_m, config.pairs,
+              config.bidirectional ? " (bidirectional)" : "",
+              config.cbr_interval, reps);
+
+  const sim::Aggregated agg = sim::run_replications(config, reps);
+  std::printf("\n  delivery ratio   : %.4f  (± %.4f)\n",
+              agg.delivery_ratio.mean, agg.delivery_ratio.ci95);
+  std::printf("  mean delay       : %.1f ms\n", agg.delay_s.mean * 1e3);
+  std::printf("  mean hops        : %.2f\n", agg.hops.mean);
+  std::printf("  MAC packets      : %.0f\n", agg.mac_packets.mean);
+  std::printf("  MAC per delivered: %.1f\n", agg.mac_per_delivered.mean);
+  if (config.track_energy) {
+    sim::ScenarioConfig one = config;
+    const sim::ScenarioResult r = sim::run_scenario(one);
+    std::printf("  energy           : %.2f J total, %.4f J per delivered\n",
+                r.total_energy_j, r.energy_per_delivered_j);
+  }
+  return 0;
+}

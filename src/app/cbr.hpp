@@ -1,0 +1,49 @@
+// Constant-bit-rate traffic source (the paper's traffic model).
+#pragma once
+
+#include <cstdint>
+
+#include "app/flow_stats.hpp"
+#include "des/rng.hpp"
+#include "des/timer.hpp"
+#include "net/node.hpp"
+
+namespace rrnet::app {
+
+struct CbrConfig {
+  des::Time interval = 1.0;         ///< packet generation interval
+  std::uint32_t payload_bytes = 512;
+  des::Time start_time = 1.0;       ///< first packet at start + U(0, interval)
+  des::Time stop_time = 0.0;        ///< no packets at/after this time
+};
+
+/// Periodically calls protocol().send_data() on its node and reports each
+/// departure to the shared FlowStats.
+class CbrSource {
+ public:
+  CbrSource(net::Node& node, std::uint32_t target, CbrConfig config,
+            FlowStats& stats);
+
+  /// Schedule the first packet; call once before the simulation runs.
+  void start();
+
+  [[nodiscard]] std::uint32_t target() const noexcept { return target_; }
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+
+ private:
+  void send_one();
+
+  net::Node* node_;
+  std::uint32_t target_;
+  CbrConfig config_;
+  FlowStats* stats_;
+  des::Timer timer_;
+  des::Rng rng_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Install a delivery handler on `node` that feeds `stats`. All sinks in a
+/// scenario share one FlowStats.
+void attach_sink(net::Node& node, FlowStats& stats);
+
+}  // namespace rrnet::app

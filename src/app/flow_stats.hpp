@@ -1,0 +1,58 @@
+// End-to-end flow bookkeeping: the paper's three headline metrics.
+//
+//  * delivery ratio — packets received by all destinations / packets sent
+//    by all sources;
+//  * end-to-end delay — departure from source to arrival at destination;
+//  * hop count — nodes traversed until the packet reached its destination.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+
+#include "des/time.hpp"
+#include "net/packet.hpp"
+#include "util/stats.hpp"
+#include "util/timeseries.hpp"
+
+namespace rrnet::app {
+
+class FlowStats {
+ public:
+  /// A source handed one packet to its protocol.
+  void record_sent(std::uint64_t uid, des::Time now);
+  /// A destination's application received a packet (call from the node's
+  /// delivery handler). Duplicate uids are counted once.
+  void record_delivered(const net::Packet& packet, des::Time now);
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] double delivery_ratio() const noexcept;
+  [[nodiscard]] const util::Accumulator& delay() const noexcept {
+    return delay_;
+  }
+  [[nodiscard]] const util::Accumulator& hops() const noexcept {
+    return hops_;
+  }
+
+  /// Start recording a per-bucket delivery time series (count = deliveries
+  /// per bucket, value = end-to-end delay). Call before the run.
+  void enable_timeseries(double bucket_width_s, double start_s = 0.0) {
+    series_.emplace(bucket_width_s, start_s);
+  }
+  /// Null unless enable_timeseries() was called.
+  [[nodiscard]] const util::TimeSeries* timeseries() const noexcept {
+    return series_.has_value() ? &*series_ : nullptr;
+  }
+
+ private:
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::unordered_set<std::uint64_t> outstanding_;
+  std::unordered_set<std::uint64_t> seen_uids_;
+  util::Accumulator delay_;
+  util::Accumulator hops_;
+  std::optional<util::TimeSeries> series_;
+};
+
+}  // namespace rrnet::app

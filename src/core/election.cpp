@@ -1,0 +1,56 @@
+#include "core/election.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::core {
+
+void ElectionSession::arm(const BackoffPolicy& policy,
+                          const ElectionContext& context, des::Rng& rng,
+                          WinHandler on_win) {
+  RRNET_EXPECTS(on_win != nullptr);
+  delay_ = policy.delay(context, rng);
+  RRNET_ENSURES(delay_ >= 0.0);
+  timer_.start(delay_, [this, handler = std::move(on_win)]() {
+    handler(delay_);
+  });
+}
+
+bool ElectionSession::cancel() noexcept { return timer_.cancel(); }
+
+void ElectionTable::arm(std::uint64_t key, const BackoffPolicy& policy,
+                        const ElectionContext& context, des::Rng& rng,
+                        ElectionSession::WinHandler on_win) {
+  auto [it, inserted] = sessions_.try_emplace(key, *scheduler_);
+  ++stats_.armed;
+  it->second.arm(policy, context, rng,
+                 [this, key, handler = std::move(on_win)](des::Time delay) {
+                   ++stats_.won;
+                   // Erase before invoking: the handler may re-arm the key.
+                   sessions_.erase(key);
+                   handler(delay);
+                 });
+}
+
+bool ElectionTable::cancel(std::uint64_t key, CancelReason reason) {
+  const auto it = sessions_.find(key);
+  if (it == sessions_.end()) return false;
+  const bool was_pending = it->second.cancel();
+  sessions_.erase(it);
+  if (was_pending) {
+    switch (reason) {
+      case CancelReason::DuplicateHeard: ++stats_.cancelled_duplicate; break;
+      case CancelReason::ArbiterAck: ++stats_.cancelled_ack; break;
+      case CancelReason::Superseded: ++stats_.cancelled_superseded; break;
+    }
+  }
+  return was_pending;
+}
+
+bool ElectionTable::armed(std::uint64_t key) const {
+  const auto it = sessions_.find(key);
+  return it != sessions_.end() && it->second.armed();
+}
+
+}  // namespace rrnet::core

@@ -1,0 +1,89 @@
+#include "des/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rrnet::des {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(engine_());  // full range
+  // Lemire-style rejection-free bounded draw with bias < 2^-64 * range.
+  const std::uint64_t x = engine_();
+  __extension__ using uint128 = unsigned __int128;
+  const uint128 mul = static_cast<uint128>(x) * range;
+  return lo + static_cast<std::int64_t>(mul >> 64);
+}
+
+double Rng::exponential(double mean) noexcept {
+  // -mean * ln(1 - U), with U in [0,1) so the argument is in (0,1].
+  return -mean * std::log(1.0 - uniform01());
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  const double u1 = 1.0 - uniform01();  // (0, 1]
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+double Rng::rayleigh(double sigma) noexcept {
+  return sigma * std::sqrt(-2.0 * std::log(1.0 - uniform01()));
+}
+
+Rng Rng::fork(std::string_view tag, std::uint64_t index) const noexcept {
+  // FNV-1a over the tag, mixed with the parent seed and index via splitmix.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : tag) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  std::uint64_t s = seed_ ^ h;
+  (void)splitmix64(s);
+  s ^= index * 0x9E3779B97F4A7C15ULL;
+  (void)splitmix64(s);
+  return Rng(s);
+}
+
+}  // namespace rrnet::des

@@ -1,0 +1,62 @@
+// Deterministic random number generation.
+//
+// xoshiro256** core with splitmix64 seeding. Each simulation component forks
+// its own independent stream from the replication's root seed, so adding a
+// component never perturbs the draws seen by another (a common source of
+// accidental nondeterminism in network simulators).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rrnet::des {
+
+/// splitmix64 step; used for seeding and for hashing stream tags.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** engine (public domain algorithm by Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Convenience distribution wrapper around Xoshiro256.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : engine_(seed), seed_(seed) {}
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+  /// Uniform double in [lo, hi). Requires hi >= lo.
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] inclusive. Requires hi >= lo.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo,
+                                         std::int64_t hi) noexcept;
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+  /// Standard normal via Box-Muller (no caching: keeps forks independent).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+  /// Rayleigh-distributed sample with the given scale sigma.
+  [[nodiscard]] double rayleigh(double sigma) noexcept;
+
+  /// Derive an independent child stream keyed by (this seed, tag, index).
+  [[nodiscard]] Rng fork(std::string_view tag, std::uint64_t index = 0) const noexcept;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::uint64_t next_u64() noexcept { return engine_(); }
+
+ private:
+  Xoshiro256 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rrnet::des

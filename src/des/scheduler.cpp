@@ -1,0 +1,93 @@
+#include "des/scheduler.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::des {
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+EventId Scheduler::schedule_at(Time t, Callback cb) {
+  RRNET_EXPECTS(t >= now_);
+  RRNET_EXPECTS(cb != nullptr);
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.callback = std::move(cb);
+  s.live = true;
+  ++live_;
+  heap_.push(HeapEntry{t, next_sequence_++, slot, s.generation});
+  return EventId{slot, s.generation};
+}
+
+EventId Scheduler::schedule_in(Time delay, Callback cb) {
+  RRNET_EXPECTS(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::cancel(EventId id) noexcept {
+  if (!pending(id)) return false;
+  Slot& s = slots_[id.slot];
+  s.live = false;
+  s.callback = nullptr;
+  ++s.generation;  // invalidate the heap entry lazily
+  free_slots_.push_back(id.slot);
+  --live_;
+  return true;
+}
+
+bool Scheduler::pending(EventId id) const noexcept {
+  return id.valid() && id.slot < slots_.size() && slots_[id.slot].live &&
+         slots_[id.slot].generation == id.generation;
+}
+
+bool Scheduler::settle_top() noexcept {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    const Slot& s = slots_[top.slot];
+    if (s.live && s.generation == top.generation) return true;
+    heap_.pop();  // cancelled; its slot was already recycled
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  if (!settle_top()) return false;
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  Slot& s = slots_[top.slot];
+  RRNET_ASSERT(top.time >= now_);
+  now_ = top.time;
+  Callback cb = std::move(s.callback);
+  s.live = false;
+  s.callback = nullptr;
+  ++s.generation;
+  free_slots_.push_back(top.slot);
+  --live_;
+  ++executed_;
+  cb();
+  return true;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(Time t_end) {
+  RRNET_EXPECTS(t_end >= now_);
+  while (settle_top() && heap_.top().time <= t_end) {
+    step();
+  }
+  now_ = t_end;
+}
+
+}  // namespace rrnet::des

@@ -1,0 +1,94 @@
+// Discrete-event scheduler with O(log n) insertion and cancellation.
+//
+// Events are callbacks stored in generation-stamped slots; the binary heap
+// holds (time, sequence, slot, generation) entries. Cancellation bumps the
+// slot generation, so stale heap entries are skipped lazily at pop time.
+// Ties in time are executed in insertion order, which makes simulations
+// deterministic even when two events share a timestamp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace rrnet::des {
+
+/// Opaque handle to a scheduled event; value-semantic and cheap to copy.
+struct EventId {
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t generation = 0;
+
+  static constexpr std::uint32_t kInvalidSlot = ~0u;
+  [[nodiscard]] bool valid() const noexcept { return slot != kInvalidSlot; }
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time (0 before any event runs).
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule cb at absolute time t; requires t >= now().
+  EventId schedule_at(Time t, Callback cb);
+  /// Schedule cb after a nonnegative delay.
+  EventId schedule_in(Time delay, Callback cb);
+
+  /// Cancel a pending event. Returns true iff the event was still pending.
+  bool cancel(EventId id) noexcept;
+  /// True iff the event is scheduled and not yet executed or cancelled.
+  [[nodiscard]] bool pending(EventId id) const noexcept;
+
+  /// Run until the queue drains.
+  void run();
+  /// Run events with time <= t_end, then advance the clock to t_end.
+  void run_until(Time t_end);
+  /// Execute at most one event; returns false when the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_count() const noexcept { return live_; }
+  [[nodiscard]] std::uint64_t executed_count() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct HeapEntry {
+    Time time;
+    std::uint64_t sequence;
+    std::uint32_t slot;
+    std::uint32_t generation;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;  // FIFO among equal times
+    }
+  };
+  struct Slot {
+    Callback callback;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+
+  /// Pop entries until the top is live; returns false if the heap empties.
+  bool settle_top() noexcept;
+  std::uint32_t acquire_slot();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  Time now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace rrnet::des

@@ -1,0 +1,20 @@
+// Simulation time. Seconds as double; helpers for common SI scales.
+//
+// Double seconds give ~microsecond resolution over days of simulated time,
+// far beyond what these protocols need (backoff delays are >= 10 us).
+// Event ordering ties are broken deterministically by insertion sequence in
+// the scheduler, so exact-equality collisions are well-defined.
+#pragma once
+
+namespace rrnet::des {
+
+using Time = double;  ///< simulated seconds
+
+inline constexpr Time kMicrosecond = 1e-6;
+inline constexpr Time kMillisecond = 1e-3;
+inline constexpr Time kSecond = 1.0;
+
+/// Speed of light, for propagation delays (m/s).
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+}  // namespace rrnet::des

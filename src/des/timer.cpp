@@ -1,0 +1,21 @@
+#include "des/timer.hpp"
+
+namespace rrnet::des {
+
+void Timer::start(Time delay, Callback cb) {
+  cancel();
+  expiry_ = scheduler_->now() + delay;
+  // The scheduler clears the slot before invoking the callback, so by the
+  // time `cb` runs this timer already reports inactive.
+  id_ = scheduler_->schedule_in(delay, std::move(cb));
+}
+
+bool Timer::cancel() noexcept {
+  const bool was_pending = scheduler_->cancel(id_);
+  id_ = EventId{};
+  return was_pending;
+}
+
+bool Timer::active() const noexcept { return scheduler_->pending(id_); }
+
+}  // namespace rrnet::des

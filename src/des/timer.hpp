@@ -1,0 +1,52 @@
+// RAII one-shot timer on top of the scheduler.
+//
+// Protocol code owns Timer objects; destruction cancels any pending firing,
+// so callbacks can never outlive the object they capture (Core Guidelines
+// C.31 / F.52 discipline for capturing lambdas).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "des/scheduler.hpp"
+
+namespace rrnet::des {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Binds the timer to a scheduler; the scheduler must outlive the timer.
+  explicit Timer(Scheduler& scheduler) noexcept : scheduler_(&scheduler) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  Timer(Timer&& other) noexcept
+      : scheduler_(other.scheduler_), id_(std::exchange(other.id_, {})) {}
+  Timer& operator=(Timer&& other) noexcept {
+    if (this != &other) {
+      cancel();
+      scheduler_ = other.scheduler_;
+      id_ = std::exchange(other.id_, {});
+    }
+    return *this;
+  }
+
+  /// Arm (or re-arm) the timer to fire after `delay`. Replaces any pending
+  /// firing.
+  void start(Time delay, Callback cb);
+  /// Cancel a pending firing; no-op if inactive. Returns true if cancelled.
+  bool cancel() noexcept;
+  /// True iff armed and not yet fired.
+  [[nodiscard]] bool active() const noexcept;
+  /// Absolute expiry time; only meaningful while active().
+  [[nodiscard]] Time expiry() const noexcept { return expiry_; }
+  [[nodiscard]] Scheduler& scheduler() const noexcept { return *scheduler_; }
+
+ private:
+  Scheduler* scheduler_;
+  EventId id_{};
+  Time expiry_ = 0.0;
+};
+
+}  // namespace rrnet::des

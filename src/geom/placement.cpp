@@ -1,0 +1,64 @@
+#include "geom/placement.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::geom {
+
+std::vector<Vec2> place_uniform(const Terrain& terrain, std::size_t n,
+                                des::Rng& rng) {
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(
+        {rng.uniform(0.0, terrain.width()), rng.uniform(0.0, terrain.height())});
+  }
+  return points;
+}
+
+std::vector<Vec2> place_grid(const Terrain& terrain, std::size_t n) {
+  RRNET_EXPECTS(n > 0);
+  const auto cols = static_cast<std::size_t>(std::ceil(std::sqrt(
+      static_cast<double>(n) * terrain.width() / terrain.height())));
+  const std::size_t rows = (n + cols - 1) / cols;
+  const double dx = terrain.width() / static_cast<double>(cols);
+  const double dy = terrain.height() / static_cast<double>(rows);
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = i / cols;
+    const std::size_t c = i % cols;
+    points.push_back({(static_cast<double>(c) + 0.5) * dx,
+                      (static_cast<double>(r) + 0.5) * dy});
+  }
+  return points;
+}
+
+std::vector<Vec2> place_min_separation(const Terrain& terrain, std::size_t n,
+                                       double min_separation, des::Rng& rng,
+                                       std::size_t max_attempts) {
+  RRNET_EXPECTS(min_separation >= 0.0);
+  const double min_sq = min_separation * min_separation;
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec2 candidate{};
+    bool placed = false;
+    for (std::size_t attempt = 0; attempt < max_attempts && !placed; ++attempt) {
+      candidate = {rng.uniform(0.0, terrain.width()),
+                   rng.uniform(0.0, terrain.height())};
+      placed = true;
+      for (const Vec2& p : points) {
+        if (distance_sq(candidate, p) < min_sq) {
+          placed = false;
+          break;
+        }
+      }
+    }
+    points.push_back(candidate);  // last candidate even if crowded
+  }
+  return points;
+}
+
+}  // namespace rrnet::geom

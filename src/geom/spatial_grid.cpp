@@ -1,0 +1,80 @@
+#include "geom/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::geom {
+
+SpatialGrid::SpatialGrid(const Terrain& terrain, double cell_size,
+                         const std::vector<Vec2>& positions)
+    : cell_size_(cell_size),
+      cols_(std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(terrain.width() / cell_size)))),
+      rows_(std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(terrain.height() / cell_size)))),
+      width_(terrain.width()),
+      height_(terrain.height()),
+      positions_(positions),
+      cells_(cols_ * rows_) {
+  RRNET_EXPECTS(cell_size > 0.0);
+  for (std::uint32_t id = 0; id < positions_.size(); ++id) {
+    RRNET_EXPECTS(terrain.contains(positions_[id]));
+    cells_[cell_index(positions_[id])].push_back(id);
+  }
+}
+
+std::size_t SpatialGrid::cell_index(Vec2 p) const noexcept {
+  auto col = static_cast<std::size_t>(std::clamp(p.x, 0.0, width_) / cell_size_);
+  auto row = static_cast<std::size_t>(std::clamp(p.y, 0.0, height_) / cell_size_);
+  col = std::min(col, cols_ - 1);
+  row = std::min(row, rows_ - 1);
+  return row * cols_ + col;
+}
+
+void SpatialGrid::query(Vec2 center, double radius,
+                        std::vector<std::uint32_t>& out) const {
+  out.clear();
+  const double r_sq = radius * radius;
+  const auto col_lo = static_cast<std::int64_t>(
+      std::floor((center.x - radius) / cell_size_));
+  const auto col_hi = static_cast<std::int64_t>(
+      std::floor((center.x + radius) / cell_size_));
+  const auto row_lo = static_cast<std::int64_t>(
+      std::floor((center.y - radius) / cell_size_));
+  const auto row_hi = static_cast<std::int64_t>(
+      std::floor((center.y + radius) / cell_size_));
+  for (std::int64_t row = std::max<std::int64_t>(0, row_lo);
+       row <= std::min<std::int64_t>(static_cast<std::int64_t>(rows_) - 1, row_hi);
+       ++row) {
+    for (std::int64_t col = std::max<std::int64_t>(0, col_lo);
+         col <= std::min<std::int64_t>(static_cast<std::int64_t>(cols_) - 1, col_hi);
+         ++col) {
+      for (std::uint32_t id :
+           cells_[static_cast<std::size_t>(row) * cols_ +
+                  static_cast<std::size_t>(col)]) {
+        if (distance_sq(positions_[id], center) <= r_sq) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+void SpatialGrid::update_position(std::uint32_t id, Vec2 new_position) {
+  RRNET_EXPECTS(id < positions_.size());
+  const std::size_t old_cell = cell_index(positions_[id]);
+  const std::size_t new_cell = cell_index(new_position);
+  positions_[id] = new_position;
+  if (old_cell == new_cell) return;
+  auto& bucket = cells_[old_cell];
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  cells_[new_cell].push_back(id);
+}
+
+Vec2 SpatialGrid::position(std::uint32_t id) const {
+  RRNET_EXPECTS(id < positions_.size());
+  return positions_[id];
+}
+
+}  // namespace rrnet::geom

@@ -1,0 +1,46 @@
+// Uniform-grid spatial index for range queries over node positions.
+//
+// The channel asks "which nodes lie within distance r of p" on every
+// transmission; with ~500 nodes and ~25 neighbors this must not be O(n).
+// Cell size equals the query radius used most often (the interference
+// range), so a query touches at most 9 cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/terrain.hpp"
+#include "geom/vec2.hpp"
+
+namespace rrnet::geom {
+
+class SpatialGrid {
+ public:
+  /// Index positions (id = index into `positions`) over `terrain` with the
+  /// given cell size (> 0).
+  SpatialGrid(const Terrain& terrain, double cell_size,
+              const std::vector<Vec2>& positions);
+
+  /// Collect ids within `radius` of `center` into `out` (cleared first).
+  /// Results are sorted by id so downstream iteration is deterministic.
+  void query(Vec2 center, double radius, std::vector<std::uint32_t>& out) const;
+
+  /// Move a node (e.g. mobility extensions); keeps the index consistent.
+  void update_position(std::uint32_t id, Vec2 new_position);
+
+  [[nodiscard]] Vec2 position(std::uint32_t id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(Vec2 p) const noexcept;
+
+  double cell_size_;
+  std::size_t cols_;
+  std::size_t rows_;
+  double width_;
+  double height_;
+  std::vector<Vec2> positions_;
+  std::vector<std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace rrnet::geom

@@ -1,0 +1,35 @@
+#include "geom/terrain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::geom {
+
+double distance_to_segment(Vec2 p, Vec2 a, Vec2 b) noexcept {
+  const Vec2 ab = b - a;
+  const double len_sq = ab.norm_sq();
+  if (len_sq == 0.0) return distance(p, a);
+  const double t = std::clamp((p - a).dot(ab) / len_sq, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+Terrain::Terrain(double width, double height) : width_(width), height_(height) {
+  RRNET_EXPECTS(width > 0.0);
+  RRNET_EXPECTS(height > 0.0);
+}
+
+bool Terrain::contains(Vec2 p) const noexcept {
+  return p.x >= 0.0 && p.x <= width_ && p.y >= 0.0 && p.y <= height_;
+}
+
+Vec2 Terrain::clamp(Vec2 p) const noexcept {
+  return {std::clamp(p.x, 0.0, width_), std::clamp(p.y, 0.0, height_)};
+}
+
+double Terrain::diameter() const noexcept {
+  return std::sqrt(width_ * width_ + height_ * height_);
+}
+
+}  // namespace rrnet::geom

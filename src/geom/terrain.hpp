@@ -1,0 +1,30 @@
+// Rectangular terrain the nodes live on.
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace rrnet::geom {
+
+class Terrain {
+ public:
+  /// Axis-aligned rectangle [0, width] x [0, height]; both must be positive.
+  Terrain(double width, double height);
+
+  [[nodiscard]] double width() const noexcept { return width_; }
+  [[nodiscard]] double height() const noexcept { return height_; }
+  [[nodiscard]] double area() const noexcept { return width_ * height_; }
+  [[nodiscard]] Vec2 center() const noexcept {
+    return {width_ / 2.0, height_ / 2.0};
+  }
+  [[nodiscard]] bool contains(Vec2 p) const noexcept;
+  /// Clamp a point into the terrain.
+  [[nodiscard]] Vec2 clamp(Vec2 p) const noexcept;
+  /// Longest possible distance between two points (the diagonal).
+  [[nodiscard]] double diameter() const noexcept;
+
+ private:
+  double width_;
+  double height_;
+};
+
+}  // namespace rrnet::geom

@@ -1,0 +1,43 @@
+// 2D vectors for node positions on the simulated terrain.
+#pragma once
+
+#include <cmath>
+
+namespace rrnet::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double s) noexcept {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 a) noexcept { return a * s; }
+  friend constexpr bool operator==(const Vec2&, const Vec2&) = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 other) const noexcept {
+    return x * other.x + y * other.y;
+  }
+  [[nodiscard]] constexpr double norm_sq() const noexcept { return dot(*this); }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(norm_sq()); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm();
+}
+
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm_sq();
+}
+
+/// Distance from point p to the segment [a, b] (used by the Figure-2 detour
+/// metric: how far a packet's relay points stray from the straight line).
+[[nodiscard]] double distance_to_segment(Vec2 p, Vec2 a, Vec2 b) noexcept;
+
+}  // namespace rrnet::geom

@@ -1,0 +1,9 @@
+#include "mac/frame.hpp"
+
+namespace rrnet::mac {
+
+bool is_broadcast(const Frame& frame) noexcept {
+  return frame.dst == kBroadcastAddress;
+}
+
+}  // namespace rrnet::mac

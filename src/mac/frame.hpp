@@ -1,0 +1,38 @@
+// MAC frames. The network-layer packet rides inside as a type-erased
+// shared_ptr (the PHY/MAC layers sit below the network layer and must not
+// depend on its types); net::Node casts it back on delivery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace rrnet::mac {
+
+/// Destination address meaning "all neighbors".
+inline constexpr std::uint32_t kBroadcastAddress = 0xFFFFFFFFu;
+
+enum class FrameKind : std::uint8_t { Data, Ack, Rts, Cts };
+
+struct Frame {
+  FrameKind kind = FrameKind::Data;
+  std::uint32_t src = 0;  ///< transmitting node
+  std::uint32_t dst = kBroadcastAddress;
+  std::uint32_t sequence = 0;   ///< per-sender MAC sequence (ACK matching)
+  std::uint32_t size_bytes = 0; ///< total frame size incl. MAC header
+  /// RTS/CTS: how long the medium stays reserved after this frame ends
+  /// (seconds). Overhearers honor it as their NAV (virtual carrier sense).
+  double nav_duration = 0.0;
+  std::shared_ptr<const void> payload;  ///< network packet (null for ACKs)
+};
+
+/// MAC header overhead added to every data frame (bytes).
+inline constexpr std::uint32_t kMacHeaderBytes = 16;
+/// Size of an ACK frame (bytes).
+inline constexpr std::uint32_t kAckBytes = 14;
+/// Sizes of the RTS/CTS control frames (bytes).
+inline constexpr std::uint32_t kRtsBytes = 20;
+inline constexpr std::uint32_t kCtsBytes = 14;
+
+[[nodiscard]] bool is_broadcast(const Frame& frame) noexcept;
+
+}  // namespace rrnet::mac

@@ -1,0 +1,30 @@
+#include "mac/priority_queue.hpp"
+
+#include "util/contracts.hpp"
+
+namespace rrnet::mac {
+
+TxQueue::TxQueue(std::size_t capacity, bool prioritized)
+    : capacity_(capacity),
+      prioritized_(prioritized),
+      entries_(Later{prioritized}) {
+  RRNET_EXPECTS(capacity > 0);
+}
+
+bool TxQueue::push(QueuedFrame item) {
+  if (entries_.size() >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  entries_.push(Entry{std::move(item), next_sequence_++});
+  return true;
+}
+
+std::optional<QueuedFrame> TxQueue::pop() {
+  if (entries_.empty()) return std::nullopt;
+  QueuedFrame out = entries_.top().item;
+  entries_.pop();
+  return out;
+}
+
+}  // namespace rrnet::mac

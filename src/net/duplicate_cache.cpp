@@ -1,0 +1,32 @@
+#include "net/duplicate_cache.hpp"
+
+#include "util/contracts.hpp"
+
+namespace rrnet::net {
+
+DuplicateCache::DuplicateCache(std::size_t capacity) : capacity_(capacity) {
+  RRNET_EXPECTS(capacity > 0);
+}
+
+bool DuplicateCache::observe(std::uint64_t key) {
+  auto [it, inserted] = counts_.try_emplace(key, 0u);
+  ++it->second;
+  if (!inserted) return false;
+  order_.push_back(key);
+  if (order_.size() > capacity_) {
+    counts_.erase(order_.front());
+    order_.pop_front();
+  }
+  return true;
+}
+
+bool DuplicateCache::seen(std::uint64_t key) const {
+  return counts_.count(key) > 0;
+}
+
+std::uint32_t DuplicateCache::count(std::uint64_t key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0u : it->second;
+}
+
+}  // namespace rrnet::net

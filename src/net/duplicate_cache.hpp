@@ -1,0 +1,35 @@
+// Bounded duplicate-suppression cache keyed by Packet::flood_key().
+//
+// Counter-1 flooding requires "a list of sequence numbers of received
+// packets" per node; the cache also counts how many copies were heard, which
+// the counter-based flooding variants and the election logic use.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+namespace rrnet::net {
+
+class DuplicateCache {
+ public:
+  /// Keep at most `capacity` distinct keys; oldest keys are evicted FIFO.
+  explicit DuplicateCache(std::size_t capacity = 4096);
+
+  /// Record one observation of `key`. Returns true iff it was NEW.
+  bool observe(std::uint64_t key);
+  /// True iff the key has been observed (and not yet evicted).
+  [[nodiscard]] bool seen(std::uint64_t key) const;
+  /// Number of observations of `key` still in the cache (0 if unknown).
+  [[nodiscard]] std::uint32_t count(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, std::uint32_t> counts_;
+  std::deque<std::uint64_t> order_;
+};
+
+}  // namespace rrnet::net

@@ -1,0 +1,46 @@
+#include "net/network.hpp"
+
+#include "util/contracts.hpp"
+
+namespace rrnet::net {
+
+Network::Network(des::Scheduler& scheduler, const geom::Terrain& terrain,
+                 std::unique_ptr<phy::PropagationModel> model,
+                 phy::RadioParams radio_params, mac::MacParams mac_params,
+                 std::vector<geom::Vec2> positions, des::Rng root_rng)
+    : scheduler_(&scheduler) {
+  const std::size_t n = positions.size();
+  RRNET_EXPECTS(n > 0);
+  channel_ = std::make_unique<phy::Channel>(
+      scheduler, terrain, std::move(model), radio_params, std::move(positions),
+      root_rng.fork("channel"));
+  nodes_.reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    nodes_.push_back(std::make_unique<Node>(*this, id, mac_params,
+                                            root_rng.fork("node", id)));
+  }
+}
+
+Node& Network::node(std::uint32_t id) {
+  RRNET_EXPECTS(id < nodes_.size());
+  return *nodes_[id];
+}
+
+const Node& Network::node(std::uint32_t id) const {
+  RRNET_EXPECTS(id < nodes_.size());
+  return *nodes_[id];
+}
+
+void Network::start_protocols() {
+  for (auto& node : nodes_) {
+    if (node->has_protocol()) node->protocol().start();
+  }
+}
+
+std::uint64_t Network::total_mac_tx() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->mac().stats().total_tx();
+  return total;
+}
+
+}  // namespace rrnet::net

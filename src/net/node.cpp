@@ -1,0 +1,61 @@
+#include "net/node.hpp"
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::net {
+
+Node::Node(Network& network, std::uint32_t id,
+           const mac::MacParams& mac_params, des::Rng rng)
+    : network_(&network), id_(id), rng_(rng) {
+  mac_ = std::make_unique<mac::CsmaMac>(network.channel(), id, mac_params,
+                                        rng_.fork("mac"), *this);
+}
+
+geom::Vec2 Node::position() const { return network_->channel().position(id_); }
+
+des::Scheduler& Node::scheduler() const { return network_->scheduler(); }
+
+void Node::set_protocol(std::unique_ptr<Protocol> protocol) {
+  RRNET_EXPECTS(protocol_ == nullptr);
+  RRNET_EXPECTS(protocol != nullptr);
+  protocol_ = std::move(protocol);
+}
+
+Protocol& Node::protocol() const {
+  RRNET_EXPECTS(protocol_ != nullptr);
+  return *protocol_;
+}
+
+void Node::send_packet(const Packet& packet, std::uint32_t mac_dst,
+                       double priority) {
+  if (PacketObserver* obs = network_->observer()) {
+    obs->on_network_tx(id_, packet);
+  }
+  mac_->send(mac_dst, std::make_shared<const Packet>(packet),
+             packet.size_bytes(), priority);
+}
+
+void Node::deliver_to_app(const Packet& packet) {
+  if (PacketObserver* obs = network_->observer()) {
+    obs->on_delivered(id_, packet);
+  }
+  if (delivery_handler_) delivery_handler_(packet);
+}
+
+void Node::mac_receive(const mac::Frame& frame, const phy::RxInfo& info,
+                       bool for_us) {
+  if (protocol_ == nullptr || frame.payload == nullptr) return;
+  const auto& packet = *static_cast<const Packet*>(frame.payload.get());
+  protocol_->on_packet(packet, info, for_us, frame.src);
+}
+
+void Node::mac_send_done(const mac::Frame& frame, bool success) {
+  if (protocol_ == nullptr || frame.payload == nullptr) return;
+  const auto& packet = *static_cast<const Packet*>(frame.payload.get());
+  protocol_->on_send_done(packet, success, frame.dst);
+}
+
+}  // namespace rrnet::net

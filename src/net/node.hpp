@@ -1,0 +1,80 @@
+// A wireless node: transceiver + CSMA MAC + one network protocol +
+// application delivery handler, glued together.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "des/rng.hpp"
+#include "geom/vec2.hpp"
+#include "mac/csma.hpp"
+#include "net/packet.hpp"
+#include "net/protocol.hpp"
+
+namespace rrnet::net {
+
+class Network;
+
+/// Observes every network-layer transmission and delivery in the network
+/// (path tracing for Figure 2, hop accounting, debugging).
+class PacketObserver {
+ public:
+  virtual ~PacketObserver() = default;
+  virtual void on_network_tx(std::uint32_t node, const Packet& packet) {
+    (void)node;
+    (void)packet;
+  }
+  virtual void on_delivered(std::uint32_t node, const Packet& packet) {
+    (void)node;
+    (void)packet;
+  }
+};
+
+class Node final : public mac::MacListener {
+ public:
+  Node(Network& network, std::uint32_t id, const mac::MacParams& mac_params,
+       des::Rng rng);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] Network& network() const noexcept { return *network_; }
+  [[nodiscard]] mac::CsmaMac& mac() noexcept { return *mac_; }
+  [[nodiscard]] const mac::CsmaMac& mac() const noexcept { return *mac_; }
+  [[nodiscard]] geom::Vec2 position() const;
+  [[nodiscard]] des::Scheduler& scheduler() const;
+  [[nodiscard]] des::Rng& rng() noexcept { return rng_; }
+
+  /// Install the protocol (exactly once, before start()).
+  void set_protocol(std::unique_ptr<Protocol> protocol);
+  [[nodiscard]] Protocol& protocol() const;
+  [[nodiscard]] bool has_protocol() const noexcept { return protocol_ != nullptr; }
+
+  /// Transmit a network packet via the MAC. `mac_dst` is a neighbor id or
+  /// mac::kBroadcastAddress; `priority` feeds the net->MAC priority queue
+  /// (lower = sooner; pass the election backoff delay).
+  void send_packet(const Packet& packet, std::uint32_t mac_dst,
+                   double priority = 0.0);
+
+  /// Deliver a packet to the application on this node (destination reached).
+  void deliver_to_app(const Packet& packet);
+
+  using DeliveryHandler = std::function<void(const Packet&)>;
+  void set_delivery_handler(DeliveryHandler handler) {
+    delivery_handler_ = std::move(handler);
+  }
+
+  // mac::MacListener
+  void mac_receive(const mac::Frame& frame, const phy::RxInfo& info,
+                   bool for_us) override;
+  void mac_send_done(const mac::Frame& frame, bool success) override;
+
+ private:
+  Network* network_;
+  std::uint32_t id_;
+  des::Rng rng_;
+  std::unique_ptr<mac::CsmaMac> mac_;
+  std::unique_ptr<Protocol> protocol_;
+  DeliveryHandler delivery_handler_;
+};
+
+}  // namespace rrnet::net

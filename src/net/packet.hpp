@@ -1,0 +1,75 @@
+// The network-layer packet shared by all protocols in this library.
+//
+// One concrete struct (rather than a class hierarchy) keeps packets cheap to
+// copy into MAC frames and trivially inspectable by the promiscuous
+// listeners that Routeless Routing relies on. Fields unused by a given
+// protocol are simply left at their defaults and do not count toward the
+// packet's on-air size (see header_bytes()).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "des/time.hpp"
+
+namespace rrnet::net {
+
+/// "No node" sentinel for optional node-id fields.
+inline constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+enum class PacketType : std::uint8_t {
+  Data,           ///< application payload (flooded or routed)
+  PathDiscovery,  ///< RR: flooded request carrying actual hop count
+  PathReply,      ///< RR: reply forwarded by leader election
+  NetAck,         ///< RR: arbiter acknowledgement
+  RouteRequest,   ///< AODV RREQ
+  RouteReply,     ///< AODV RREP
+  RouteError,     ///< AODV RERR
+  RouteUpdate,    ///< DSDV periodic/triggered table dump
+};
+
+[[nodiscard]] const char* to_string(PacketType type) noexcept;
+
+struct Packet {
+  PacketType type = PacketType::Data;
+  std::uint32_t origin = kNoNode;   ///< node that created the packet
+  std::uint32_t target = kNoNode;   ///< final destination (kNoNode = flood)
+  std::uint32_t sequence = 0;       ///< per-origin sequence number
+  std::uint64_t uid = 0;            ///< globally unique (tracing, dedup)
+  std::uint16_t actual_hops = 0;    ///< hops traveled so far (RR "actual hop count")
+  std::uint16_t expected_hops = 0;  ///< RR path-reply "expected hop count"
+  std::uint8_t ttl = 64;            ///< relays remaining
+  std::uint32_t prev_hop = kNoNode; ///< node that last transmitted this copy
+  std::uint32_t payload_bytes = 0;  ///< application payload size
+  des::Time created_at = 0.0;       ///< origination time (end-to-end delay)
+
+  // AODV-only fields.
+  std::uint32_t rreq_id = 0;        ///< per-origin route-request id
+  std::uint32_t origin_seqno = 0;   ///< origin's AODV sequence number
+  std::uint32_t target_seqno = 0;   ///< last known target AODV sequence number
+  std::uint32_t unreachable = kNoNode;  ///< RERR: destination that broke
+
+  /// NetAck-only: packet type being acknowledged (the ack references the
+  /// acked packet's (origin, sequence, type) flood key).
+  PacketType acked_type = PacketType::Data;
+
+  /// Protocol-specific extension payload (type-erased; e.g. DSDV carries a
+  /// route-table dump here). Its on-air size must be reflected in
+  /// payload_bytes by the protocol that attaches it.
+  std::shared_ptr<const void> extension;
+
+  /// On-air network header size for this packet type (bytes).
+  [[nodiscard]] std::uint32_t header_bytes() const noexcept;
+  /// Full network-layer size: header + payload.
+  [[nodiscard]] std::uint32_t size_bytes() const noexcept {
+    return header_bytes() + payload_bytes;
+  }
+  /// Key identifying the logical packet across relays (origin, sequence,
+  /// type) — relayed copies keep the key, so duplicate caches work.
+  [[nodiscard]] std::uint64_t flood_key() const noexcept;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace rrnet::net

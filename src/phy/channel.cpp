@@ -1,0 +1,98 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::phy {
+
+Channel::Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
+                 std::unique_ptr<PropagationModel> model, RadioParams params,
+                 std::vector<geom::Vec2> positions, des::Rng rng)
+    : scheduler_(&scheduler),
+      model_(std::move(model)),
+      params_(params),
+      grid_(terrain, /*cell_size=*/
+            std::max(1.0, range_for_threshold(*model_, params.tx_power_dbm,
+                                              params.interference_cutoff_dbm,
+                                              terrain.diameter())),
+            positions),
+      rng_(rng),
+      nominal_range_(range_for_threshold(*model_, params.tx_power_dbm,
+                                         params.rx_threshold_dbm,
+                                         terrain.diameter())),
+      interference_range_(range_for_threshold(*model_, params.tx_power_dbm,
+                                              params.interference_cutoff_dbm,
+                                              terrain.diameter())) {
+  RRNET_EXPECTS(model_ != nullptr);
+  RRNET_EXPECTS(!positions.empty());
+  transceivers_.reserve(positions.size());
+  for (std::uint32_t id = 0; id < positions.size(); ++id) {
+    transceivers_.push_back(std::make_unique<Transceiver>(id, params_));
+  }
+}
+
+Transceiver& Channel::transceiver(std::uint32_t id) {
+  RRNET_EXPECTS(id < transceivers_.size());
+  return *transceivers_[id];
+}
+
+const Transceiver& Channel::transceiver(std::uint32_t id) const {
+  RRNET_EXPECTS(id < transceivers_.size());
+  return *transceivers_[id];
+}
+
+geom::Vec2 Channel::position(std::uint32_t id) const {
+  return grid_.position(id);
+}
+
+void Channel::set_position(std::uint32_t id, geom::Vec2 position) {
+  RRNET_EXPECTS(id < transceivers_.size());
+  grid_.update_position(id, position);
+}
+
+bool Channel::transmit(const Airframe& frame) {
+  RRNET_EXPECTS(frame.sender < transceivers_.size());
+  Transceiver& sender = *transceivers_[frame.sender];
+  if (sender.is_off() ) {
+    ++sender.stats_.tx_dropped_off;
+    return false;
+  }
+  if (sender.state() == RadioState::Tx) return false;
+
+  const des::Time duration = params_.airtime(frame.size_bytes);
+  const geom::Vec2 origin = grid_.position(frame.sender);
+  sender.begin_transmit(frame.id);
+  ++stats_.transmissions;
+  scheduler_->schedule_in(duration, [this, id = frame.id, s = frame.sender]() {
+    transceivers_[s]->end_transmit(id, scheduler_->now());
+  });
+
+  grid_.query(origin, interference_range_, query_buffer_);
+  for (const std::uint32_t rx_id : query_buffer_) {
+    if (rx_id == frame.sender) continue;
+    const double dist = geom::distance(origin, grid_.position(rx_id));
+    const double power_dbm =
+        model_->rx_power_dbm(params_.tx_power_dbm, dist, rng_);
+    if (power_dbm < params_.interference_cutoff_dbm) continue;  // imperceptible
+    const des::Time delay = dist / des::kSpeedOfLight;
+    scheduler_->schedule_in(delay, [this, frame, power_dbm, rx_id, duration]() {
+      const des::Time now = scheduler_->now();
+      Transceiver& rx = *transceivers_[rx_id];
+      const bool could_decode =
+          !rx.is_off() && power_dbm >= params_.rx_threshold_dbm;
+      rx.signal_arrives(frame, power_dbm, now, now + duration);
+      scheduler_->schedule_in(duration, [this, frame, rx_id, could_decode]() {
+        Transceiver& r = *transceivers_[rx_id];
+        const std::uint64_t decoded_before = r.stats().frames_decoded;
+        r.signal_ends(frame, scheduler_->now());
+        if (could_decode && r.stats().frames_decoded > decoded_before) {
+          ++stats_.deliveries;
+        }
+      });
+    });
+  }
+  return true;
+}
+
+}  // namespace rrnet::phy

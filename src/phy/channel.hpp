@@ -1,0 +1,83 @@
+// Shared broadcast medium: delivers each transmission to every transceiver
+// within the interference range, after per-receiver propagation delay, with
+// per-receiver received power drawn from the propagation model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/rng.hpp"
+#include "des/scheduler.hpp"
+#include "geom/spatial_grid.hpp"
+#include "phy/propagation.hpp"
+#include "phy/radio.hpp"
+#include "phy/transceiver.hpp"
+
+namespace rrnet::phy {
+
+/// Channel-wide counters (all nodes aggregated).
+struct ChannelStats {
+  std::uint64_t transmissions = 0;  ///< frames put on the air
+  std::uint64_t deliveries = 0;     ///< successful (frame, receiver) decodes
+};
+
+class Channel {
+ public:
+  /// `positions[i]` is the location of node i; one transceiver is created
+  /// per node. The scheduler, model, and params must outlive the channel.
+  Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
+          std::unique_ptr<PropagationModel> model, RadioParams params,
+          std::vector<geom::Vec2> positions, des::Rng rng);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return transceivers_.size();
+  }
+  [[nodiscard]] Transceiver& transceiver(std::uint32_t id);
+  [[nodiscard]] const Transceiver& transceiver(std::uint32_t id) const;
+  [[nodiscard]] geom::Vec2 position(std::uint32_t id) const;
+  [[nodiscard]] const RadioParams& params() const noexcept { return params_; }
+  [[nodiscard]] const PropagationModel& model() const noexcept { return *model_; }
+  [[nodiscard]] des::Scheduler& scheduler() const noexcept { return *scheduler_; }
+
+  /// Start transmitting `frame` from `frame.sender`. Returns false (and
+  /// drops the frame) if that radio is off or already transmitting.
+  bool transmit(const Airframe& frame);
+
+  /// Distance at which the mean rx power equals the rx threshold — the
+  /// nominal transmission range of every node.
+  [[nodiscard]] double nominal_range_m() const noexcept { return nominal_range_; }
+  /// Distance beyond which signals are ignored entirely (below the noise
+  /// floor at mean power; they could not move any SINR perceptibly).
+  [[nodiscard]] double interference_range_m() const noexcept {
+    return interference_range_;
+  }
+
+  [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+
+  /// Fresh unique frame id (MACs stamp outgoing frames with this).
+  [[nodiscard]] std::uint64_t next_frame_id() noexcept { return ++last_frame_id_; }
+
+  /// Move a node (mobility models). Takes effect for transmissions that
+  /// start after the call; signals already in flight keep the powers
+  /// computed at their transmit time.
+  void set_position(std::uint32_t id, geom::Vec2 position);
+
+ private:
+  des::Scheduler* scheduler_;
+  std::unique_ptr<PropagationModel> model_;
+  RadioParams params_;
+  geom::SpatialGrid grid_;
+  std::vector<std::unique_ptr<Transceiver>> transceivers_;
+  des::Rng rng_;
+  double nominal_range_;
+  double interference_range_;
+  ChannelStats stats_;
+  std::uint64_t last_frame_id_ = 0;
+  mutable std::vector<std::uint32_t> query_buffer_;
+};
+
+}  // namespace rrnet::phy

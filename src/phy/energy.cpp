@@ -1,0 +1,31 @@
+#include "phy/energy.hpp"
+
+#include "util/contracts.hpp"
+
+namespace rrnet::phy {
+
+namespace {
+double draw_for(const EnergyProfile& p, RadioState s) noexcept {
+  switch (s) {
+    case RadioState::Tx: return p.tx_w;
+    case RadioState::Rx: return p.rx_w;
+    case RadioState::Idle: return p.idle_w;
+    case RadioState::Off: return p.off_w;
+  }
+  return 0.0;
+}
+}  // namespace
+
+void EnergyMeter::account(RadioState state, des::Time now) noexcept {
+  if (now <= last_time_) return;
+  const des::Time dt = now - last_time_;
+  joules_ += draw_for(profile_, state) * dt;
+  dwell_[static_cast<int>(state)] += dt;
+  last_time_ = now;
+}
+
+des::Time EnergyMeter::time_in(RadioState state) const noexcept {
+  return dwell_[static_cast<int>(state)];
+}
+
+}  // namespace rrnet::phy

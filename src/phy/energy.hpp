@@ -1,0 +1,40 @@
+// Per-node energy accounting by radio state dwell time.
+//
+// The paper motivates Routeless Routing partly by energy (nodes may sleep at
+// will); the meter lets experiments report per-protocol energy draw.
+#pragma once
+
+#include "des/time.hpp"
+#include "phy/radio.hpp"
+
+namespace rrnet::phy {
+
+/// Power draw per radio state, watts. Defaults are in the range of early
+/// sensor radios (e.g. 50-100 mW class transceivers).
+struct EnergyProfile {
+  double tx_w = 0.081;
+  double rx_w = 0.030;   ///< also used while locked on a frame
+  double idle_w = 0.030; ///< listening
+  double off_w = 0.0;    ///< sleeping / failed
+};
+
+class EnergyMeter {
+ public:
+  EnergyMeter(const EnergyProfile& profile, des::Time start_time) noexcept
+      : profile_(profile), last_time_(start_time) {}
+
+  /// Record that the radio was in `state` from the last recorded instant
+  /// until `now`. Call on every state change and once at the end of the run.
+  void account(RadioState state, des::Time now) noexcept;
+
+  [[nodiscard]] double consumed_joules() const noexcept { return joules_; }
+  [[nodiscard]] des::Time time_in(RadioState state) const noexcept;
+
+ private:
+  EnergyProfile profile_;
+  des::Time last_time_;
+  double joules_ = 0.0;
+  des::Time dwell_[4] = {0.0, 0.0, 0.0, 0.0};
+};
+
+}  // namespace rrnet::phy

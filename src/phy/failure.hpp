@@ -1,0 +1,59 @@
+// Duty-cycle transceiver failure model from the paper's Figure-4 setup:
+// "a node failure of 10% means that randomly selected 10% of the time the
+// transceiver of a node is turned off and not able to transmit or receive".
+//
+// Each affected node alternates ON/OFF with exponentially distributed
+// durations whose means are chosen so the long-run OFF fraction equals the
+// requested percentage. Phases are desynchronized across nodes by drawing
+// the initial state from the stationary distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/rng.hpp"
+#include "des/scheduler.hpp"
+#include "phy/channel.hpp"
+
+namespace rrnet::phy {
+
+struct FailureConfig {
+  double off_fraction = 0.0;      ///< long-run fraction of time OFF, [0, 1)
+  des::Time mean_cycle_s = 10.0;  ///< mean ON+OFF cycle length
+  std::vector<std::uint32_t> exempt_nodes;  ///< e.g. traffic endpoints
+};
+
+/// Drives turn_off()/turn_on() on each non-exempt transceiver.
+class FailureModel {
+ public:
+  FailureModel(des::Scheduler& scheduler, Channel& channel,
+               FailureConfig config, des::Rng rng);
+
+  /// Begin toggling radios; idempotent per construction (call once).
+  void start();
+
+  [[nodiscard]] const FailureConfig& config() const noexcept { return config_; }
+  /// Observed OFF fraction so far for one node (for tests).
+  [[nodiscard]] double observed_off_fraction(std::uint32_t node) const;
+
+ private:
+  struct NodeState {
+    bool managed = false;
+    bool off = false;
+    des::Time off_accum = 0.0;
+    des::Time last_change = 0.0;
+  };
+
+  void schedule_toggle(std::uint32_t node);
+  [[nodiscard]] des::Time mean_on() const noexcept;
+  [[nodiscard]] des::Time mean_off() const noexcept;
+
+  des::Scheduler* scheduler_;
+  Channel* channel_;
+  FailureConfig config_;
+  des::Rng rng_;
+  std::vector<NodeState> states_;
+  bool started_ = false;
+};
+
+}  // namespace rrnet::phy

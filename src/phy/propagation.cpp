@@ -1,0 +1,152 @@
+#include "phy/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "des/time.hpp"
+#include "phy/units.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::phy {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+FreeSpace::FreeSpace(double frequency_hz, double system_loss)
+    : wavelength_(des::kSpeedOfLight / frequency_hz),
+      system_loss_(system_loss) {
+  RRNET_EXPECTS(frequency_hz > 0.0);
+  RRNET_EXPECTS(system_loss >= 1.0);
+}
+
+double FreeSpace::mean_rx_power_dbm(double tx_power_dbm,
+                                    double distance_m) const {
+  const double d = std::max(distance_m, kMinDistanceM);
+  const double gain = wavelength_ / (4.0 * kPi * d);
+  return tx_power_dbm + ratio_to_db(gain * gain / system_loss_);
+}
+
+double FreeSpace::rx_power_dbm(double tx_power_dbm, double distance_m,
+                               des::Rng& /*rng*/) const {
+  return mean_rx_power_dbm(tx_power_dbm, distance_m);
+}
+
+TwoRayGround::TwoRayGround(double frequency_hz, double tx_height_m,
+                           double rx_height_m)
+    : free_space_(frequency_hz),
+      tx_height_(tx_height_m),
+      rx_height_(rx_height_m),
+      crossover_(4.0 * kPi * tx_height_m * rx_height_m /
+                 free_space_.wavelength_m()) {
+  RRNET_EXPECTS(tx_height_m > 0.0);
+  RRNET_EXPECTS(rx_height_m > 0.0);
+}
+
+double TwoRayGround::mean_rx_power_dbm(double tx_power_dbm,
+                                       double distance_m) const {
+  const double d = std::max(distance_m, kMinDistanceM);
+  if (d < crossover_) {
+    return free_space_.mean_rx_power_dbm(tx_power_dbm, d);
+  }
+  const double gain =
+      tx_height_ * tx_height_ * rx_height_ * rx_height_ / (d * d * d * d);
+  return tx_power_dbm + ratio_to_db(gain);
+}
+
+double TwoRayGround::rx_power_dbm(double tx_power_dbm, double distance_m,
+                                  des::Rng& /*rng*/) const {
+  return mean_rx_power_dbm(tx_power_dbm, distance_m);
+}
+
+LogDistance::LogDistance(double exponent, double reference_distance_m,
+                         double frequency_hz)
+    : free_space_(frequency_hz),
+      exponent_(exponent),
+      reference_distance_(reference_distance_m) {
+  RRNET_EXPECTS(exponent >= 1.0);
+  RRNET_EXPECTS(reference_distance_m >= kMinDistanceM);
+}
+
+double LogDistance::mean_rx_power_dbm(double tx_power_dbm,
+                                      double distance_m) const {
+  const double d = std::max(distance_m, kMinDistanceM);
+  const double at_ref =
+      free_space_.mean_rx_power_dbm(tx_power_dbm, reference_distance_);
+  if (d <= reference_distance_) return at_ref;
+  return at_ref - 10.0 * exponent_ * std::log10(d / reference_distance_);
+}
+
+double LogDistance::rx_power_dbm(double tx_power_dbm, double distance_m,
+                                 des::Rng& /*rng*/) const {
+  return mean_rx_power_dbm(tx_power_dbm, distance_m);
+}
+
+RayleighFading::RayleighFading(std::unique_ptr<PropagationModel> large_scale)
+    : large_scale_(std::move(large_scale)) {
+  RRNET_EXPECTS(large_scale_ != nullptr);
+}
+
+double RayleighFading::mean_rx_power_dbm(double tx_power_dbm,
+                                         double distance_m) const {
+  return large_scale_->mean_rx_power_dbm(tx_power_dbm, distance_m);
+}
+
+double RayleighFading::rx_power_dbm(double tx_power_dbm, double distance_m,
+                                    des::Rng& rng) const {
+  const double mean_dbm =
+      large_scale_->mean_rx_power_dbm(tx_power_dbm, distance_m);
+  // Rayleigh-amplitude fading <=> exponentially distributed power with the
+  // large-scale mean.
+  const double factor = rng.exponential(1.0);
+  return mw_to_dbm(dbm_to_mw(mean_dbm) * factor);
+}
+
+LogNormalShadowing::LogNormalShadowing(
+    std::unique_ptr<PropagationModel> large_scale, double sigma_db)
+    : large_scale_(std::move(large_scale)), sigma_db_(sigma_db) {
+  RRNET_EXPECTS(large_scale_ != nullptr);
+  RRNET_EXPECTS(sigma_db >= 0.0);
+}
+
+double LogNormalShadowing::mean_rx_power_dbm(double tx_power_dbm,
+                                             double distance_m) const {
+  return large_scale_->mean_rx_power_dbm(tx_power_dbm, distance_m);
+}
+
+double LogNormalShadowing::rx_power_dbm(double tx_power_dbm, double distance_m,
+                                        des::Rng& rng) const {
+  return large_scale_->mean_rx_power_dbm(tx_power_dbm, distance_m) +
+         rng.normal(0.0, sigma_db_);
+}
+
+double range_for_threshold(const PropagationModel& model, double tx_power_dbm,
+                           double threshold_dbm, double max_distance_m) {
+  if (model.mean_rx_power_dbm(tx_power_dbm, kMinDistanceM) < threshold_dbm) {
+    return 0.0;
+  }
+  double lo = kMinDistanceM;
+  double hi = max_distance_m;
+  if (model.mean_rx_power_dbm(tx_power_dbm, hi) >= threshold_dbm) return hi;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (model.mean_rx_power_dbm(tx_power_dbm, mid) >= threshold_dbm) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double tx_power_for_range(const PropagationModel& model, double range_m,
+                          double threshold_dbm) {
+  RRNET_EXPECTS(range_m >= kMinDistanceM);
+  // Path loss at range is independent of tx power for all models here
+  // (pure additive in dB), so solve directly.
+  const double loss_db = 0.0 - model.mean_rx_power_dbm(0.0, range_m);
+  return threshold_dbm + loss_db;
+}
+
+}  // namespace rrnet::phy

@@ -1,0 +1,63 @@
+// Radio parameters shared by transceiver, channel, and MAC, plus the
+// type-erased over-the-air frame.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "des/time.hpp"
+
+namespace rrnet::phy {
+
+enum class RadioState : std::uint8_t { Idle, Tx, Rx, Off };
+
+struct RadioParams {
+  double tx_power_dbm = 15.0;       ///< transmit power
+  double rx_threshold_dbm = -64.0;  ///< minimum power to decode a frame
+  double cs_threshold_dbm = -74.0;  ///< carrier-sense (busy) threshold
+  double noise_floor_dbm = -94.0;   ///< thermal noise for SINR
+  double sinr_threshold_db = 10.0;  ///< minimum SINR to keep decoding
+  /// Signals with mean rx power below this are not modeled at all (neither
+  /// decodable nor interfering). Bounds the per-transmission fan-out: with
+  /// free space propagation the cutoff radius grows 10^(dB/20)-fold per dB
+  /// below the rx threshold, and every node inside it costs two events.
+  double interference_cutoff_dbm = -74.0;
+  double bitrate_bps = 1e6;         ///< payload bitrate
+  des::Time preamble_s = 192e-6;    ///< PHY preamble + header airtime
+  double frequency_hz = 914e6;      ///< carrier frequency
+
+  /// Airtime of a frame of `bytes` payload bytes.
+  [[nodiscard]] des::Time airtime(std::uint32_t bytes) const noexcept {
+    return preamble_s + static_cast<double>(bytes) * 8.0 / bitrate_bps;
+  }
+};
+
+/// A frame in flight. `payload` is the MAC frame, type-erased so the PHY
+/// layer does not depend on the MAC layer; the MAC casts it back.
+struct Airframe {
+  std::uint64_t id = 0;          ///< unique per transmission
+  std::uint32_t sender = 0;      ///< node id of the transmitter
+  std::uint32_t size_bytes = 0;  ///< payload size driving the airtime
+  std::shared_ptr<const void> payload;
+};
+
+/// Reception metadata handed to the MAC with a successfully decoded frame.
+struct RxInfo {
+  double rssi_dbm = 0.0;   ///< received signal strength of this frame
+  des::Time rx_start = 0;  ///< when the frame began arriving
+  des::Time rx_end = 0;    ///< when it finished (== now at delivery)
+};
+
+/// Callbacks from a transceiver up into its MAC.
+class RadioListener {
+ public:
+  virtual ~RadioListener() = default;
+  /// A frame was decoded successfully.
+  virtual void on_receive(const Airframe& frame, const RxInfo& info) = 0;
+  /// Our own transmission finished (the medium may still be busy).
+  virtual void on_tx_done(std::uint64_t frame_id) = 0;
+  /// The medium busy/idle state changed (carrier sense edge).
+  virtual void on_medium_changed(bool busy) = 0;
+};
+
+}  // namespace rrnet::phy

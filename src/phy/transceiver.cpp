@@ -1,0 +1,169 @@
+#include "phy/transceiver.hpp"
+
+#include <algorithm>
+
+#include "phy/units.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::phy {
+
+bool Transceiver::medium_busy() const noexcept {
+  if (state_ == RadioState::Tx || (state_ == RadioState::Rx && has_lock_)) {
+    return true;
+  }
+  return total_power_mw_ >= dbm_to_mw(params_->cs_threshold_dbm);
+}
+
+void Transceiver::recompute_busy() {
+  const bool busy = medium_busy();
+  if (busy != last_busy_) {
+    last_busy_ = busy;
+    if (listener_ != nullptr && state_ != RadioState::Off) {
+      listener_->on_medium_changed(busy);
+    }
+  }
+}
+
+double Transceiver::interference_mw_excluding(
+    std::uint64_t frame_id) const noexcept {
+  double sum = dbm_to_mw(params_->noise_floor_dbm);
+  for (const auto& s : signals_) {
+    if (s.frame_id != frame_id) sum += s.power_mw;
+  }
+  return sum;
+}
+
+double Transceiver::sinr_db(double signal_mw,
+                            std::uint64_t frame_id) const noexcept {
+  return ratio_to_db(signal_mw / interference_mw_excluding(frame_id));
+}
+
+void Transceiver::begin_transmit(std::uint64_t frame_id) {
+  RRNET_ASSERT(state_ == RadioState::Idle || state_ == RadioState::Rx);
+  // Half-duplex: starting a transmission abandons any reception in progress.
+  if (has_lock_) {
+    has_lock_ = false;
+    lock_corrupted_ = false;
+    ++stats_.frames_collided;
+  }
+  set_state(RadioState::Tx);
+  tx_frame_ = frame_id;
+  ++stats_.frames_sent;
+  recompute_busy();
+}
+
+void Transceiver::end_transmit(std::uint64_t frame_id, des::Time /*now*/) {
+  if (state_ != RadioState::Tx || tx_frame_ != frame_id) {
+    return;  // radio was turned off mid-transmission
+  }
+  set_state(RadioState::Idle);
+  if (listener_ != nullptr) listener_->on_tx_done(frame_id);
+  recompute_busy();
+}
+
+void Transceiver::signal_arrives(const Airframe& frame, double power_dbm,
+                                 des::Time now, des::Time end_time) {
+  if (state_ == RadioState::Off) {
+    ++stats_.frames_while_off;
+    return;
+  }
+  const double power_mw = dbm_to_mw(power_dbm);
+  signals_.push_back({frame.id, power_mw, end_time});
+  total_power_mw_ += power_mw;
+
+  const bool decodable = power_dbm >= params_->rx_threshold_dbm;
+  if (decodable && state_ == RadioState::Idle && !has_lock_) {
+    if (sinr_db(power_mw, frame.id) >= params_->sinr_threshold_db) {
+      // Lock onto this frame.
+      set_state(RadioState::Rx);
+      has_lock_ = true;
+      lock_corrupted_ = false;
+      locked_frame_ = frame.id;
+      locked_power_dbm_ = power_dbm;
+      locked_start_ = now;
+    } else {
+      ++stats_.frames_collided;
+    }
+  } else if (decodable) {
+    ++stats_.frames_missed_busy;
+  } else {
+    ++stats_.frames_below_threshold;
+  }
+
+  // New interference may corrupt the frame currently being decoded.
+  if (has_lock_ && !lock_corrupted_ && locked_frame_ != frame.id) {
+    const double locked_mw = dbm_to_mw(locked_power_dbm_);
+    if (sinr_db(locked_mw, locked_frame_) < params_->sinr_threshold_db) {
+      lock_corrupted_ = true;
+    }
+  }
+  recompute_busy();
+}
+
+void Transceiver::signal_ends(const Airframe& frame, des::Time now) {
+  const auto it = std::find_if(
+      signals_.begin(), signals_.end(),
+      [&](const ActiveSignal& s) { return s.frame_id == frame.id; });
+  if (it == signals_.end()) return;  // arrived while off, or cleared by off
+  const double power_mw = it->power_mw;
+  signals_.erase(it);
+  total_power_mw_ = std::max(0.0, total_power_mw_ - power_mw);
+
+  if (has_lock_ && locked_frame_ == frame.id) {
+    const bool ok = !lock_corrupted_;
+    has_lock_ = false;
+    lock_corrupted_ = false;
+    if (state_ == RadioState::Rx) set_state(RadioState::Idle);
+    if (ok) {
+      ++stats_.frames_decoded;
+      if (listener_ != nullptr) {
+        listener_->on_receive(frame,
+                              RxInfo{locked_power_dbm_, locked_start_, now});
+      }
+    } else {
+      ++stats_.frames_collided;
+    }
+  }
+  recompute_busy();
+}
+
+void Transceiver::turn_off() {
+  if (state_ == RadioState::Off) return;
+  const bool was_tx = state_ == RadioState::Tx;
+  const std::uint64_t tx_frame = tx_frame_;
+  signals_.clear();
+  total_power_mw_ = 0.0;
+  has_lock_ = false;
+  lock_corrupted_ = false;
+  set_state(RadioState::Off);
+  last_busy_ = false;
+  // A transmission cut short still ends from the MAC's perspective; without
+  // this the MAC would wait forever for a tx-done that never comes.
+  if (was_tx && listener_ != nullptr) listener_->on_tx_done(tx_frame);
+}
+
+void Transceiver::turn_on() {
+  if (state_ != RadioState::Off) return;
+  set_state(RadioState::Idle);
+  last_busy_ = false;
+  // Kick the MAC: it may have been parked in WaitIdle since before the
+  // outage, and no medium edge will arrive on a quiet channel.
+  if (listener_ != nullptr) listener_->on_medium_changed(false);
+}
+
+void Transceiver::set_state(RadioState next) {
+  if (meter_.has_value()) meter_->account(state_, clock_->now());
+  state_ = next;
+}
+
+void Transceiver::enable_energy(const EnergyProfile& profile,
+                                const des::Scheduler& clock) {
+  clock_ = &clock;
+  meter_.emplace(profile, clock.now());
+}
+
+void Transceiver::finalize_energy() {
+  if (meter_.has_value()) meter_->account(state_, clock_->now());
+}
+
+}  // namespace rrnet::phy

@@ -1,0 +1,116 @@
+// Half-duplex transceiver state machine with cumulative-interference SINR
+// reception. Owned and driven by the Channel; exposes carrier sense and
+// on/off (sleep / failure) control to upper layers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <optional>
+
+#include "des/scheduler.hpp"
+#include "des/time.hpp"
+#include "phy/energy.hpp"
+#include "phy/radio.hpp"
+
+namespace rrnet::phy {
+
+/// Per-transceiver reception counters.
+struct TransceiverStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t frames_collided = 0;    ///< locked but SINR dropped
+  std::uint64_t frames_missed_busy = 0; ///< arrived while Tx/Rx-locked
+  std::uint64_t frames_below_threshold = 0;
+  std::uint64_t frames_while_off = 0;
+  std::uint64_t tx_dropped_off = 0;     ///< transmit attempts while off
+};
+
+class Channel;
+
+class Transceiver {
+ public:
+  Transceiver(std::uint32_t node_id, const RadioParams& params) noexcept
+      : node_id_(node_id), params_(&params) {}
+
+  Transceiver(const Transceiver&) = delete;
+  Transceiver& operator=(const Transceiver&) = delete;
+  Transceiver(Transceiver&&) = default;
+  Transceiver& operator=(Transceiver&&) = default;
+
+  /// Attach the MAC; must be called before any traffic reaches this node.
+  void attach(RadioListener& listener) noexcept { listener_ = &listener; }
+
+  [[nodiscard]] std::uint32_t node_id() const noexcept { return node_id_; }
+  [[nodiscard]] RadioState state() const noexcept { return state_; }
+  [[nodiscard]] bool is_off() const noexcept { return state_ == RadioState::Off; }
+
+  /// Carrier sense: true when transmitting, locked on a frame, or the total
+  /// in-air power at this node exceeds the CS threshold.
+  [[nodiscard]] bool medium_busy() const noexcept;
+
+  /// Total received power currently on the air at this node (mW).
+  [[nodiscard]] double total_rx_power_mw() const noexcept { return total_power_mw_; }
+
+  /// Power the radio down: ongoing receptions are lost, and a transmission
+  /// in progress is truncated (receivers will still see its full airtime;
+  /// modeling early TX cut-off is not needed for the paper's failure model,
+  /// which flips radios between packets at Poisson times).
+  void turn_off();
+  void turn_on();
+
+  [[nodiscard]] const TransceiverStats& stats() const noexcept { return stats_; }
+
+  /// Start metering energy by radio-state dwell time. `clock` must outlive
+  /// the transceiver; metering starts at the clock's current time.
+  void enable_energy(const EnergyProfile& profile, const des::Scheduler& clock);
+  /// Null unless enable_energy() was called.
+  [[nodiscard]] const EnergyMeter* energy_meter() const noexcept {
+    return meter_.has_value() ? &*meter_ : nullptr;
+  }
+  /// Account the dwell time of the current state up to now (call before
+  /// reading the meter at the end of a run).
+  void finalize_energy();
+
+ private:
+  friend class Channel;
+
+  struct ActiveSignal {
+    std::uint64_t frame_id;
+    double power_mw;
+    des::Time end_time;
+  };
+
+  // Channel-driven events.
+  void begin_transmit(std::uint64_t frame_id);
+  void end_transmit(std::uint64_t frame_id, des::Time now);
+  void signal_arrives(const Airframe& frame, double power_dbm, des::Time now,
+                      des::Time end_time);
+  void signal_ends(const Airframe& frame, des::Time now);
+
+  /// Switch radio state, accounting the dwell time of the old state.
+  void set_state(RadioState next);
+  void recompute_busy();
+  [[nodiscard]] double interference_mw_excluding(std::uint64_t frame_id) const noexcept;
+  [[nodiscard]] double sinr_db(double signal_mw, std::uint64_t frame_id) const noexcept;
+
+  std::uint32_t node_id_;
+  const RadioParams* params_;
+  RadioListener* listener_ = nullptr;
+  RadioState state_ = RadioState::Idle;
+  std::vector<ActiveSignal> signals_;
+  double total_power_mw_ = 0.0;
+  // Locked (being-decoded) frame bookkeeping.
+  std::uint64_t locked_frame_ = 0;
+  bool has_lock_ = false;
+  bool lock_corrupted_ = false;
+  double locked_power_dbm_ = 0.0;
+  des::Time locked_start_ = 0.0;
+  std::uint64_t tx_frame_ = 0;
+  const des::Scheduler* clock_ = nullptr;
+  std::optional<EnergyMeter> meter_;
+  bool last_busy_ = false;
+  TransceiverStats stats_;
+};
+
+}  // namespace rrnet::phy

@@ -1,0 +1,20 @@
+#include "phy/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrnet::phy {
+
+double dbm_to_mw(double dbm) noexcept { return std::pow(10.0, dbm / 10.0); }
+
+double mw_to_dbm(double mw) noexcept {
+  return 10.0 * std::log10(std::max(mw, kMinPowerMw));
+}
+
+double ratio_to_db(double ratio) noexcept {
+  return 10.0 * std::log10(std::max(ratio, kMinPowerMw));
+}
+
+double db_to_ratio(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+}  // namespace rrnet::phy

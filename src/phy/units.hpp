@@ -1,0 +1,16 @@
+// Radio power unit conversions (dBm <-> mW, dB ratios).
+#pragma once
+
+namespace rrnet::phy {
+
+[[nodiscard]] double dbm_to_mw(double dbm) noexcept;
+[[nodiscard]] double mw_to_dbm(double mw) noexcept;
+/// Ratio (linear) -> decibels.
+[[nodiscard]] double ratio_to_db(double ratio) noexcept;
+/// Decibels -> linear ratio.
+[[nodiscard]] double db_to_ratio(double db) noexcept;
+
+/// Smallest representable power used to avoid -inf dBm on zero power.
+inline constexpr double kMinPowerMw = 1e-30;
+
+}  // namespace rrnet::phy

@@ -1,0 +1,385 @@
+#include "proto/aodv.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/network.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::proto {
+
+namespace {
+/// Dedup key for a route request: (origin, rreq_id).
+std::uint64_t rreq_key(const net::Packet& packet) {
+  return (static_cast<std::uint64_t>(packet.origin) << 32) | packet.rreq_id;
+}
+}  // namespace
+
+AodvProtocol::AodvProtocol(net::Node& node, AodvConfig config)
+    : net::Protocol(node),
+      config_(config),
+      rng_(node.rng().fork("aodv")),
+      rreq_policy_(config.rreq_backoff),
+      rreq_elections_(node.scheduler()) {}
+
+bool AodvProtocol::has_route(std::uint32_t target) const {
+  const auto it = routes_.find(target);
+  return it != routes_.end() && it->second.valid;
+}
+
+std::uint32_t AodvProtocol::next_hop(std::uint32_t target) const {
+  const auto it = routes_.find(target);
+  RRNET_EXPECTS(it != routes_.end() && it->second.valid);
+  return it->second.next_hop;
+}
+
+std::uint32_t AodvProtocol::route_hops(std::uint32_t target) const {
+  const auto it = routes_.find(target);
+  RRNET_EXPECTS(it != routes_.end() && it->second.valid);
+  return it->second.hops;
+}
+
+void AodvProtocol::update_route(std::uint32_t target, std::uint32_t via,
+                                std::uint16_t hops, std::uint32_t seqno) {
+  if (target == node().id()) return;
+  Route& route = routes_[target];
+  const bool fresher = seqno > route.seqno;
+  const bool equal_and_better =
+      seqno == route.seqno && (!route.valid || hops < route.hops);
+  if (!route.valid || fresher || equal_and_better) {
+    route.next_hop = via;
+    route.hops = hops;
+    route.seqno = std::max(route.seqno, seqno);
+    route.valid = true;
+  }
+}
+
+std::uint64_t AodvProtocol::send_data(std::uint32_t target,
+                             std::uint32_t payload_bytes) {
+  RRNET_EXPECTS(target != node().id());
+  net::Packet packet;
+  packet.type = net::PacketType::Data;
+  packet.origin = node().id();
+  packet.target = target;
+  packet.sequence = next_sequence_++;
+  packet.uid = node().network().next_packet_uid();
+  packet.ttl = config_.ttl;
+  packet.payload_bytes = payload_bytes;
+  packet.created_at = node().scheduler().now();
+
+  if (!has_route(target)) {
+    auto [it, inserted] = pending_.try_emplace(target, node().scheduler());
+    PendingDiscovery& pd = it->second;
+    if (pd.queued.size() >= config_.pending_capacity) {
+      ++stats_.pending_dropped;
+      return packet.uid;
+    }
+    pd.queued.push_back(packet);
+    if (inserted) start_discovery(target);
+    return packet.uid;
+  }
+  ++stats_.data_originated;
+  forward_data(std::move(packet));
+  return packet.uid;
+}
+
+void AodvProtocol::forward_data(net::Packet packet) {
+  if (packet.ttl == 0) {
+    ++stats_.drops_no_route;
+    return;
+  }
+  const auto it = routes_.find(packet.target);
+  if (it == routes_.end() || !it->second.valid) {
+    if (packet.origin == node().id()) {
+      // Route vanished between queueing and sending: rediscover.
+      auto [pit, inserted] = pending_.try_emplace(packet.target,
+                                                  node().scheduler());
+      if (pit->second.queued.size() < config_.pending_capacity) {
+        pit->second.queued.push_back(packet);
+        if (inserted) start_discovery(packet.target);
+      } else {
+        ++stats_.pending_dropped;
+      }
+    } else {
+      ++stats_.drops_no_route;
+      broadcast_rerr(packet.target);
+    }
+    return;
+  }
+  packet.ttl -= 1;
+  packet.prev_hop = node().id();
+  if (packet.origin != node().id()) ++stats_.data_forwarded;
+  node().send_packet(packet, it->second.next_hop, 0.0);
+}
+
+void AodvProtocol::start_discovery(std::uint32_t target) {
+  ++stats_.rreq_originated;
+  const auto pending_it = pending_.find(target);
+  RRNET_ASSERT(pending_it != pending_.end());
+  std::uint8_t ring_ttl = config_.ttl;
+  if (config_.expanding_ring) {
+    const std::uint32_t widened =
+        config_.ring_start_ttl +
+        config_.ring_increment * pending_it->second.retries;
+    ring_ttl = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(widened, config_.ttl));
+  }
+  net::Packet rreq;
+  rreq.type = net::PacketType::RouteRequest;
+  rreq.origin = node().id();
+  rreq.target = target;
+  rreq.rreq_id = next_rreq_id_++;
+  rreq.sequence = next_sequence_++;
+  rreq.uid = node().network().next_packet_uid();
+  rreq.origin_seqno = ++my_seqno_;
+  const auto rit = routes_.find(target);
+  rreq.target_seqno = rit == routes_.end() ? 0 : rit->second.seqno;
+  rreq.actual_hops = 0;
+  rreq.ttl = ring_ttl;
+  rreq.prev_hop = node().id();
+  rreq.created_at = node().scheduler().now();
+  rreq_seen_.observe(rreq_key(rreq));
+  node().send_packet(rreq, mac::kBroadcastAddress, 0.0);
+
+  pending_it->second.timer.start(
+      config_.discovery_timeout,
+      [this, target]() { discovery_timeout(target); });
+}
+
+void AodvProtocol::discovery_timeout(std::uint32_t target) {
+  const auto it = pending_.find(target);
+  if (it == pending_.end()) return;
+  if (has_route(target)) {
+    flush_pending(target);
+    return;
+  }
+  PendingDiscovery& pd = it->second;
+  if (pd.retries >= config_.max_discovery_retries) {
+    ++stats_.discovery_failures;
+    stats_.pending_dropped += pd.queued.size();
+    pending_.erase(it);
+    return;
+  }
+  ++pd.retries;
+  --stats_.rreq_originated;  // counted again inside start_discovery
+  start_discovery(target);
+}
+
+void AodvProtocol::flush_pending(std::uint32_t target) {
+  const auto it = pending_.find(target);
+  if (it == pending_.end()) return;
+  std::vector<net::Packet> queued = std::move(it->second.queued);
+  pending_.erase(it);
+  for (net::Packet& packet : queued) {
+    ++stats_.data_originated;
+    forward_data(std::move(packet));
+  }
+}
+
+void AodvProtocol::handle_rreq(const net::Packet& packet,
+                               std::uint32_t mac_src) {
+  if (packet.origin == node().id()) return;  // our own flood echoed back
+  const std::uint16_t hops_to_me =
+      static_cast<std::uint16_t>(packet.actual_hops + 1);
+  // Reverse route toward the origin.
+  update_route(packet.origin, mac_src, hops_to_me, packet.origin_seqno);
+
+  const std::uint64_t key = rreq_key(packet);
+  const bool is_new = rreq_seen_.observe(key);
+
+  if (packet.target == node().id()) {
+    if (is_new) send_rrep(packet);
+    return;
+  }
+  if (packet.ttl == 0) return;
+
+  switch (config_.discovery) {
+    case RreqFlooding::Blind: {
+      const std::uint64_t copy_key =
+          key ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(mac_src) + 1));
+      if (!rreq_copy_seen_.insert(copy_key).second) return;
+      relay_rreq(packet);
+      return;
+    }
+    case RreqFlooding::Dedup: {
+      if (is_new) relay_rreq(packet);
+      return;
+    }
+    case RreqFlooding::Suppress: {
+      if (is_new) {
+        core::ElectionContext ctx;
+        net::Packet copy = packet;
+        rreq_elections_.arm(key, rreq_policy_, ctx, rng_,
+                            [this, copy](des::Time delay) {
+                              net::Packet relay = copy;
+                              relay.ttl -= 1;
+                              relay.actual_hops += 1;
+                              relay.prev_hop = node().id();
+                              ++stats_.rreq_relayed;
+                              node().send_packet(relay, mac::kBroadcastAddress,
+                                                 delay);
+                            });
+      } else if (rreq_seen_.count(key) > config_.suppress_threshold) {
+        if (rreq_elections_.cancel(key, core::CancelReason::DuplicateHeard)) {
+          ++stats_.rreq_suppressed;
+        }
+      }
+      return;
+    }
+  }
+}
+
+void AodvProtocol::relay_rreq(const net::Packet& packet) {
+  net::Packet copy = packet;
+  copy.ttl -= 1;
+  copy.actual_hops += 1;
+  copy.prev_hop = node().id();
+  const des::Time delay = rng_.uniform(0.0, config_.rreq_backoff);
+  node().scheduler().schedule_in(delay, [this, copy, delay]() {
+    ++stats_.rreq_relayed;
+    node().send_packet(copy, mac::kBroadcastAddress, delay);
+  });
+}
+
+void AodvProtocol::send_rrep(const net::Packet& rreq) {
+  const auto it = routes_.find(rreq.origin);
+  RRNET_ASSERT(it != routes_.end() && it->second.valid);
+  net::Packet rrep;
+  rrep.type = net::PacketType::RouteReply;
+  rrep.origin = node().id();      // the destination of the data flow
+  rrep.target = rreq.origin;      // the RREQ originator
+  rrep.rreq_id = rreq.rreq_id;
+  rrep.sequence = next_sequence_++;
+  rrep.uid = node().network().next_packet_uid();
+  rrep.target_seqno = std::max(my_seqno_ + 1, rreq.target_seqno);
+  my_seqno_ = rrep.target_seqno;
+  rrep.actual_hops = 0;
+  rrep.ttl = config_.ttl;
+  rrep.prev_hop = node().id();
+  rrep.created_at = node().scheduler().now();
+  ++stats_.rrep_sent;
+  node().send_packet(rrep, it->second.next_hop, 0.0);
+}
+
+void AodvProtocol::handle_rrep(const net::Packet& packet,
+                               std::uint32_t mac_src) {
+  const std::uint16_t hops_to_me =
+      static_cast<std::uint16_t>(packet.actual_hops + 1);
+  // Forward route toward the destination (the RREP's origin).
+  update_route(packet.origin, mac_src, hops_to_me, packet.target_seqno);
+
+  if (packet.target == node().id()) {
+    flush_pending(packet.origin);
+    return;
+  }
+  const auto it = routes_.find(packet.target);
+  if (it == routes_.end() || !it->second.valid) {
+    ++stats_.drops_no_route;
+    return;
+  }
+  if (packet.ttl == 0) return;
+  net::Packet copy = packet;
+  copy.ttl -= 1;
+  copy.actual_hops += 1;
+  copy.prev_hop = node().id();
+  ++stats_.rrep_forwarded;
+  node().send_packet(copy, it->second.next_hop, 0.0);
+}
+
+void AodvProtocol::broadcast_rerr(std::uint32_t unreachable) {
+  net::Packet rerr;
+  rerr.type = net::PacketType::RouteError;
+  rerr.origin = node().id();
+  rerr.unreachable = unreachable;
+  rerr.sequence = next_sequence_++;
+  rerr.uid = node().network().next_packet_uid();
+  rerr.ttl = 1;  // propagated hop-by-hop by affected nodes only
+  rerr.prev_hop = node().id();
+  rerr.created_at = node().scheduler().now();
+  rerr_seen_.observe(rerr.flood_key());
+  ++stats_.rerr_sent;
+  node().send_packet(rerr, mac::kBroadcastAddress, 0.0);
+}
+
+void AodvProtocol::handle_rerr(const net::Packet& packet,
+                               std::uint32_t mac_src) {
+  if (!rerr_seen_.observe(packet.flood_key())) return;
+  const auto it = routes_.find(packet.unreachable);
+  if (it != routes_.end() && it->second.valid &&
+      it->second.next_hop == mac_src) {
+    it->second.valid = false;
+    broadcast_rerr(packet.unreachable);
+  }
+}
+
+void AodvProtocol::handle_data(const net::Packet& packet) {
+  if (packet.target == node().id()) {
+    if (delivered_.observe(packet.flood_key())) {
+      net::Packet delivered = packet;
+      delivered.actual_hops = static_cast<std::uint16_t>(packet.actual_hops + 1);
+      ++stats_.data_delivered;
+      node().deliver_to_app(delivered);
+    }
+    return;
+  }
+  net::Packet copy = packet;
+  copy.actual_hops += 1;
+  forward_data(std::move(copy));
+}
+
+void AodvProtocol::handle_link_break(std::uint32_t neighbor,
+                                     const net::Packet& packet) {
+  ++stats_.link_breaks;
+  for (auto& [dest, route] : routes_) {
+    if (route.valid && route.next_hop == neighbor) {
+      route.valid = false;
+      broadcast_rerr(dest);
+    }
+  }
+  if (packet.type == net::PacketType::Data) {
+    if (packet.origin == node().id()) {
+      // Re-queue and rediscover; the packet keeps its original timestamp.
+      auto [it, inserted] = pending_.try_emplace(packet.target,
+                                                 node().scheduler());
+      if (it->second.queued.size() < config_.pending_capacity) {
+        net::Packet requeued = packet;
+        it->second.queued.push_back(requeued);
+        if (inserted) start_discovery(packet.target);
+      } else {
+        ++stats_.pending_dropped;
+      }
+    } else {
+      ++stats_.drops_no_route;
+    }
+  }
+}
+
+void AodvProtocol::on_send_done(const net::Packet& packet, bool success,
+                                std::uint32_t mac_dst) {
+  if (success || mac_dst == mac::kBroadcastAddress) return;
+  handle_link_break(mac_dst, packet);
+}
+
+void AodvProtocol::on_packet(const net::Packet& packet,
+                             const phy::RxInfo& /*info*/, bool for_us,
+                             std::uint32_t mac_src) {
+  if (!for_us) return;  // AODV does not listen promiscuously
+  switch (packet.type) {
+    case net::PacketType::RouteRequest:
+      handle_rreq(packet, mac_src);
+      return;
+    case net::PacketType::RouteReply:
+      handle_rrep(packet, mac_src);
+      return;
+    case net::PacketType::RouteError:
+      handle_rerr(packet, mac_src);
+      return;
+    case net::PacketType::Data:
+      handle_data(packet);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace rrnet::proto

@@ -1,0 +1,341 @@
+#include "proto/dsr.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "net/network.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::proto {
+
+namespace {
+/// Per-entry on-air bytes of a source route.
+constexpr std::uint32_t kRouteEntryBytes = 4;
+
+std::uint64_t rreq_key(const net::Packet& packet) {
+  return (static_cast<std::uint64_t>(packet.origin) << 32) | packet.rreq_id;
+}
+
+}  // namespace
+
+DsrProtocol::DsrProtocol(net::Node& node, DsrConfig config)
+    : net::Protocol(node), config_(config), rng_(node.rng().fork("dsr")) {
+  RRNET_EXPECTS(config.cache_capacity > 0);
+}
+
+const SourceRoute& DsrProtocol::route_of(const net::Packet& packet) {
+  RRNET_ASSERT(packet.extension != nullptr);
+  return *static_cast<const SourceRoute*>(packet.extension.get());
+}
+
+bool DsrProtocol::has_cached_route(std::uint32_t target) const {
+  return cache_.count(target) > 0;
+}
+
+const SourceRoute& DsrProtocol::cached_route(std::uint32_t target) const {
+  const auto it = cache_.find(target);
+  RRNET_EXPECTS(it != cache_.end());
+  return it->second;
+}
+
+void DsrProtocol::cache_route(const SourceRoute& route) {
+  // Cache the sub-route from us to every node after us on the route, and
+  // (bidirectional links) the reversed sub-route to every node before us.
+  const auto self = std::find(route.begin(), route.end(), node().id());
+  if (self == route.end()) return;
+  auto remember = [this](std::uint32_t dest, SourceRoute sub) {
+    if (dest == node().id() || sub.size() < 2) return;
+    auto [it, inserted] = cache_.try_emplace(dest);
+    if (!inserted && it->second.size() <= sub.size()) return;  // keep shorter
+    it->second = std::move(sub);
+    if (inserted) {
+      cache_order_.push_back(dest);
+      if (cache_order_.size() > config_.cache_capacity) {
+        cache_.erase(cache_order_.front());
+        cache_order_.erase(cache_order_.begin());
+        ++stats_.cache_evictions;
+      }
+    }
+  };
+  remember(route.back(), SourceRoute(self, route.end()));
+  SourceRoute reversed(route.begin(), self + 1);
+  std::reverse(reversed.begin(), reversed.end());
+  remember(route.front(), std::move(reversed));
+}
+
+std::uint64_t DsrProtocol::send_data(std::uint32_t target,
+                                     std::uint32_t payload_bytes) {
+  RRNET_EXPECTS(target != node().id());
+  net::Packet packet;
+  packet.type = net::PacketType::Data;
+  packet.origin = node().id();
+  packet.target = target;
+  packet.sequence = next_sequence_++;
+  packet.uid = node().network().next_packet_uid();
+  packet.ttl = config_.ttl;
+  packet.payload_bytes = payload_bytes;
+  packet.created_at = node().scheduler().now();
+
+  const auto it = cache_.find(target);
+  if (it == cache_.end()) {
+    auto [pit, inserted] = pending_.try_emplace(target, node().scheduler());
+    PendingDiscovery& pd = pit->second;
+    if (pd.queued.size() >= config_.pending_capacity) {
+      ++stats_.pending_dropped;
+      return packet.uid;
+    }
+    pd.queued.push_back(packet);
+    if (inserted) start_discovery(target);
+    return packet.uid;
+  }
+  ++stats_.cache_hits;
+  ++stats_.data_originated;
+  packet.extension = std::make_shared<const SourceRoute>(it->second);
+  packet.payload_bytes +=
+      static_cast<std::uint32_t>(it->second.size()) * kRouteEntryBytes;
+  packet.actual_hops = 0;  // index of the current holder on the route
+  forward_on_route(std::move(packet));
+  return packet.uid;
+}
+
+void DsrProtocol::forward_on_route(net::Packet packet) {
+  const SourceRoute& route = route_of(packet);
+  const std::size_t index = packet.actual_hops;
+  if (index + 1 >= route.size() || route[index] != node().id()) {
+    ++stats_.drops_bad_route;
+    return;
+  }
+  packet.prev_hop = node().id();
+  if (packet.origin != node().id() &&
+      packet.type == net::PacketType::Data) {
+    ++stats_.data_forwarded;
+  }
+  node().send_packet(packet, route[index + 1], 0.0);
+}
+
+void DsrProtocol::start_discovery(std::uint32_t target) {
+  ++stats_.rreq_originated;
+  net::Packet rreq;
+  rreq.type = net::PacketType::RouteRequest;
+  rreq.origin = node().id();
+  rreq.target = target;
+  rreq.rreq_id = next_rreq_id_++;
+  rreq.sequence = next_sequence_++;
+  rreq.uid = node().network().next_packet_uid();
+  rreq.ttl = config_.ttl;
+  rreq.prev_hop = node().id();
+  rreq.created_at = node().scheduler().now();
+  rreq.extension = std::make_shared<const SourceRoute>(
+      SourceRoute{node().id()});
+  rreq.payload_bytes = kRouteEntryBytes;
+  rreq_seen_.observe(rreq_key(rreq));
+  node().send_packet(rreq, mac::kBroadcastAddress, 0.0);
+
+  const auto it = pending_.find(target);
+  RRNET_ASSERT(it != pending_.end());
+  it->second.timer.start(config_.discovery_timeout,
+                         [this, target]() { discovery_timeout(target); });
+}
+
+void DsrProtocol::discovery_timeout(std::uint32_t target) {
+  const auto it = pending_.find(target);
+  if (it == pending_.end()) return;
+  if (cache_.count(target) > 0) {
+    flush_pending(target);
+    return;
+  }
+  PendingDiscovery& pd = it->second;
+  if (pd.retries >= config_.max_discovery_retries) {
+    ++stats_.discovery_failures;
+    stats_.pending_dropped += pd.queued.size();
+    pending_.erase(it);
+    return;
+  }
+  ++pd.retries;
+  --stats_.rreq_originated;  // counted again by start_discovery
+  start_discovery(target);
+}
+
+void DsrProtocol::flush_pending(std::uint32_t target) {
+  const auto it = pending_.find(target);
+  if (it == pending_.end()) return;
+  std::vector<net::Packet> queued = std::move(it->second.queued);
+  pending_.erase(it);
+  const auto route_it = cache_.find(target);
+  RRNET_ASSERT(route_it != cache_.end());
+  for (net::Packet& packet : queued) {
+    ++stats_.data_originated;
+    packet.extension = std::make_shared<const SourceRoute>(route_it->second);
+    packet.payload_bytes +=
+        static_cast<std::uint32_t>(route_it->second.size()) * kRouteEntryBytes;
+    packet.actual_hops = 0;
+    forward_on_route(std::move(packet));
+  }
+}
+
+void DsrProtocol::handle_rreq(const net::Packet& packet) {
+  if (packet.origin == node().id()) return;
+  const SourceRoute& accumulated = route_of(packet);
+  if (std::find(accumulated.begin(), accumulated.end(), node().id()) !=
+      accumulated.end()) {
+    return;  // loop
+  }
+  if (!rreq_seen_.observe(rreq_key(packet))) return;
+
+  SourceRoute extended = accumulated;
+  extended.push_back(node().id());
+  cache_route(extended);
+
+  if (packet.target == node().id()) {
+    // Full route discovered: reply along the reversed route.
+    ++stats_.rrep_sent;
+    net::Packet rrep;
+    rrep.type = net::PacketType::RouteReply;
+    rrep.origin = node().id();
+    rrep.target = packet.origin;
+    rrep.sequence = next_sequence_++;
+    rrep.uid = node().network().next_packet_uid();
+    rrep.ttl = config_.ttl;
+    rrep.created_at = node().scheduler().now();
+    SourceRoute reversed = extended;
+    std::reverse(reversed.begin(), reversed.end());
+    rrep.extension = std::make_shared<const SourceRoute>(std::move(reversed));
+    rrep.payload_bytes =
+        static_cast<std::uint32_t>(extended.size()) * kRouteEntryBytes;
+    rrep.actual_hops = 0;
+    forward_on_route(std::move(rrep));
+    return;
+  }
+  if (packet.ttl == 0) return;
+  net::Packet copy = packet;
+  copy.ttl -= 1;
+  copy.prev_hop = node().id();
+  copy.extension = std::make_shared<const SourceRoute>(std::move(extended));
+  copy.payload_bytes += kRouteEntryBytes;
+  const des::Time delay = rng_.uniform(0.0, config_.rreq_jitter);
+  node().scheduler().schedule_in(delay, [this, copy, delay]() {
+    ++stats_.rreq_relayed;
+    node().send_packet(copy, mac::kBroadcastAddress, delay);
+  });
+}
+
+void DsrProtocol::handle_rrep(const net::Packet& packet) {
+  cache_route(route_of(packet));
+  if (packet.target == node().id()) {
+    // The reply's route is [destination ... us]; the forward route to the
+    // destination was cached by cache_route above. Release waiting data.
+    if (pending_.count(packet.origin) > 0) flush_pending(packet.origin);
+    return;
+  }
+  net::Packet copy = packet;
+  copy.actual_hops += 1;
+  ++stats_.rrep_forwarded;
+  forward_on_route(std::move(copy));
+}
+
+void DsrProtocol::handle_data(const net::Packet& packet) {
+  cache_route(route_of(packet));
+  if (packet.target == node().id()) {
+    if (delivered_.observe(packet.flood_key())) {
+      ++stats_.data_delivered;
+      net::Packet delivered = packet;
+      // actual_hops held the route index; at the destination that index is
+      // the number of hops traveled.
+      delivered.actual_hops =
+          static_cast<std::uint16_t>(route_of(packet).size() - 1);
+      node().deliver_to_app(delivered);
+    }
+    return;
+  }
+  net::Packet copy = packet;
+  copy.actual_hops += 1;
+  forward_on_route(std::move(copy));
+}
+
+void DsrProtocol::purge_link(std::uint32_t from, std::uint32_t to) {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const SourceRoute& route = it->second;
+    bool broken = false;
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      if ((route[i] == from && route[i + 1] == to) ||
+          (route[i] == to && route[i + 1] == from)) {
+        broken = true;
+        break;
+      }
+    }
+    if (broken) {
+      cache_order_.erase(std::find(cache_order_.begin(), cache_order_.end(),
+                                   it->first));
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DsrProtocol::handle_rerr(const net::Packet& packet) {
+  if (!rerr_seen_.observe(packet.flood_key())) return;
+  purge_link(packet.prev_hop, packet.unreachable);
+}
+
+void DsrProtocol::on_send_done(const net::Packet& packet, bool success,
+                               std::uint32_t mac_dst) {
+  if (success || mac_dst == mac::kBroadcastAddress) return;
+  ++stats_.link_breaks;
+  purge_link(node().id(), mac_dst);
+  // Tell the neighborhood which link died; everyone drops routes using it.
+  net::Packet rerr;
+  rerr.type = net::PacketType::RouteError;
+  rerr.origin = node().id();
+  rerr.sequence = next_sequence_++;
+  rerr.uid = node().network().next_packet_uid();
+  rerr.prev_hop = node().id();  // the broken link is (prev_hop, unreachable)
+  rerr.unreachable = mac_dst;
+  rerr.created_at = node().scheduler().now();
+  rerr_seen_.observe(rerr.flood_key());
+  ++stats_.rerr_sent;
+  node().send_packet(rerr, mac::kBroadcastAddress, 0.0);
+  // Our own packet: requeue and rediscover; a forwarded one is dropped
+  // (no salvaging in this implementation).
+  if (packet.type == net::PacketType::Data && packet.origin == node().id()) {
+    auto [it, inserted] = pending_.try_emplace(packet.target,
+                                               node().scheduler());
+    if (it->second.queued.size() < config_.pending_capacity) {
+      net::Packet requeued = packet;
+      requeued.payload_bytes -= static_cast<std::uint32_t>(
+          route_of(packet).size() * kRouteEntryBytes);
+      requeued.extension.reset();
+      requeued.actual_hops = 0;
+      it->second.queued.push_back(requeued);
+      if (inserted) start_discovery(packet.target);
+    } else {
+      ++stats_.pending_dropped;
+    }
+  } else if (packet.type == net::PacketType::Data) {
+    ++stats_.drops_bad_route;
+  }
+}
+
+void DsrProtocol::on_packet(const net::Packet& packet,
+                            const phy::RxInfo& /*info*/, bool for_us,
+                            std::uint32_t /*mac_src*/) {
+  if (!for_us) return;
+  switch (packet.type) {
+    case net::PacketType::RouteRequest:
+      handle_rreq(packet);
+      return;
+    case net::PacketType::RouteReply:
+      handle_rrep(packet);
+      return;
+    case net::PacketType::RouteError:
+      handle_rerr(packet);
+      return;
+    case net::PacketType::Data:
+      handle_data(packet);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace rrnet::proto

@@ -1,0 +1,109 @@
+// DSR — Dynamic Source Routing (Johnson & Maltz [27]).
+//
+// The second reactive protocol the paper's taxonomy names ("reactive (or
+// on-demand), such as AODV and DSR"). Route requests flood outward
+// accumulating the node list they traversed; the target returns that list
+// in a route reply, and every data packet then carries its complete source
+// route — intermediate nodes keep no per-flow state at all (they do keep a
+// route *cache* gleaned from the routes that pass by).
+//
+// Simplifications vs the full protocol, noted per DESIGN.md: no promiscuous
+// route shortening, no packet salvaging at intermediate nodes (a break is
+// reported to the source, which re-discovers), and route replies travel the
+// reversed discovered route (bidirectional links, as the paper assumes).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "des/rng.hpp"
+#include "des/timer.hpp"
+#include "net/duplicate_cache.hpp"
+#include "net/node.hpp"
+#include "net/protocol.hpp"
+
+namespace rrnet::proto {
+
+struct DsrConfig {
+  des::Time rreq_jitter = 10e-3;   ///< route-request rebroadcast jitter
+  std::uint8_t ttl = 32;
+  des::Time discovery_timeout = 2.0;
+  std::uint32_t max_discovery_retries = 3;
+  std::size_t pending_capacity = 32;
+  std::size_t cache_capacity = 64;  ///< cached routes per node
+};
+
+struct DsrStats {
+  std::uint64_t rreq_originated = 0;
+  std::uint64_t rreq_relayed = 0;
+  std::uint64_t rrep_sent = 0;
+  std::uint64_t rrep_forwarded = 0;
+  std::uint64_t rerr_sent = 0;
+  std::uint64_t cache_hits = 0;     ///< send_data answered from the cache
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t data_originated = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t link_breaks = 0;
+  std::uint64_t drops_bad_route = 0;
+  std::uint64_t discovery_failures = 0;
+  std::uint64_t pending_dropped = 0;
+};
+
+/// A complete node list from source to destination (inclusive).
+using SourceRoute = std::vector<std::uint32_t>;
+
+class DsrProtocol final : public net::Protocol {
+ public:
+  DsrProtocol(net::Node& node, DsrConfig config = {});
+
+  void on_packet(const net::Packet& packet, const phy::RxInfo& info,
+                 bool for_us, std::uint32_t mac_src) override;
+  void on_send_done(const net::Packet& packet, bool success,
+                    std::uint32_t mac_dst) override;
+  std::uint64_t send_data(std::uint32_t target,
+                          std::uint32_t payload_bytes) override;
+  const char* name() const noexcept override { return "dsr"; }
+
+  /// Route-cache introspection for tests.
+  [[nodiscard]] bool has_cached_route(std::uint32_t target) const;
+  [[nodiscard]] const SourceRoute& cached_route(std::uint32_t target) const;
+
+  [[nodiscard]] const DsrStats& dsr_stats() const noexcept { return stats_; }
+
+ private:
+  struct PendingDiscovery {
+    explicit PendingDiscovery(des::Scheduler& scheduler) : timer(scheduler) {}
+    des::Timer timer;
+    std::uint32_t retries = 0;
+    std::vector<net::Packet> queued;
+  };
+
+  void handle_rreq(const net::Packet& packet);
+  void handle_rrep(const net::Packet& packet);
+  void handle_rerr(const net::Packet& packet);
+  void handle_data(const net::Packet& packet);
+  void start_discovery(std::uint32_t target);
+  void discovery_timeout(std::uint32_t target);
+  void flush_pending(std::uint32_t target);
+  /// Send a source-routed packet to the next hop on its route.
+  void forward_on_route(net::Packet packet);
+  void cache_route(const SourceRoute& route);
+  void purge_link(std::uint32_t from, std::uint32_t to);
+  [[nodiscard]] static const SourceRoute& route_of(const net::Packet& packet);
+
+  DsrConfig config_;
+  des::Rng rng_;
+  std::unordered_map<std::uint32_t, SourceRoute> cache_;
+  std::vector<std::uint32_t> cache_order_;  ///< FIFO eviction
+  net::DuplicateCache rreq_seen_;
+  net::DuplicateCache rerr_seen_;
+  net::DuplicateCache delivered_;
+  std::unordered_map<std::uint32_t, PendingDiscovery> pending_;
+  std::uint32_t next_rreq_id_ = 0;
+  std::uint32_t next_sequence_ = 0;
+  DsrStats stats_;
+};
+
+}  // namespace rrnet::proto

@@ -1,0 +1,121 @@
+#include "proto/flooding.hpp"
+
+#include <utility>
+
+#include "net/network.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::proto {
+
+FloodingProtocol::FloodingProtocol(net::Node& node, FloodingConfig config,
+                                   std::unique_ptr<core::BackoffPolicy> policy)
+    : net::Protocol(node),
+      config_(config),
+      policy_(std::move(policy)),
+      elections_(node.scheduler()),
+      rng_(node.rng().fork("flooding")) {
+  RRNET_EXPECTS(policy_ != nullptr);
+}
+
+void FloodingProtocol::start() {
+  const phy::Channel& channel = node().network().channel();
+  // RSSI normalization span for the signal-strength policy: the weakest
+  // decodable signal arrives from the edge of the nominal range, the
+  // strongest realistic one from a neighbor a tenth of the range away.
+  rssi_min_dbm_ = channel.params().rx_threshold_dbm;
+  rssi_max_dbm_ = channel.model().mean_rx_power_dbm(
+      channel.params().tx_power_dbm, 0.1 * channel.nominal_range_m());
+}
+
+core::ElectionContext FloodingProtocol::make_context(
+    const phy::RxInfo& info) const noexcept {
+  core::ElectionContext ctx;
+  ctx.rssi_dbm = info.rssi_dbm;
+  ctx.rssi_min_dbm = rssi_min_dbm_;
+  ctx.rssi_max_dbm = rssi_max_dbm_;
+  return ctx;
+}
+
+std::uint64_t FloodingProtocol::send_data(std::uint32_t target,
+                                 std::uint32_t payload_bytes) {
+  net::Packet packet;
+  packet.type = net::PacketType::Data;
+  packet.origin = node().id();
+  packet.target = target;
+  packet.sequence = next_sequence_++;
+  packet.uid = node().network().next_packet_uid();
+  packet.actual_hops = 0;
+  packet.ttl = config_.ttl;
+  packet.prev_hop = node().id();
+  packet.payload_bytes = payload_bytes;
+  packet.created_at = node().scheduler().now();
+  ++stats_.originated;
+  seen_.observe(packet.flood_key());  // never relay our own packet
+  node().send_packet(packet, mac::kBroadcastAddress, /*priority=*/0.0);
+  return packet.uid;
+}
+
+void FloodingProtocol::relay(net::Packet packet, des::Time priority_delay) {
+  if (packet.ttl == 0) {
+    ++stats_.ttl_expired;
+    return;
+  }
+  packet.ttl -= 1;
+  packet.actual_hops += 1;
+  packet.prev_hop = node().id();
+  ++stats_.relayed;
+  node().send_packet(packet, mac::kBroadcastAddress, priority_delay);
+}
+
+void FloodingProtocol::on_packet(const net::Packet& packet,
+                                 const phy::RxInfo& info, bool /*for_us*/,
+                                 std::uint32_t mac_src) {
+  if (packet.type != net::PacketType::Data) return;
+  const std::uint64_t key = packet.flood_key();
+  const bool is_new = seen_.observe(key);
+
+  if (is_new && packet.target == node().id()) {
+    net::Packet delivered = packet;
+    delivered.actual_hops += 1;  // hops traveled to reach this node
+    ++stats_.delivered;
+    node().deliver_to_app(delivered);
+    if (!config_.forward_at_target) return;
+  }
+  if (packet.target == node().id() && !config_.forward_at_target) return;
+
+  if (config_.blind) {
+    // Original flooding: rebroadcast once per (packet, transmitting
+    // neighbor) copy — "forward to every neighbor except the one from which
+    // the packet came" in broadcast-medium form.
+    const std::uint64_t copy_key = key ^ (0x9E3779B97F4A7C15ULL *
+                                          (static_cast<std::uint64_t>(mac_src) + 1));
+    if (!copy_seen_.insert(copy_key).second) return;
+    const des::Time delay = rng_.uniform(0.0, config_.lambda);
+    net::Packet copy = packet;
+    node().scheduler().schedule_in(delay, [this, copy, delay]() {
+      relay(copy, delay);
+    });
+    return;
+  }
+
+  if (is_new) {
+    // First sight: compete in the local leader election to relay it.
+    core::ElectionContext ctx = make_context(info);
+    net::Packet copy = packet;
+    elections_.arm(key, *policy_, ctx, rng_,
+                   [this, copy](des::Time delay) { relay(copy, delay); });
+    return;
+  }
+
+  // Duplicate. Plain counter-1 keeps its pending rebroadcast (every node
+  // forwards each new packet exactly once); the counter-based variant
+  // suppresses once k duplicates have been overheard.
+  if (config_.counter_threshold > 0 &&
+      seen_.count(key) > config_.counter_threshold) {
+    if (elections_.cancel(key, core::CancelReason::DuplicateHeard)) {
+      ++stats_.suppressed;
+    }
+  }
+}
+
+}  // namespace rrnet::proto

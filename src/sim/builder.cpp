@@ -1,0 +1,218 @@
+#include "sim/builder.hpp"
+
+#include <algorithm>
+
+#include "geom/placement.hpp"
+#include "sim/topology.hpp"
+#include "proto/flooding.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::sim {
+
+std::unique_ptr<phy::PropagationModel> SimInstance::make_propagation(
+    const ScenarioConfig& config) {
+  const double f = config.radio.frequency_hz;
+  switch (config.propagation) {
+    case PropagationKind::FreeSpace:
+      return std::make_unique<phy::FreeSpace>(f);
+    case PropagationKind::TwoRay:
+      return std::make_unique<phy::TwoRayGround>(f);
+    case PropagationKind::LogDistance:
+      return std::make_unique<phy::LogDistance>(config.pathloss_exponent, 1.0, f);
+    case PropagationKind::Rayleigh:
+      return std::make_unique<phy::RayleighFading>(
+          std::make_unique<phy::FreeSpace>(f));
+    case PropagationKind::Shadowing:
+      return std::make_unique<phy::LogNormalShadowing>(
+          std::make_unique<phy::FreeSpace>(f), config.shadowing_sigma_db);
+  }
+  return std::make_unique<phy::FreeSpace>(f);
+}
+
+void SimInstance::attach_protocol(const ScenarioConfig& config,
+                                  net::Node& node) {
+  switch (config.protocol) {
+    case ProtocolKind::Counter1Flooding:
+      node.set_protocol(proto::make_counter1_flooding(node, config.flood_lambda,
+                                                      config.flood_ttl));
+      return;
+    case ProtocolKind::Ssaf: {
+      proto::SsafConfig sc = config.ssaf;
+      sc.ttl = config.flood_ttl;
+      node.set_protocol(proto::make_ssaf(node, sc));
+      return;
+    }
+    case ProtocolKind::BlindFlooding: {
+      proto::FloodingConfig fc;
+      fc.lambda = config.flood_lambda;
+      fc.ttl = config.flood_ttl;
+      fc.blind = true;
+      node.set_protocol(std::make_unique<proto::FloodingProtocol>(
+          node, fc, std::make_unique<core::UniformBackoff>(config.flood_lambda)));
+      return;
+    }
+    case ProtocolKind::Routeless:
+      node.set_protocol(
+          std::make_unique<proto::RoutelessProtocol>(node, config.routeless));
+      return;
+    case ProtocolKind::Aodv:
+      node.set_protocol(
+          std::make_unique<proto::AodvProtocol>(node, config.aodv));
+      return;
+    case ProtocolKind::Gradient:
+      node.set_protocol(
+          std::make_unique<proto::GradientProtocol>(node, config.gradient));
+      return;
+    case ProtocolKind::Dsdv:
+      node.set_protocol(
+          std::make_unique<proto::DsdvProtocol>(node, config.dsdv));
+      return;
+    case ProtocolKind::Dsr:
+      node.set_protocol(
+          std::make_unique<proto::DsrProtocol>(node, config.dsr));
+      return;
+  }
+  RRNET_ASSERT(false);
+}
+
+SimInstance::SimInstance(const ScenarioConfig& config)
+    : config_(config), terrain_(config.width_m, config.height_m) {
+  RRNET_EXPECTS(config.nodes >= 2);
+  des::Rng root(config.seed);
+
+  auto model = make_propagation(config_);
+  phy::RadioParams radio = config_.radio;
+  // Calibrate tx power so the nominal range is exactly config.range_m.
+  radio.tx_power_dbm =
+      phy::tx_power_for_range(*model, config_.range_m, radio.rx_threshold_dbm);
+
+  des::Rng placement_rng = root.fork("placement");
+  std::vector<geom::Vec2> positions =
+      geom::place_uniform(terrain_, config_.nodes, placement_rng);
+
+  network_ = std::make_unique<net::Network>(
+      scheduler_, terrain_, std::move(model), radio, config_.mac,
+      std::move(positions), root.fork("network"));
+
+  for (std::uint32_t id = 0; id < network_->size(); ++id) {
+    attach_protocol(config_, network_->node(id));
+    app::attach_sink(network_->node(id), flows_);
+  }
+
+  // Traffic pairs.
+  if (!config_.explicit_pairs.empty()) {
+    pairs_ = config_.explicit_pairs;
+  } else {
+    des::Rng pair_rng = root.fork("pairs");
+    if (config_.require_connected_pairs) {
+      const Topology topology(network_->channel());
+      pairs_ = draw_connected_pairs(topology, config_.pairs, pair_rng,
+                                    config_.min_pair_hops);
+    } else {
+      pairs_ = draw_pairs(network_->size(), config_.pairs, pair_rng);
+    }
+  }
+  app::CbrConfig cbr;
+  cbr.interval = config_.cbr_interval;
+  cbr.payload_bytes = config_.payload_bytes;
+  cbr.start_time = config_.traffic_start;
+  cbr.stop_time = config_.traffic_stop;
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    const auto& [src, dst] = pairs_[p];
+    RRNET_EXPECTS(src < network_->size() && dst < network_->size());
+    app::CbrConfig pair_cbr = cbr;
+    if (p < config_.explicit_pair_intervals.size() &&
+        config_.explicit_pair_intervals[p] > 0.0) {
+      pair_cbr.interval = config_.explicit_pair_intervals[p];
+    }
+    sources_.push_back(std::make_unique<app::CbrSource>(network_->node(src),
+                                                        dst, pair_cbr, flows_));
+    if (config_.bidirectional) {
+      sources_.push_back(std::make_unique<app::CbrSource>(
+          network_->node(dst), src, pair_cbr, flows_));
+    }
+  }
+
+  // Node failures: traffic endpoints are exempt (the paper turns off
+  // transceivers "in all nodes but those that generate and receive CBR
+  // traffic").
+  if (config_.failure_fraction > 0.0) {
+    phy::FailureConfig fc;
+    fc.off_fraction = config_.failure_fraction;
+    fc.mean_cycle_s = config_.failure_cycle_s;
+    for (const auto& [src, dst] : pairs_) {
+      fc.exempt_nodes.push_back(src);
+      fc.exempt_nodes.push_back(dst);
+    }
+    failures_ = std::make_unique<phy::FailureModel>(
+        scheduler_, network_->channel(), fc, root.fork("failures"));
+  }
+
+  if (config_.mobility) {
+    MobilityConfig mc;
+    mc.min_speed_mps = config_.mobility_min_speed_mps;
+    mc.max_speed_mps = config_.mobility_max_speed_mps;
+    mc.pause_s = config_.mobility_pause_s;
+    for (const auto& [src, dst] : pairs_) {
+      mc.pinned_nodes.push_back(src);
+      mc.pinned_nodes.push_back(dst);
+    }
+    mobility_ = std::make_unique<RandomWaypoint>(
+        scheduler_, network_->channel(), terrain_, mc, root.fork("mobility"));
+  }
+
+  if (config_.track_energy) {
+    for (std::uint32_t id = 0; id < network_->size(); ++id) {
+      network_->channel().transceiver(id).enable_energy(
+          config_.energy_profile, scheduler_);
+    }
+  }
+
+  if (config_.trace_paths) {
+    trace_ = std::make_unique<trace::PathTrace>(*network_);
+  }
+}
+
+void SimInstance::run_until(des::Time t) {
+  if (!started_) {
+    started_ = true;
+    network_->start_protocols();
+    if (failures_ != nullptr) failures_->start();
+    if (mobility_ != nullptr) mobility_->start();
+    for (auto& source : sources_) source->start();
+  }
+  scheduler_.run_until(t);
+}
+
+void SimInstance::run() { run_until(config_.sim_end); }
+
+ScenarioResult SimInstance::result() const {
+  ScenarioResult r;
+  r.sent = flows_.sent();
+  r.delivered = flows_.delivered();
+  r.delivery_ratio = flows_.delivery_ratio();
+  r.mean_delay_s = flows_.delay().empty() ? 0.0 : flows_.delay().mean();
+  r.mean_hops = flows_.hops().empty() ? 0.0 : flows_.hops().mean();
+  r.mac_packets = network_->total_mac_tx();
+  r.channel_transmissions = network_->channel().stats().transmissions;
+  r.events_executed = scheduler_.executed_count();
+  if (config_.track_energy) {
+    double joules = 0.0;
+    for (std::uint32_t id = 0; id < network_->size(); ++id) {
+      // finalize_energy is idempotent at a fixed clock time.
+      auto& radio = const_cast<SimInstance*>(this)
+                        ->network_->channel().transceiver(id);
+      radio.finalize_energy();
+      if (const phy::EnergyMeter* meter = radio.energy_meter()) {
+        joules += meter->consumed_joules();
+      }
+    }
+    r.total_energy_j = joules;
+    if (r.delivered > 0) {
+      r.energy_per_delivered_j = joules / static_cast<double>(r.delivered);
+    }
+  }
+  return r;
+}
+
+}  // namespace rrnet::sim

@@ -1,0 +1,58 @@
+// Random-waypoint mobility (the classic MANET model).
+//
+// Each node repeatedly: picks a uniform random waypoint in the terrain,
+// moves toward it in straight-line steps at a uniform random speed from
+// [min_speed, max_speed], then pauses. Positions are updated in discrete
+// ticks; the channel uses the position current at each transmission.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/rng.hpp"
+#include "des/scheduler.hpp"
+#include "phy/channel.hpp"
+
+namespace rrnet::sim {
+
+struct MobilityConfig {
+  double min_speed_mps = 1.0;
+  double max_speed_mps = 5.0;
+  des::Time pause_s = 2.0;
+  des::Time tick_s = 0.5;  ///< position update granularity
+  std::vector<std::uint32_t> pinned_nodes;  ///< never move (e.g. sinks)
+};
+
+class RandomWaypoint {
+ public:
+  RandomWaypoint(des::Scheduler& scheduler, phy::Channel& channel,
+                 const geom::Terrain& terrain, MobilityConfig config,
+                 des::Rng rng);
+
+  /// Begin moving nodes; call once before the simulation runs.
+  void start();
+
+  /// Total distance traveled by one node so far (m), for tests.
+  [[nodiscard]] double distance_traveled(std::uint32_t node) const;
+
+ private:
+  struct NodeState {
+    geom::Vec2 waypoint{};
+    double speed = 0.0;
+    bool paused = true;
+    double traveled = 0.0;
+    bool pinned = false;
+  };
+
+  void tick(std::uint32_t node);
+  void choose_waypoint(std::uint32_t node);
+
+  des::Scheduler* scheduler_;
+  phy::Channel* channel_;
+  geom::Terrain terrain_;
+  MobilityConfig config_;
+  des::Rng rng_;
+  std::vector<NodeState> states_;
+};
+
+}  // namespace rrnet::sim

@@ -1,0 +1,57 @@
+#include "sim/replication.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::sim {
+
+Aggregated run_replications(const ScenarioConfig& base,
+                            std::size_t replications, std::size_t threads) {
+  RRNET_EXPECTS(replications > 0);
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, replications);
+
+  std::vector<ScenarioResult> results(replications);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= replications) return;
+      ScenarioConfig config = base;
+      config.seed = base.seed + i;
+      results[i] = run_scenario(config);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  Aggregated agg;
+  agg.replications = replications;
+  util::Accumulator delivery, delay, hops, mac, mac_per;
+  for (const ScenarioResult& r : results) {
+    delivery.add(r.delivery_ratio);
+    delay.add(r.mean_delay_s);
+    hops.add(r.mean_hops);
+    mac.add(static_cast<double>(r.mac_packets));
+    if (r.delivered > 0) {
+      mac_per.add(static_cast<double>(r.mac_packets) /
+                  static_cast<double>(r.delivered));
+    }
+  }
+  agg.delivery_ratio = delivery.summary();
+  agg.delay_s = delay.summary();
+  agg.hops = hops.summary();
+  agg.mac_packets = mac.summary();
+  agg.mac_per_delivered = mac_per.summary();
+  return agg;
+}
+
+}  // namespace rrnet::sim

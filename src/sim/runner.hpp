@@ -1,0 +1,12 @@
+// One-shot scenario execution.
+#pragma once
+
+#include "sim/builder.hpp"
+#include "sim/scenario.hpp"
+
+namespace rrnet::sim {
+
+/// Build, run to sim_end, and return the headline metrics.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace rrnet::sim

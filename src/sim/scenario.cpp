@@ -1,0 +1,39 @@
+#include "sim/scenario.hpp"
+
+#include "util/contracts.hpp"
+
+namespace rrnet::sim {
+
+const char* to_string(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::Counter1Flooding: return "counter-1 flooding";
+    case ProtocolKind::Ssaf: return "SSAF";
+    case ProtocolKind::BlindFlooding: return "blind flooding";
+    case ProtocolKind::Routeless: return "Routeless Routing";
+    case ProtocolKind::Aodv: return "AODV";
+    case ProtocolKind::Gradient: return "Gradient Routing";
+    case ProtocolKind::Dsdv: return "DSDV";
+    case ProtocolKind::Dsr: return "DSR";
+  }
+  return "?";
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> draw_pairs(
+    std::size_t node_count, std::size_t pairs, des::Rng& rng) {
+  RRNET_EXPECTS(node_count >= 2);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  out.reserve(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto src = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(node_count) - 1));
+    std::uint32_t dst = src;
+    while (dst == src) {
+      dst = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(node_count) - 1));
+    }
+    out.emplace_back(src, dst);
+  }
+  return out;
+}
+
+}  // namespace rrnet::sim

@@ -1,0 +1,52 @@
+#include "sim/sweep.hpp"
+
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::sim {
+
+void Sweep::run(const std::string& label, ProtocolKind protocol,
+                const ConfigMutator& mutate) {
+  Series series;
+  series.label = label;
+  series.points.reserve(spec_.x_values.size());
+  for (const double x : spec_.x_values) {
+    ScenarioConfig config = base_;
+    config.protocol = protocol;
+    if (mutate) mutate(config, x);
+    series.points.push_back(
+        run_replications(config, spec_.replications, spec_.threads));
+    std::fprintf(stderr, "  [%s] %s=%g done (%zu reps)\n", label.c_str(),
+                 spec_.x_label.c_str(), x, spec_.replications);
+  }
+  series_.push_back(std::move(series));
+}
+
+util::Table Sweep::table() const {
+  RRNET_EXPECTS(!series_.empty());
+  std::vector<std::string> columns{spec_.x_label};
+  for (const Series& s : series_) {
+    columns.push_back(s.label + "_delivery");
+    columns.push_back(s.label + "_delay_s");
+    columns.push_back(s.label + "_hops");
+    columns.push_back(s.label + "_mac_pkts");
+  }
+  util::Table table(columns);
+  for (std::size_t i = 0; i < spec_.x_values.size(); ++i) {
+    std::vector<util::Cell> row;
+    row.emplace_back(spec_.x_values[i]);
+    for (const Series& s : series_) {
+      RRNET_ASSERT(s.points.size() == spec_.x_values.size());
+      const Aggregated& a = s.points[i];
+      row.emplace_back(a.delivery_ratio.mean);
+      row.emplace_back(a.delay_s.mean);
+      row.emplace_back(a.hops.mean);
+      row.emplace_back(a.mac_packets.mean);
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace rrnet::sim

@@ -1,0 +1,50 @@
+// Parameter sweeps that print paper-style series tables.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/replication.hpp"
+#include "util/csv.hpp"
+
+namespace rrnet::sim {
+
+/// A sweep point: mutate a copy of the base config for the given x value.
+using ConfigMutator = std::function<void(ScenarioConfig&, double x)>;
+
+struct SweepSpec {
+  std::string x_label;            ///< e.g. "interval_s", "pairs", "failure_%"
+  std::vector<double> x_values;
+  std::size_t replications = 3;
+  std::size_t threads = 0;        ///< 0 = hardware concurrency
+};
+
+/// Run `base` for every x in spec (mutated by `mutate`) and append four
+/// metric columns per protocol label. Rows: one per x value. Columns:
+/// x, delivery, delay_s, hops, mac_packets (each with a label prefix).
+class Sweep {
+ public:
+  Sweep(SweepSpec spec, ScenarioConfig base) noexcept
+      : spec_(std::move(spec)), base_(std::move(base)) {}
+
+  /// Run the sweep for one protocol variant; call repeatedly to compare
+  /// variants (each call adds labeled columns to the result table).
+  void run(const std::string& label, ProtocolKind protocol,
+           const ConfigMutator& mutate);
+
+  /// Assemble the table after all run() calls.
+  [[nodiscard]] util::Table table() const;
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<Aggregated> points;
+  };
+
+  SweepSpec spec_;
+  ScenarioConfig base_;
+  std::vector<Series> series_;
+};
+
+}  // namespace rrnet::sim

@@ -1,0 +1,63 @@
+#include "trace/path_trace.hpp"
+
+#include "net/network.hpp"
+#include "util/stats.hpp"
+
+namespace rrnet::trace {
+
+PathTrace::PathTrace(net::Network& network) : network_(&network) {
+  network.set_observer(this);
+}
+
+PathTrace::~PathTrace() {
+  if (network_->observer() == this) network_->set_observer(nullptr);
+}
+
+void PathTrace::on_network_tx(std::uint32_t node, const net::Packet& packet) {
+  if (packet.type != net::PacketType::Data) return;
+  PacketPath& path = paths_[packet.uid];
+  if (path.hops.empty()) {
+    path.origin = packet.origin;
+    path.target = packet.target;
+  }
+  path.hops.push_back(Hop{node, network_->channel().position(node),
+                          network_->scheduler().now()});
+}
+
+void PathTrace::on_delivered(std::uint32_t node, const net::Packet& packet) {
+  if (packet.type != net::PacketType::Data) return;
+  PacketPath& path = paths_[packet.uid];
+  if (path.hops.empty()) {
+    path.origin = packet.origin;
+    path.target = packet.target;
+  }
+  path.delivered = true;
+  path.delivered_at = network_->scheduler().now();
+  path.hops.push_back(Hop{node, network_->channel().position(node),
+                          network_->scheduler().now()});
+}
+
+double PathTrace::mean_detour(const PacketPath& path, geom::Vec2 a,
+                              geom::Vec2 b) {
+  if (path.hops.empty()) return 0.0;
+  util::Accumulator acc;
+  for (const Hop& hop : path.hops) {
+    acc.add(geom::distance_to_segment(hop.position, a, b));
+  }
+  return acc.mean();
+}
+
+double PathTrace::average_detour(std::uint32_t origin,
+                                 std::uint32_t target) const {
+  const geom::Vec2 a = network_->channel().position(origin);
+  const geom::Vec2 b = network_->channel().position(target);
+  util::Accumulator acc;
+  for (const auto& [uid, path] : paths_) {
+    if (path.origin == origin && path.target == target && path.delivered) {
+      acc.add(mean_detour(path, a, b));
+    }
+  }
+  return acc.empty() ? 0.0 : acc.mean();
+}
+
+}  // namespace rrnet::trace

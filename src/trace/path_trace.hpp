@@ -1,0 +1,59 @@
+// Records the actual relay points of every data packet — the information
+// behind the paper's Figure 2 ("actual paths taken by different packets").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "des/time.hpp"
+#include "geom/vec2.hpp"
+#include "net/node.hpp"
+
+namespace rrnet::trace {
+
+struct Hop {
+  std::uint32_t node = 0;
+  geom::Vec2 position{};
+  des::Time time = 0.0;
+};
+
+struct PacketPath {
+  std::uint32_t origin = 0;
+  std::uint32_t target = 0;
+  std::vector<Hop> hops;        ///< transmissions, in order
+  bool delivered = false;
+  des::Time delivered_at = 0.0;
+};
+
+class PathTrace final : public net::PacketObserver {
+ public:
+  /// Observe `network`; only packets of type Data are traced.
+  explicit PathTrace(net::Network& network);
+  ~PathTrace() override;
+  PathTrace(const PathTrace&) = delete;
+  PathTrace& operator=(const PathTrace&) = delete;
+
+  void on_network_tx(std::uint32_t node, const net::Packet& packet) override;
+  void on_delivered(std::uint32_t node, const net::Packet& packet) override;
+
+  [[nodiscard]] const std::unordered_map<std::uint64_t, PacketPath>& paths()
+      const noexcept {
+    return paths_;
+  }
+
+  /// Mean perpendicular distance of a path's relay points from the straight
+  /// line between two anchors (the Figure-2 "detour" metric).
+  [[nodiscard]] static double mean_detour(const PacketPath& path, geom::Vec2 a,
+                                          geom::Vec2 b);
+
+  /// Average mean_detour over all delivered paths between origin & target.
+  [[nodiscard]] double average_detour(std::uint32_t origin,
+                                      std::uint32_t target) const;
+
+ private:
+  net::Network* network_;
+  std::unordered_map<std::uint64_t, PacketPath> paths_;
+};
+
+}  // namespace rrnet::trace

@@ -1,0 +1,111 @@
+#include "trace/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::trace {
+
+GridCanvas::GridCanvas(const geom::Terrain& terrain, std::size_t cols,
+                       std::size_t rows)
+    : width_(terrain.width()),
+      height_(terrain.height()),
+      cols_(cols),
+      rows_(rows),
+      cells_(cols * rows, 0.0),
+      markers_(cols * rows, '\0') {
+  RRNET_EXPECTS(cols > 0 && rows > 0);
+}
+
+std::size_t GridCanvas::index(geom::Vec2 p) const {
+  const double fx = std::clamp(p.x / width_, 0.0, 1.0);
+  const double fy = std::clamp(p.y / height_, 0.0, 1.0);
+  const std::size_t col =
+      std::min(cols_ - 1, static_cast<std::size_t>(fx * static_cast<double>(cols_)));
+  const std::size_t row =
+      std::min(rows_ - 1, static_cast<std::size_t>(fy * static_cast<double>(rows_)));
+  return row * cols_ + col;
+}
+
+void GridCanvas::add_point(geom::Vec2 p, double weight) {
+  cells_[index(p)] += weight;
+}
+
+void GridCanvas::add_segment(geom::Vec2 a, geom::Vec2 b, double weight) {
+  const double length = geom::distance(a, b);
+  const double step = std::min(width_ / static_cast<double>(cols_),
+                               height_ / static_cast<double>(rows_)) /
+                      2.0;
+  const int samples = std::max(1, static_cast<int>(std::ceil(length / step)));
+  std::size_t last = static_cast<std::size_t>(-1);
+  for (int i = 0; i <= samples; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(samples);
+    const std::size_t idx = index(a + (b - a) * t);
+    if (idx != last) {
+      cells_[idx] += weight;
+      last = idx;
+    }
+  }
+}
+
+void GridCanvas::add_path(const PacketPath& path, double weight) {
+  for (std::size_t i = 1; i < path.hops.size(); ++i) {
+    add_segment(path.hops[i - 1].position, path.hops[i].position, weight);
+  }
+}
+
+void GridCanvas::add_marker(geom::Vec2 p, char marker) {
+  markers_[index(p)] = marker;
+}
+
+double GridCanvas::cell(std::size_t col, std::size_t row) const {
+  RRNET_EXPECTS(col < cols_ && row < rows_);
+  return cells_[row * cols_ + col];
+}
+
+std::string GridCanvas::to_ascii() const {
+  static constexpr char kShades[] = {' ', '.', ':', '-', '=', '+', '*', '#'};
+  constexpr int kLevels = static_cast<int>(sizeof(kShades)) - 1;
+  const double peak = *std::max_element(cells_.begin(), cells_.end());
+  std::string out;
+  out.reserve((cols_ + 1) * rows_);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    for (std::size_t col = 0; col < cols_; ++col) {
+      const std::size_t idx = row * cols_ + col;
+      if (markers_[idx] != '\0') {
+        out += markers_[idx];
+        continue;
+      }
+      if (peak <= 0.0) {
+        out += ' ';
+        continue;
+      }
+      const double f = cells_[idx] / peak;
+      const int level = std::min(
+          kLevels, static_cast<int>(std::ceil(f * kLevels)));
+      out += kShades[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool GridCanvas::save_pgm(const std::string& path) const {
+  std::ofstream ofs(path, std::ios::binary);
+  if (!ofs) return false;
+  ofs << "P5\n" << cols_ << ' ' << rows_ << "\n255\n";
+  const double peak = *std::max_element(cells_.begin(), cells_.end());
+  for (std::size_t row = 0; row < rows_; ++row) {
+    for (std::size_t col = 0; col < cols_; ++col) {
+      const double f = peak > 0.0 ? cells_[row * cols_ + col] / peak : 0.0;
+      // Dark = heavily used, on a white background, like the paper's figure.
+      const auto value = static_cast<unsigned char>(255.0 * (1.0 - f));
+      ofs.put(static_cast<char>(value));
+    }
+  }
+  return static_cast<bool>(ofs);
+}
+
+}  // namespace rrnet::trace

@@ -1,0 +1,47 @@
+// Rendering packet paths as ASCII heat maps and PGM images (Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/terrain.hpp"
+#include "trace/path_trace.hpp"
+
+namespace rrnet::trace {
+
+/// Accumulates point/segment weight over a terrain discretized into cells.
+class GridCanvas {
+ public:
+  GridCanvas(const geom::Terrain& terrain, std::size_t cols, std::size_t rows);
+
+  void add_point(geom::Vec2 p, double weight = 1.0);
+  /// Rasterize the segment [a, b] with the given per-sample weight.
+  void add_segment(geom::Vec2 a, geom::Vec2 b, double weight = 1.0);
+  /// Add every consecutive hop-to-hop segment of a path.
+  void add_path(const PacketPath& path, double weight = 1.0);
+  /// Stamp a single-character marker (e.g. 'A') at a position; markers
+  /// override heat shading in the ASCII rendering.
+  void add_marker(geom::Vec2 p, char marker);
+
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] double cell(std::size_t col, std::size_t row) const;
+
+  /// Shaded ASCII art (' ' quietest through '#' busiest), row 0 at top.
+  [[nodiscard]] std::string to_ascii() const;
+  /// Binary 8-bit PGM; returns false on I/O failure.
+  bool save_pgm(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::size_t index(geom::Vec2 p) const;
+
+  double width_;
+  double height_;
+  std::size_t cols_;
+  std::size_t rows_;
+  std::vector<double> cells_;
+  std::vector<char> markers_;
+};
+
+}  // namespace rrnet::trace

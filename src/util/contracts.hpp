@@ -1,0 +1,47 @@
+// Lightweight contract checking (C++ Core Guidelines I.6/I.8 style).
+//
+// RRNET_EXPECTS / RRNET_ENSURES throw ContractViolation so that unit tests can
+// assert on precondition failures without aborting the whole test binary.
+// RRNET_ASSERT is for internal invariants and behaves the same way.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rrnet {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace rrnet
+
+#define RRNET_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::rrnet::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                     __LINE__);                              \
+  } while (false)
+
+#define RRNET_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::rrnet::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                     __LINE__);                              \
+  } while (false)
+
+#define RRNET_ASSERT(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::rrnet::detail::contract_fail("invariant", #cond, __FILE__, __LINE__);\
+  } while (false)

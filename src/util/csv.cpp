@@ -1,0 +1,102 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::util {
+
+std::string cell_to_string(const Cell& cell, int precision) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) return std::to_string(*i);
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << std::get<double>(cell);
+  return oss.str();
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  RRNET_EXPECTS(!columns_.empty());
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  RRNET_EXPECTS(row.size() == columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+const Cell& Table::at(std::size_t row, std::size_t col) const {
+  RRNET_EXPECTS(row < rows_.size());
+  RRNET_EXPECTS(col < columns_.size());
+  return rows_[row][col];
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void Table::write_csv(std::ostream& os, int precision) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) os << ',';
+    os << csv_escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(cell_to_string(row[c], precision));
+    }
+    os << '\n';
+  }
+}
+
+void Table::write_pretty(std::ostream& os, int precision) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(cell_to_string(row[c], precision));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto write_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  write_line(columns_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(rule, '-') << '\n';
+  for (const auto& r : rendered) write_line(r);
+}
+
+bool Table::save_csv(const std::string& path, int precision) const {
+  std::ofstream ofs(path);
+  if (!ofs) return false;
+  write_csv(ofs, precision);
+  return static_cast<bool>(ofs);
+}
+
+}  // namespace rrnet::util

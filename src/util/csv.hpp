@@ -1,0 +1,44 @@
+// CSV emission and aligned console tables for experiment output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rrnet::util {
+
+/// A single table cell: string, integer, or double.
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Render a cell with a fixed floating-point precision.
+[[nodiscard]] std::string cell_to_string(const Cell& cell, int precision = 4);
+
+/// Row-oriented table that can render itself as CSV or as an aligned,
+/// human-readable console table (used by every bench binary so that the
+/// printed series mirror the paper's figures).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<Cell> row);
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_.size(); }
+  [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Write RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  void write_csv(std::ostream& os, int precision = 6) const;
+  /// Write an aligned table with a header rule.
+  void write_pretty(std::ostream& os, int precision = 4) const;
+  /// Convenience: write CSV to a file; returns false on I/O failure.
+  bool save_csv(const std::string& path, int precision = 6) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Escape one CSV field.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace rrnet::util

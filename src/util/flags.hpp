@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for bench/example binaries.
+//
+// Accepts --key=value and --key value pairs plus bare --key booleans.
+// Unknown positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rrnet::util {
+
+class Flags {
+ public:
+  Flags() = default;
+  /// Parse argv; throws ContractViolation on malformed input (e.g. "--=x").
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Manually set a value (used by tests and sweep drivers).
+  void set(const std::string& key, const std::string& value);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rrnet::util

@@ -1,0 +1,52 @@
+// Tiny leveled logger. Off (Warn) by default so simulations stay quiet;
+// tests and examples can raise verbosity per-scope.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rrnet::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit a single log line to stderr (thread-safe, one syscall per line).
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// RAII helper that restores the previous log level (handy in tests).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) noexcept
+      : previous_(log_level()) {
+    set_log_level(level);
+  }
+  ~ScopedLogLevel() { set_log_level(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+}  // namespace rrnet::util
+
+#define RRNET_LOG(level, component, expr)                                   \
+  do {                                                                      \
+    if (static_cast<int>(level) >=                                          \
+        static_cast<int>(::rrnet::util::log_level())) {                     \
+      std::ostringstream rrnet_log_oss;                                     \
+      rrnet_log_oss << expr;                                                \
+      ::rrnet::util::log_line(level, component, rrnet_log_oss.str());       \
+    }                                                                       \
+  } while (false)
+
+#define RRNET_DEBUG(component, expr) \
+  RRNET_LOG(::rrnet::util::LogLevel::Debug, component, expr)
+#define RRNET_INFO(component, expr) \
+  RRNET_LOG(::rrnet::util::LogLevel::Info, component, expr)
+#define RRNET_WARN(component, expr) \
+  RRNET_LOG(::rrnet::util::LogLevel::Warn, component, expr)

@@ -1,0 +1,122 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::util {
+
+void Accumulator::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::mean() const noexcept {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : mean_;
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+Summary Accumulator::summary() const noexcept {
+  Summary s;
+  s.count = n_;
+  s.mean = mean();
+  s.stddev = stddev();
+  s.min = min_;
+  s.max = max_;
+  if (n_ >= 2) {
+    s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(n_));
+  }
+  return s;
+}
+
+double RatioCounter::ratio() const noexcept {
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(hits_) / static_cast<double>(total_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  RRNET_EXPECTS(hi > lo);
+  RRNET_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  std::size_t i;
+  if (x < lo_) {
+    ++underflow_;
+    i = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    i = std::min(i, counts_.size() - 1);
+  }
+  ++counts_[i];
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+  RRNET_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  RRNET_EXPECTS(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  RRNET_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > target) return 0.5 * (bin_lo(i) + bin_hi(i));
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
+Summary summarize(const std::vector<double>& xs) noexcept {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.summary();
+}
+
+}  // namespace rrnet::util

@@ -1,0 +1,69 @@
+#include "util/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace rrnet::util {
+
+TimeSeries::TimeSeries(double bucket_width, double start)
+    : bucket_width_(bucket_width), start_(start) {
+  RRNET_EXPECTS(bucket_width > 0.0);
+}
+
+void TimeSeries::add(double t, double value) {
+  if (t < start_) return;
+  const auto index =
+      static_cast<std::size_t>((t - start_) / bucket_width_);
+  if (index >= counts_.size()) {
+    counts_.resize(index + 1, 0);
+    sums_.resize(index + 1, 0.0);
+  }
+  ++counts_[index];
+  sums_[index] += value;
+}
+
+double TimeSeries::bucket_start(std::size_t i) const noexcept {
+  return start_ + bucket_width_ * static_cast<double>(i);
+}
+
+std::uint64_t TimeSeries::count(std::size_t i) const {
+  RRNET_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double TimeSeries::sum(std::size_t i) const {
+  RRNET_EXPECTS(i < sums_.size());
+  return sums_[i];
+}
+
+double TimeSeries::mean(std::size_t i) const {
+  RRNET_EXPECTS(i < counts_.size());
+  if (counts_[i] == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sums_[i] / static_cast<double>(counts_[i]);
+}
+
+double TimeSeries::rate(std::size_t i) const {
+  RRNET_EXPECTS(i < counts_.size());
+  return static_cast<double>(counts_[i]) / bucket_width_;
+}
+
+std::size_t TimeSeries::peak_bucket() const noexcept {
+  if (counts_.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+Table TimeSeries::to_table(const std::string& value_label) const {
+  Table table({"t_start", "count", "rate_per_s", "mean_" + value_label});
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    table.add_row({bucket_start(i),
+                   static_cast<std::int64_t>(counts_[i]), rate(i),
+                   counts_[i] == 0 ? 0.0 : mean(i)});
+  }
+  return table;
+}
+
+}  // namespace rrnet::util

@@ -1,0 +1,44 @@
+// Bucketed time series: per-interval counts and means of a metric over
+// simulated time (e.g. delivered packets per second, delay over time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace rrnet::util {
+
+class TimeSeries {
+ public:
+  /// Buckets of `bucket_width` seconds starting at `start`. Samples before
+  /// `start` are dropped; the series grows to cover any later time.
+  explicit TimeSeries(double bucket_width, double start = 0.0);
+
+  /// Record one observation of `value` at time `t`.
+  void add(double t, double value = 1.0);
+
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bucket_start(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t count(std::size_t i) const;
+  [[nodiscard]] double sum(std::size_t i) const;
+  /// Mean of the values in bucket i; NaN when empty.
+  [[nodiscard]] double mean(std::size_t i) const;
+  /// count / bucket_width: observations per second in bucket i.
+  [[nodiscard]] double rate(std::size_t i) const;
+
+  /// Bucket index with the largest count (0 if the series is empty).
+  [[nodiscard]] std::size_t peak_bucket() const noexcept;
+
+  /// Render as a table: t_start, count, rate_per_s, mean_value.
+  [[nodiscard]] Table to_table(const std::string& value_label = "value") const;
+
+ private:
+  double bucket_width_;
+  double start_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> sums_;
+};
+
+}  // namespace rrnet::util

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "proto/aodv.hpp"
+#include "test_helpers.hpp"
+
+namespace rrnet::proto {
+namespace {
+
+using rrnet::testing::TestNet;
+
+AodvProtocol& aodv_of(net::Node& node) {
+  return static_cast<AodvProtocol&>(node.protocol());
+}
+
+void attach_aodv(TestNet& tn, AodvConfig config = {}) {
+  for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+    tn.node(i).set_protocol(
+        std::make_unique<AodvProtocol>(tn.node(i), config));
+  }
+  tn.network->start_protocols();
+}
+
+TEST(Aodv, EstablishesRouteAndDelivers) {
+  auto tn = rrnet::testing::make_line_net(5);
+  attach_aodv(tn);
+  int deliveries = 0;
+  net::Packet delivered;
+  tn.node(4).set_delivery_handler([&](const net::Packet& p) {
+    ++deliveries;
+    delivered = p;
+  });
+  tn.node(0).protocol().send_data(4, 128);
+  tn.scheduler.run_until(20.0);
+  ASSERT_EQ(deliveries, 1);
+  EXPECT_EQ(delivered.actual_hops, 4u);
+  ASSERT_TRUE(aodv_of(tn.node(0)).has_route(4));
+  EXPECT_EQ(aodv_of(tn.node(0)).route_hops(4), 4u);
+  EXPECT_EQ(aodv_of(tn.node(0)).next_hop(4), 1u);
+}
+
+TEST(Aodv, ReverseRoutesBuiltByRreq) {
+  auto tn = rrnet::testing::make_line_net(4);
+  attach_aodv(tn);
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(20.0);
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    ASSERT_TRUE(aodv_of(tn.node(i)).has_route(0)) << i;
+    EXPECT_EQ(aodv_of(tn.node(i)).route_hops(0), i) << i;
+    EXPECT_EQ(aodv_of(tn.node(i)).next_hop(0), i - 1) << i;
+  }
+}
+
+TEST(Aodv, SecondPacketUsesCachedRoute) {
+  auto tn = rrnet::testing::make_line_net(4);
+  attach_aodv(tn);
+  int deliveries = 0;
+  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(20.0);
+  const std::uint64_t rreqs = aodv_of(tn.node(0)).aodv_stats().rreq_originated;
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(40.0);
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(aodv_of(tn.node(0)).aodv_stats().rreq_originated, rreqs);
+}
+
+TEST(Aodv, LinkBreakTriggersRerrAndRediscovery) {
+  auto tn = rrnet::testing::make_line_net(4);
+  AodvConfig config;
+  config.discovery_timeout = 1.0;
+  attach_aodv(tn, config);
+  int deliveries = 0;
+  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(20.0);
+  ASSERT_EQ(deliveries, 1);
+  // Kill node 1 permanently: 0's next hop is gone, and the line has no
+  // alternative path, so the flow must fail with link breaks + RERR traffic.
+  tn.network->channel().transceiver(1).turn_off();
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(60.0);
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_GE(aodv_of(tn.node(0)).aodv_stats().link_breaks, 1u);
+  EXPECT_FALSE(aodv_of(tn.node(0)).has_route(3));
+}
+
+TEST(Aodv, ReroutesAroundFailedRelayWhenAlternativeExists) {
+  std::vector<geom::Vec2> positions{
+      {0, 500}, {200, 440}, {200, 560}, {400, 500}};
+  AodvConfig config;
+  config.discovery_timeout = 1.0;
+  TestNet tn(positions, 250.0, geom::Terrain(800, 1000));
+  attach_aodv(tn, config);
+  int deliveries = 0;
+  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(10.0);
+  ASSERT_EQ(deliveries, 1);
+  // Whichever relay the route uses, kill it; AODV must re-discover through
+  // the other relay.
+  const std::uint32_t relay = aodv_of(tn.node(0)).next_hop(3);
+  tn.network->channel().transceiver(relay).turn_off();
+  for (int i = 0; i < 4; ++i) {
+    tn.scheduler.schedule_at(10.5 + i, [&tn]() {
+      tn.node(0).protocol().send_data(3, 64);
+    });
+  }
+  tn.scheduler.run_until(60.0);
+  EXPECT_GE(deliveries, 3);  // first post-failure packet may be lost
+}
+
+TEST(Aodv, BlindDiscoveryCostsMoreThanDedup) {
+  std::vector<geom::Vec2> positions;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      positions.push_back({100.0 + 130.0 * c, 100.0 + 130.0 * r});
+    }
+  }
+  auto run_mode = [&](RreqFlooding mode) {
+    TestNet tn(positions, 250.0, geom::Terrain(800, 800));
+    AodvConfig config;
+    config.discovery = mode;
+    attach_aodv(tn, config);
+    int deliveries = 0;
+    tn.node(15).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+    tn.node(0).protocol().send_data(15, 64);
+    tn.scheduler.run_until(30.0);
+    EXPECT_GE(deliveries, 1) << "mode " << static_cast<int>(mode);
+    return tn.network->total_mac_tx();
+  };
+  const std::uint64_t tx_dedup = run_mode(RreqFlooding::Dedup);
+  const std::uint64_t tx_blind = run_mode(RreqFlooding::Blind);
+  EXPECT_GT(tx_blind, tx_dedup);
+}
+
+TEST(Aodv, SuppressModeCutsRreqRelays) {
+  std::vector<geom::Vec2> positions;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      positions.push_back({100.0 + 110.0 * c, 100.0 + 110.0 * r});
+    }
+  }
+  auto rreq_relays = [&](RreqFlooding mode) {
+    TestNet tn(positions, 250.0, geom::Terrain(800, 800));
+    AodvConfig config;
+    config.discovery = mode;
+    attach_aodv(tn, config);
+    tn.node(0).protocol().send_data(15, 64);
+    tn.scheduler.run_until(30.0);
+    std::uint64_t relays = 0;
+    for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+      relays += aodv_of(tn.node(i)).aodv_stats().rreq_relayed;
+    }
+    return relays;
+  };
+  EXPECT_LT(rreq_relays(RreqFlooding::Suppress),
+            rreq_relays(RreqFlooding::Dedup));
+}
+
+TEST(Aodv, UnreachableTargetFailsDiscovery) {
+  std::vector<geom::Vec2> positions{{0, 500}, {200, 500}, {3000, 500}};
+  AodvConfig config;
+  config.discovery_timeout = 0.5;
+  config.max_discovery_retries = 2;
+  TestNet tn(positions, 250.0, geom::Terrain(4000, 1000));
+  attach_aodv(tn, config);
+  tn.node(0).protocol().send_data(2, 64);
+  tn.scheduler.run_until(10.0);
+  EXPECT_EQ(aodv_of(tn.node(0)).aodv_stats().discovery_failures, 1u);
+  EXPECT_EQ(aodv_of(tn.node(0)).aodv_stats().pending_dropped, 1u);
+}
+
+TEST(Aodv, DeliversEachPacketOnce) {
+  auto tn = rrnet::testing::make_line_net(3);
+  attach_aodv(tn);
+  int deliveries = 0;
+  tn.node(2).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  for (int i = 0; i < 6; ++i) {
+    tn.scheduler.schedule_at(0.3 * i + 0.1, [&tn]() {
+      tn.node(0).protocol().send_data(2, 32);
+    });
+  }
+  tn.scheduler.run_until(30.0);
+  EXPECT_EQ(deliveries, 6);
+}
+
+TEST(Aodv, MacUnicastChainProducesAcks) {
+  auto tn = rrnet::testing::make_line_net(4);
+  attach_aodv(tn);
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(20.0);
+  std::uint64_t acks = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    acks += tn.node(i).mac().stats().ack_tx;
+  }
+  // RREP unicast chain (3 hops) + data chain (3 hops) >= 6 MAC acks.
+  EXPECT_GE(acks, 6u);
+}
+
+TEST(AodvExpandingRing, FirstRreqUsesSmallTtl) {
+  // 8-node line; target 2 hops away: ring_start_ttl = 2 suffices and the
+  // flood must not reach the line's far end.
+  auto tn = rrnet::testing::make_line_net(8);
+  AodvConfig config;
+  config.expanding_ring = true;
+  config.ring_start_ttl = 2;
+  attach_aodv(tn, config);
+  int deliveries = 0;
+  tn.node(2).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(2, 64);
+  tn.scheduler.run_until(20.0);
+  EXPECT_EQ(deliveries, 1);
+  // Nodes beyond the ring never saw the RREQ, so they have no reverse route.
+  EXPECT_FALSE(aodv_of(tn.node(6)).has_route(0));
+  EXPECT_FALSE(aodv_of(tn.node(7)).has_route(0));
+}
+
+TEST(AodvExpandingRing, RetriesWidenTheRing) {
+  // Target 5 hops away: ring 2 fails, ring 5 (after one +3 retry) succeeds.
+  auto tn = rrnet::testing::make_line_net(7);
+  AodvConfig config;
+  config.expanding_ring = true;
+  config.ring_start_ttl = 2;
+  config.ring_increment = 3;
+  config.discovery_timeout = 1.0;
+  attach_aodv(tn, config);
+  int deliveries = 0;
+  tn.node(5).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(5, 64);
+  tn.scheduler.run_until(30.0);
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_GE(aodv_of(tn.node(0)).aodv_stats().rreq_originated, 1u);
+}
+
+TEST(AodvExpandingRing, CheaperThanFullFloodForNearbyTargets) {
+  std::vector<geom::Vec2> positions;
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      positions.push_back({100.0 + 150.0 * c, 100.0 + 150.0 * r});
+    }
+  }
+  auto run = [&](bool ring) {
+    TestNet tn(positions, 250.0, geom::Terrain(1000, 1000));
+    AodvConfig config;
+    config.expanding_ring = ring;
+    attach_aodv(tn, config);
+    int deliveries = 0;
+    tn.node(6).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+    tn.node(0).protocol().send_data(6, 64);  // an adjacent-ish target
+    tn.scheduler.run_until(20.0);
+    EXPECT_EQ(deliveries, 1) << "ring=" << ring;
+    return tn.network->total_mac_tx();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace rrnet::proto

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+#include "core/arbiter.hpp"
+#include "des/scheduler.hpp"
+
+namespace rrnet::core {
+namespace {
+
+ArbiterConfig config(des::Time timeout = 0.05, std::uint32_t retries = 3) {
+  ArbiterConfig c;
+  c.relay_timeout = timeout;
+  c.max_retransmits = retries;
+  return c;
+}
+
+TEST(Arbiter, RelayHeardSendsAckOnceAndStops) {
+  des::Scheduler sched;
+  Arbiter arbiter(sched, config());
+  int acks = 0, retx = 0;
+  arbiter.watch(1, {[&]() { ++retx; }, [&]() { ++acks; }});
+  EXPECT_TRUE(arbiter.watching(1));
+  EXPECT_TRUE(arbiter.relay_heard(1));
+  EXPECT_EQ(acks, 1);
+  EXPECT_FALSE(arbiter.watching(1));
+  EXPECT_FALSE(arbiter.relay_heard(1));  // second report: no double ack
+  sched.run();
+  EXPECT_EQ(acks, 1);
+  EXPECT_EQ(retx, 0);
+  EXPECT_EQ(arbiter.stats().relays_heard, 1u);
+}
+
+TEST(Arbiter, SilenceTriggersRetransmissions) {
+  des::Scheduler sched;
+  Arbiter arbiter(sched, config(0.05, 3));
+  int retx = 0;
+  arbiter.watch(2, {[&]() { ++retx; }, []() {}});
+  sched.run();
+  EXPECT_EQ(retx, 3);
+  EXPECT_FALSE(arbiter.watching(2));
+  EXPECT_EQ(arbiter.stats().retransmits, 3u);
+  EXPECT_EQ(arbiter.stats().gave_up, 1u);
+  // 3 retransmits at 0.05 spacing, then a final timeout before giving up.
+  EXPECT_NEAR(sched.now(), 0.2, 1e-9);
+}
+
+TEST(Arbiter, RelayHeardAfterRetransmitStillAcks) {
+  des::Scheduler sched;
+  Arbiter arbiter(sched, config(0.05, 5));
+  int acks = 0, retx = 0;
+  arbiter.watch(3, {[&]() { ++retx; }, [&]() { ++acks; }});
+  sched.schedule_at(0.12, [&]() { arbiter.relay_heard(3); });
+  sched.run();
+  EXPECT_EQ(retx, 2);  // at 0.05 and 0.10
+  EXPECT_EQ(acks, 1);
+}
+
+TEST(Arbiter, StopIsSilent) {
+  des::Scheduler sched;
+  Arbiter arbiter(sched, config());
+  int acks = 0, retx = 0;
+  arbiter.watch(4, {[&]() { ++retx; }, [&]() { ++acks; }});
+  EXPECT_TRUE(arbiter.stop(4));
+  EXPECT_FALSE(arbiter.stop(4));
+  sched.run();
+  EXPECT_EQ(acks, 0);
+  EXPECT_EQ(retx, 0);
+}
+
+TEST(Arbiter, RewatchResetsRetryBudget) {
+  des::Scheduler sched;
+  Arbiter arbiter(sched, config(0.05, 1));
+  int retx = 0;
+  arbiter.watch(5, {[&]() { ++retx; }, []() {}});
+  sched.run_until(0.06);  // first (and only budgeted) retransmit fired
+  EXPECT_EQ(retx, 1);
+  arbiter.watch(5, {[&]() { ++retx; }, []() {}});  // fresh watch
+  sched.run();
+  EXPECT_EQ(retx, 2);
+}
+
+TEST(Arbiter, IndependentKeys) {
+  des::Scheduler sched;
+  Arbiter arbiter(sched, config(0.05, 2));
+  int retx_a = 0, retx_b = 0, acks_b = 0;
+  arbiter.watch(10, {[&]() { ++retx_a; }, []() {}});
+  arbiter.watch(11, {[&]() { ++retx_b; }, [&]() { ++acks_b; }});
+  EXPECT_EQ(arbiter.active_count(), 2u);
+  arbiter.relay_heard(11);
+  sched.run();
+  EXPECT_EQ(retx_a, 2);
+  EXPECT_EQ(retx_b, 0);
+  EXPECT_EQ(acks_b, 1);
+}
+
+TEST(Arbiter, RetransmitCallbackMayRewatch) {
+  // A protocol's retransmit path goes through watch_as_arbiter again; the
+  // arbiter must tolerate re-entrant watch() from inside its own callback.
+  des::Scheduler sched;
+  Arbiter arbiter(sched, config(0.05, 1));
+  int retx = 0;
+  std::function<void()> retransmit = [&]() {
+    ++retx;
+    if (retx < 3) {
+      arbiter.watch(7, {retransmit, []() {}});
+    }
+  };
+  arbiter.watch(7, {retransmit, []() {}});
+  sched.run();
+  EXPECT_EQ(retx, 3);
+}
+
+TEST(Arbiter, RequiresBothCallbacks) {
+  des::Scheduler sched;
+  Arbiter arbiter(sched, config());
+  EXPECT_THROW(arbiter.watch(1, {nullptr, []() {}}),
+               rrnet::ContractViolation);
+  EXPECT_THROW(arbiter.watch(1, {[]() {}, nullptr}),
+               rrnet::ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrnet::core

@@ -1,0 +1,214 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/scheduler.hpp"
+#include "phy/channel.hpp"
+#include "phy/units.hpp"
+
+namespace rrnet::phy {
+namespace {
+
+struct Capture final : RadioListener {
+  std::vector<std::pair<Airframe, RxInfo>> received;
+  std::vector<std::uint64_t> tx_done;
+  int busy_edges = 0;
+  void on_receive(const Airframe& frame, const RxInfo& info) override {
+    received.emplace_back(frame, info);
+  }
+  void on_tx_done(std::uint64_t id) override { tx_done.push_back(id); }
+  void on_medium_changed(bool busy) override {
+    if (busy) ++busy_edges;
+  }
+};
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  /// Channel with nodes on a line, spacing given, range 250 m.
+  void build(std::vector<double> xs) {
+    std::vector<geom::Vec2> positions;
+    for (double x : xs) positions.push_back({x, 500.0});
+    FreeSpace for_power;
+    params_.cs_threshold_dbm = params_.rx_threshold_dbm - 7.0;
+    params_.noise_floor_dbm = params_.rx_threshold_dbm - 14.0;
+    params_.interference_cutoff_dbm = params_.rx_threshold_dbm - 14.0;
+    params_.tx_power_dbm =
+        tx_power_for_range(for_power, 250.0, params_.rx_threshold_dbm);
+    channel_ = std::make_unique<Channel>(
+        scheduler_, geom::Terrain(5000.0, 1000.0),
+        std::make_unique<FreeSpace>(), params_, positions, des::Rng(1));
+    captures_.resize(xs.size());
+    for (std::uint32_t i = 0; i < xs.size(); ++i) {
+      channel_->transceiver(i).attach(captures_[i]);
+    }
+  }
+
+  Airframe frame_from(std::uint32_t sender, std::uint32_t bytes = 100) {
+    Airframe f;
+    f.id = channel_->next_frame_id();
+    f.sender = sender;
+    f.size_bytes = bytes;
+    f.payload = std::make_shared<int>(0);
+    return f;
+  }
+
+  des::Scheduler scheduler_;
+  RadioParams params_;
+  std::unique_ptr<Channel> channel_;
+  std::vector<Capture> captures_;
+};
+
+TEST_F(ChannelTest, DeliversWithinRange) {
+  build({0.0, 200.0});
+  EXPECT_TRUE(channel_->transmit(frame_from(0)));
+  scheduler_.run();
+  ASSERT_EQ(captures_[1].received.size(), 1u);
+  EXPECT_EQ(captures_[1].received[0].first.sender, 0u);
+  EXPECT_EQ(channel_->stats().deliveries, 1u);
+  EXPECT_EQ(channel_->stats().transmissions, 1u);
+}
+
+TEST_F(ChannelTest, NoDeliveryBeyondRange) {
+  build({0.0, 300.0});
+  channel_->transmit(frame_from(0));
+  scheduler_.run();
+  EXPECT_TRUE(captures_[1].received.empty());
+  EXPECT_EQ(channel_->stats().deliveries, 0u);
+}
+
+TEST_F(ChannelTest, NominalRangeIsCalibrated) {
+  build({0.0, 200.0});
+  EXPECT_NEAR(channel_->nominal_range_m(), 250.0, 0.5);
+  EXPECT_GT(channel_->interference_range_m(), channel_->nominal_range_m());
+}
+
+TEST_F(ChannelTest, RssiDecreasesWithDistance) {
+  build({0.0, 100.0, 240.0});
+  channel_->transmit(frame_from(0));
+  scheduler_.run();
+  ASSERT_EQ(captures_[1].received.size(), 1u);
+  ASSERT_EQ(captures_[2].received.size(), 1u);
+  EXPECT_GT(captures_[1].received[0].second.rssi_dbm,
+            captures_[2].received[0].second.rssi_dbm);
+}
+
+TEST_F(ChannelTest, SenderGetsTxDoneAndNoSelfReception) {
+  build({0.0, 200.0});
+  const Airframe f = frame_from(0);
+  channel_->transmit(f);
+  scheduler_.run();
+  ASSERT_EQ(captures_[0].tx_done.size(), 1u);
+  EXPECT_EQ(captures_[0].tx_done[0], f.id);
+  EXPECT_TRUE(captures_[0].received.empty());
+}
+
+TEST_F(ChannelTest, SimultaneousTransmissionsCollideAtMiddle) {
+  // Nodes 0 and 2 both in range of middle node 1, equal power -> SINR ~ 0 dB
+  // at node 1 -> both frames lost there.
+  build({0.0, 200.0, 400.0});
+  channel_->transmit(frame_from(0));
+  channel_->transmit(frame_from(2));
+  scheduler_.run();
+  EXPECT_TRUE(captures_[1].received.empty());
+  EXPECT_GE(channel_->transceiver(1).stats().frames_collided, 1u);
+}
+
+TEST_F(ChannelTest, CaptureOfMuchStrongerFrame) {
+  // Node 1 is 50 m from node 0 but 240 m from node 2: frame from 0 is
+  // ~13.6 dB stronger and survives the overlap.
+  build({0.0, 50.0, 290.0});
+  channel_->transmit(frame_from(0));
+  channel_->transmit(frame_from(2));
+  scheduler_.run();
+  ASSERT_EQ(captures_[1].received.size(), 1u);
+  EXPECT_EQ(captures_[1].received[0].first.sender, 0u);
+}
+
+TEST_F(ChannelTest, LateInterferenceCorruptsLockedFrame) {
+  build({0.0, 200.0, 400.0});
+  channel_->transmit(frame_from(0, 1000));  // long frame
+  bool second_sent = false;
+  scheduler_.schedule_at(0.001, [&]() {
+    second_sent = channel_->transmit(frame_from(2, 1000));
+  });
+  scheduler_.run();
+  EXPECT_TRUE(second_sent);
+  EXPECT_TRUE(captures_[1].received.empty());  // corrupted mid-reception
+}
+
+TEST_F(ChannelTest, HalfDuplexSenderCannotReceive) {
+  build({0.0, 200.0});
+  channel_->transmit(frame_from(0, 1000));
+  scheduler_.schedule_at(0.0001, [&]() {
+    channel_->transmit(frame_from(1, 50));  // while 0 still transmitting
+  });
+  scheduler_.run();
+  EXPECT_TRUE(captures_[0].received.empty());
+}
+
+TEST_F(ChannelTest, RejectsDoubleTransmit) {
+  build({0.0, 200.0});
+  EXPECT_TRUE(channel_->transmit(frame_from(0, 1000)));
+  EXPECT_FALSE(channel_->transmit(frame_from(0, 10)));
+  scheduler_.run();
+}
+
+TEST_F(ChannelTest, OffRadioNeitherSendsNorReceives) {
+  build({0.0, 200.0});
+  channel_->transceiver(1).turn_off();
+  channel_->transmit(frame_from(0));
+  scheduler_.run();
+  EXPECT_TRUE(captures_[1].received.empty());
+  EXPECT_EQ(channel_->transceiver(1).stats().frames_while_off, 1u);
+  EXPECT_FALSE(channel_->transmit(frame_from(1)));
+  EXPECT_EQ(channel_->transceiver(1).stats().tx_dropped_off, 1u);
+}
+
+TEST_F(ChannelTest, TurnOnRestoresOperation) {
+  build({0.0, 200.0});
+  channel_->transceiver(1).turn_off();
+  channel_->transceiver(1).turn_on();
+  channel_->transmit(frame_from(0));
+  scheduler_.run();
+  EXPECT_EQ(captures_[1].received.size(), 1u);
+}
+
+TEST_F(ChannelTest, CarrierSenseSeesNeighborTransmission) {
+  build({0.0, 200.0});
+  EXPECT_FALSE(channel_->transceiver(1).medium_busy());
+  channel_->transmit(frame_from(0, 1000));
+  scheduler_.run_until(0.001);
+  EXPECT_TRUE(channel_->transceiver(1).medium_busy());
+  scheduler_.run();
+  EXPECT_FALSE(channel_->transceiver(1).medium_busy());
+  EXPECT_GE(captures_[1].busy_edges, 1);
+}
+
+TEST_F(ChannelTest, BackToBackFramesBothDeliver) {
+  build({0.0, 200.0});
+  channel_->transmit(frame_from(0, 100));
+  scheduler_.schedule_at(0.01, [&]() { channel_->transmit(frame_from(0, 100)); });
+  scheduler_.run();
+  EXPECT_EQ(captures_[1].received.size(), 2u);
+}
+
+TEST_F(ChannelTest, PropagationDelayOrdersDistantReceivers) {
+  build({0.0, 100.0, 240.0});
+  channel_->transmit(frame_from(0));
+  scheduler_.run();
+  ASSERT_EQ(captures_[1].received.size(), 1u);
+  ASSERT_EQ(captures_[2].received.size(), 1u);
+  EXPECT_LT(captures_[1].received[0].second.rx_end,
+            captures_[2].received[0].second.rx_end);
+}
+
+TEST_F(ChannelTest, FrameIdsAreUnique) {
+  build({0.0, 200.0});
+  const auto a = channel_->next_frame_id();
+  const auto b = channel_->next_frame_id();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rrnet::phy

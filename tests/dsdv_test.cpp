@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "proto/dsdv.hpp"
+#include "sim/runner.hpp"
+#include "test_helpers.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::proto {
+namespace {
+
+using rrnet::testing::TestNet;
+
+DsdvProtocol& dsdv_of(net::Node& node) {
+  return static_cast<DsdvProtocol&>(node.protocol());
+}
+
+void attach_dsdv(TestNet& tn, DsdvConfig config = {}) {
+  for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+    tn.node(i).set_protocol(
+        std::make_unique<DsdvProtocol>(tn.node(i), config));
+  }
+  tn.network->start_protocols();
+}
+
+TEST(Dsdv, ConvergesToAllPairsRoutesOnLine) {
+  auto tn = rrnet::testing::make_line_net(5);
+  DsdvConfig config;
+  config.update_interval = 1.0;
+  attach_dsdv(tn, config);
+  // A few update rounds: distance vectors propagate one hop per round.
+  tn.scheduler.run_until(8.0);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (std::uint32_t j = 0; j < 5; ++j) {
+      if (i == j) continue;
+      ASSERT_TRUE(dsdv_of(tn.node(i)).has_route(j)) << i << "->" << j;
+      const std::uint32_t expected_metric = i > j ? i - j : j - i;
+      EXPECT_EQ(dsdv_of(tn.node(i)).route_metric(j), expected_metric)
+          << i << "->" << j;
+    }
+  }
+  // Next hops point along the line.
+  EXPECT_EQ(dsdv_of(tn.node(0)).next_hop(4), 1u);
+  EXPECT_EQ(dsdv_of(tn.node(4)).next_hop(0), 3u);
+}
+
+TEST(Dsdv, DeliversDataAfterConvergence) {
+  auto tn = rrnet::testing::make_line_net(5);
+  DsdvConfig config;
+  config.update_interval = 1.0;
+  attach_dsdv(tn, config);
+  int deliveries = 0;
+  net::Packet delivered;
+  tn.node(4).set_delivery_handler([&](const net::Packet& p) {
+    ++deliveries;
+    delivered = p;
+  });
+  tn.scheduler.schedule_at(8.0, [&tn]() {
+    tn.node(0).protocol().send_data(4, 128);
+  });
+  tn.scheduler.run_until(12.0);
+  ASSERT_EQ(deliveries, 1);
+  EXPECT_EQ(delivered.actual_hops, 4u);
+}
+
+TEST(Dsdv, BuffersDataUntilRoutesArrive) {
+  auto tn = rrnet::testing::make_line_net(4);
+  DsdvConfig config;
+  config.update_interval = 1.0;
+  attach_dsdv(tn, config);
+  int deliveries = 0;
+  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  // Send immediately, before any update has been exchanged.
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(15.0);
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST(Dsdv, BrokenLinkAdvertisedWithOddSeqno) {
+  auto tn = rrnet::testing::make_line_net(4);
+  DsdvConfig config;
+  config.update_interval = 1.0;
+  attach_dsdv(tn, config);
+  tn.scheduler.run_until(8.0);
+  ASSERT_TRUE(dsdv_of(tn.node(0)).has_route(3));
+  // Kill node 1; node 0's unicast to it fails, breaking every route via 1.
+  tn.network->channel().transceiver(1).turn_off();
+  tn.scheduler.schedule_at(8.5, [&tn]() {
+    tn.node(0).protocol().send_data(3, 64);
+  });
+  tn.scheduler.run_until(12.0);
+  EXPECT_GE(dsdv_of(tn.node(0)).dsdv_stats().link_breaks, 1u);
+  EXPECT_FALSE(dsdv_of(tn.node(0)).has_route(3));
+}
+
+TEST(Dsdv, StaleRoutesExpire) {
+  auto tn = rrnet::testing::make_line_net(3);
+  DsdvConfig config;
+  config.update_interval = 1.0;
+  config.route_expiry = 3.0;
+  attach_dsdv(tn, config);
+  tn.scheduler.run_until(6.0);
+  ASSERT_TRUE(dsdv_of(tn.node(0)).has_route(2));
+  // Silence node 1 and 2: no more refreshes reach node 0.
+  tn.network->channel().transceiver(1).turn_off();
+  tn.network->channel().transceiver(2).turn_off();
+  tn.scheduler.run_until(16.0);
+  EXPECT_FALSE(dsdv_of(tn.node(0)).has_route(2));
+}
+
+TEST(Dsdv, ControlOverheadFlowsEvenWithoutTraffic) {
+  auto tn = rrnet::testing::make_line_net(4);
+  DsdvConfig config;
+  config.update_interval = 1.0;
+  attach_dsdv(tn, config);
+  tn.scheduler.run_until(10.0);
+  // ~10 updates per node, zero data packets: the proactive cost floor.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_GE(dsdv_of(tn.node(i)).dsdv_stats().updates_sent, 8u) << i;
+    EXPECT_EQ(dsdv_of(tn.node(i)).dsdv_stats().data_originated, 0u);
+  }
+  EXPECT_GT(tn.network->total_mac_tx(), 30u);
+}
+
+TEST(Dsdv, TriggeredUpdatesAreDamped) {
+  auto tn = rrnet::testing::make_line_net(4);
+  DsdvConfig config;
+  config.update_interval = 5.0;
+  config.triggered_min_gap = 0.5;
+  attach_dsdv(tn, config);
+  tn.scheduler.run_until(20.0);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto& st = dsdv_of(tn.node(i)).dsdv_stats();
+    // Updates are bounded: periodic (~4) + damped triggered ones.
+    EXPECT_LE(st.updates_sent, 20u) << i;
+  }
+}
+
+TEST(Dsdv, PendingCapacityBounds) {
+  std::vector<geom::Vec2> positions{{0, 500}, {3000, 500}};
+  DsdvConfig config;
+  config.pending_capacity = 3;
+  TestNet tn(positions, 250.0, geom::Terrain(4000, 1000));
+  attach_dsdv(tn, config);
+  for (int i = 0; i < 8; ++i) {
+    tn.node(0).protocol().send_data(1, 64);
+  }
+  tn.scheduler.run_until(1.0);
+  EXPECT_GE(dsdv_of(tn.node(0)).dsdv_stats().pending_dropped, 5u);
+}
+
+TEST(Dsdv, RejectsBadConfig) {
+  auto tn = rrnet::testing::make_line_net(2);
+  DsdvConfig bad;
+  bad.update_interval = 0.0;
+  EXPECT_THROW(DsdvProtocol(tn.node(0), bad), rrnet::ContractViolation);
+}
+
+TEST(DsdvScenario, WorksThroughTheScenarioHarness) {
+  sim::ScenarioConfig config;
+  config.seed = 5;
+  config.nodes = 40;
+  config.width_m = config.height_m = 700.0;
+  config.protocol = sim::ProtocolKind::Dsdv;
+  config.pairs = 2;
+  config.cbr_interval = 1.0;
+  config.traffic_start = 8.0;  // let routing converge first
+  config.traffic_stop = 18.0;
+  config.sim_end = 24.0;
+  const sim::ScenarioResult r = sim::run_scenario(config);
+  EXPECT_GT(r.sent, 0u);
+  EXPECT_GT(r.delivery_ratio, 0.9);
+  // Proactive floor: far more MAC packets than data would explain.
+  EXPECT_GT(r.mac_packets, r.delivered * 4);
+}
+
+TEST(DsdvScenario, ZeroDiscoveryLatencyOnceConverged) {
+  // After convergence, DSDV's first-packet delay is pure forwarding (no
+  // discovery round-trip) — compare against AODV's cold start.
+  sim::ScenarioConfig config;
+  config.seed = 6;
+  config.nodes = 40;
+  config.width_m = config.height_m = 700.0;
+  config.pairs = 1;
+  config.cbr_interval = 2.0;
+  config.traffic_start = 10.0;
+  config.traffic_stop = 16.0;
+  config.sim_end = 22.0;
+  config.protocol = sim::ProtocolKind::Dsdv;
+  const sim::ScenarioResult dsdv = sim::run_scenario(config);
+  config.protocol = sim::ProtocolKind::Aodv;
+  config.aodv.discovery = RreqFlooding::Dedup;
+  const sim::ScenarioResult aodv = sim::run_scenario(config);
+  ASSERT_GT(dsdv.delivered, 0u);
+  ASSERT_GT(aodv.delivered, 0u);
+  EXPECT_LT(dsdv.mean_delay_s, 0.05);
+}
+
+}  // namespace
+}  // namespace rrnet::proto

@@ -1,0 +1,315 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+#include "core/backoff_policy.hpp"
+#include "core/election.hpp"
+#include "des/scheduler.hpp"
+
+namespace rrnet::core {
+namespace {
+
+ElectionContext rssi_ctx(double rssi, double lo = -64.0, double hi = -30.0) {
+  ElectionContext ctx;
+  ctx.rssi_dbm = rssi;
+  ctx.rssi_min_dbm = lo;
+  ctx.rssi_max_dbm = hi;
+  return ctx;
+}
+
+ElectionContext hop_ctx(std::uint32_t table, std::uint32_t expected,
+                        bool unknown = false) {
+  ElectionContext ctx;
+  ctx.hops_table = table;
+  ctx.hops_expected = expected;
+  ctx.hops_unknown = unknown;
+  return ctx;
+}
+
+TEST(UniformBackoff, StaysInRange) {
+  UniformBackoff policy(0.01);
+  des::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = policy.delay({}, rng);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 0.01);
+  }
+}
+
+TEST(UniformBackoff, RejectsNonPositiveLambda) {
+  EXPECT_THROW(UniformBackoff(0.0), rrnet::ContractViolation);
+}
+
+TEST(SignalStrengthBackoff, WeakerSignalBacksOffLess) {
+  SignalStrengthBackoff policy(0.01, /*jitter_fraction=*/0.0);
+  des::Rng rng(2);
+  const double d_weak = policy.delay(rssi_ctx(-64.0), rng);
+  const double d_mid = policy.delay(rssi_ctx(-47.0), rng);
+  const double d_strong = policy.delay(rssi_ctx(-30.0), rng);
+  EXPECT_LT(d_weak, d_mid);
+  EXPECT_LT(d_mid, d_strong);
+  EXPECT_NEAR(d_weak, 0.0, 1e-12);
+  EXPECT_NEAR(d_strong, 0.01, 1e-12);
+}
+
+TEST(SignalStrengthBackoff, ClampsOutOfRangeRssi) {
+  SignalStrengthBackoff policy(0.01, 0.0);
+  des::Rng rng(3);
+  EXPECT_NEAR(policy.delay(rssi_ctx(-90.0), rng), 0.0, 1e-12);
+  EXPECT_NEAR(policy.delay(rssi_ctx(0.0), rng), 0.01, 1e-12);
+}
+
+TEST(SignalStrengthBackoff, JitterBoundsRespected) {
+  SignalStrengthBackoff policy(0.01, 0.2);
+  des::Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const double d = policy.delay(rssi_ctx(-47.0), rng);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.01);
+  }
+}
+
+TEST(SignalStrengthBackoff, DegenerateSpanFallsBackToMax) {
+  SignalStrengthBackoff policy(0.01, 0.0);
+  des::Rng rng(5);
+  EXPECT_NEAR(policy.delay(rssi_ctx(-50.0, -50.0, -50.0), rng), 0.01, 1e-12);
+}
+
+TEST(HopGradientBackoff, PaperBandStructure) {
+  const double lambda = 0.002;
+  HopGradientBackoff policy(lambda);
+  des::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    // h_table <= h_expected: inside [0, lambda).
+    const double fast = policy.delay(hop_ctx(3, 5), rng);
+    EXPECT_GE(fast, 0.0);
+    EXPECT_LT(fast, lambda);
+    // h_table = h_expected + 1: [lambda, 2 lambda) — "larger than lambda".
+    const double slow = policy.delay(hop_ctx(6, 5), rng);
+    EXPECT_GE(slow, lambda);
+    EXPECT_LT(slow, 2 * lambda);
+    // Two hops over: next band up.
+    const double slower = policy.delay(hop_ctx(7, 5), rng);
+    EXPECT_GE(slower, 2 * lambda);
+    EXPECT_LT(slower, 3 * lambda);
+  }
+}
+
+TEST(HopGradientBackoff, UnknownTablePenalized) {
+  const double lambda = 0.002;
+  HopGradientBackoff policy(lambda, /*unknown_penalty_hops=*/4);
+  des::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double d = policy.delay(hop_ctx(0, 0, /*unknown=*/true), rng);
+    EXPECT_GE(d, 4 * lambda);
+    EXPECT_LT(d, 5 * lambda);
+  }
+}
+
+TEST(HopGradientBackoff, EqualHopsCompeteInPriorityBand) {
+  HopGradientBackoff policy(0.002);
+  des::Rng rng(8);
+  const double d = policy.delay(hop_ctx(5, 5), rng);
+  EXPECT_LT(d, 0.002);
+}
+
+// Property: smaller h_table never has a larger band than larger h_table.
+class GradientMonotoneTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GradientMonotoneTest, BandsMonotoneInTableHops) {
+  const std::uint32_t expected = GetParam();
+  HopGradientBackoff policy(0.001);
+  des::Rng rng(100 + expected);
+  double prev_band_max = 0.001;  // priority band upper bound
+  for (std::uint32_t h = expected + 1; h < expected + 6; ++h) {
+    const double d = policy.delay(hop_ctx(h, expected), rng);
+    EXPECT_GE(d, prev_band_max - 1e-15);
+    prev_band_max = 0.001 * static_cast<double>(h - expected + 1);
+    EXPECT_LT(d, prev_band_max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ExpectedHops, GradientMonotoneTest,
+                         ::testing::Values(0u, 1u, 3u, 10u));
+
+TEST(EnergyAwareBackoff, RicherNodesBackOffLess) {
+  EnergyAwareBackoff policy(0.01, /*jitter_fraction=*/0.0);
+  des::Rng rng(9);
+  ElectionContext rich;
+  rich.energy_fraction = 1.0;
+  ElectionContext half;
+  half.energy_fraction = 0.5;
+  ElectionContext drained;
+  drained.energy_fraction = 0.0;
+  EXPECT_NEAR(policy.delay(rich, rng), 0.0, 1e-12);
+  EXPECT_NEAR(policy.delay(half, rng), 0.005, 1e-12);
+  EXPECT_NEAR(policy.delay(drained, rng), 0.01, 1e-12);
+}
+
+TEST(EnergyAwareBackoff, ClampsOutOfRangeEnergy) {
+  EnergyAwareBackoff policy(0.01, 0.0);
+  des::Rng rng(10);
+  ElectionContext overfull;
+  overfull.energy_fraction = 1.7;
+  ElectionContext negative;
+  negative.energy_fraction = -2.0;
+  EXPECT_NEAR(policy.delay(overfull, rng), 0.0, 1e-12);
+  EXPECT_NEAR(policy.delay(negative, rng), 0.01, 1e-12);
+}
+
+TEST(EnergyAwareBackoff, JitterBreaksTiesWithinBounds) {
+  EnergyAwareBackoff policy(0.01, 0.3);
+  des::Rng rng(11);
+  double lo = 1.0, hi = 0.0;
+  ElectionContext tie;
+  tie.energy_fraction = 0.5;
+  for (int i = 0; i < 300; ++i) {
+    const double d = policy.delay(tie, rng);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.01);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_GT(hi - lo, 0.001);  // the jitter actually spreads the ties
+}
+
+TEST(EnergyAwareBackoff, RejectsBadConfig) {
+  EXPECT_THROW(EnergyAwareBackoff(0.0), rrnet::ContractViolation);
+  EXPECT_THROW(EnergyAwareBackoff(0.01, 1.5), rrnet::ContractViolation);
+}
+
+// --- ElectionSession / ElectionTable --------------------------------------
+
+TEST(ElectionSession, WinnerFiresWithDelay) {
+  des::Scheduler sched;
+  ElectionSession session(sched);
+  UniformBackoff policy(0.01);
+  des::Rng rng(1);
+  double won_delay = -1.0;
+  session.arm(policy, {}, rng, [&](des::Time d) { won_delay = d; });
+  EXPECT_TRUE(session.armed());
+  sched.run();
+  EXPECT_GE(won_delay, 0.0);
+  EXPECT_LT(won_delay, 0.01);
+  EXPECT_DOUBLE_EQ(won_delay, session.delay());
+  EXPECT_FALSE(session.armed());
+}
+
+TEST(ElectionSession, CancelConcedes) {
+  des::Scheduler sched;
+  ElectionSession session(sched);
+  UniformBackoff policy(0.01);
+  des::Rng rng(2);
+  bool won = false;
+  session.arm(policy, {}, rng, [&](des::Time) { won = true; });
+  EXPECT_TRUE(session.cancel());
+  EXPECT_FALSE(session.cancel());
+  sched.run();
+  EXPECT_FALSE(won);
+}
+
+TEST(ElectionTable, TracksStatsAcrossOutcomes) {
+  des::Scheduler sched;
+  ElectionTable table(sched);
+  UniformBackoff policy(0.01);
+  des::Rng rng(3);
+  int wins = 0;
+  table.arm(1, policy, {}, rng, [&](des::Time) { ++wins; });
+  table.arm(2, policy, {}, rng, [&](des::Time) { ++wins; });
+  table.arm(3, policy, {}, rng, [&](des::Time) { ++wins; });
+  EXPECT_EQ(table.active_count(), 3u);
+  EXPECT_TRUE(table.cancel(2, CancelReason::DuplicateHeard));
+  EXPECT_TRUE(table.cancel(3, CancelReason::ArbiterAck));
+  EXPECT_FALSE(table.cancel(99, CancelReason::DuplicateHeard));
+  sched.run();
+  EXPECT_EQ(wins, 1);
+  EXPECT_EQ(table.stats().armed, 3u);
+  EXPECT_EQ(table.stats().won, 1u);
+  EXPECT_EQ(table.stats().cancelled_duplicate, 1u);
+  EXPECT_EQ(table.stats().cancelled_ack, 1u);
+  EXPECT_EQ(table.active_count(), 0u);
+}
+
+TEST(ElectionTable, RearmReplacesPending) {
+  des::Scheduler sched;
+  ElectionTable table(sched);
+  UniformBackoff policy(0.01);
+  des::Rng rng(4);
+  int first = 0, second = 0;
+  table.arm(1, policy, {}, rng, [&](des::Time) { ++first; });
+  table.arm(1, policy, {}, rng, [&](des::Time) { ++second; });
+  sched.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(ElectionTable, WinnerMayRearmFromHandler) {
+  des::Scheduler sched;
+  ElectionTable table(sched);
+  UniformBackoff policy(0.01);
+  des::Rng rng(5);
+  int rounds = 0;
+  std::function<void(des::Time)> on_win = [&](des::Time) {
+    if (++rounds < 3) table.arm(7, policy, {}, rng, on_win);
+  };
+  table.arm(7, policy, {}, rng, on_win);
+  sched.run();
+  EXPECT_EQ(rounds, 3);
+  EXPECT_EQ(table.stats().won, 3u);
+}
+
+TEST(ElectionTable, ArmedQuery) {
+  des::Scheduler sched;
+  ElectionTable table(sched);
+  UniformBackoff policy(0.01);
+  des::Rng rng(6);
+  EXPECT_FALSE(table.armed(5));
+  table.arm(5, policy, {}, rng, [](des::Time) {});
+  EXPECT_TRUE(table.armed(5));
+  sched.run();
+  EXPECT_FALSE(table.armed(5));
+}
+
+// The core winner-selection property: among N simulated contenders with
+// distinct backoffs, the smallest delay wins and the rest would concede on
+// hearing it. Modeled here at the election layer (radio-level variants live
+// in the protocol tests).
+TEST(ElectionTable, SmallestDelayWinsAmongContenders) {
+  des::Scheduler sched;
+  UniformBackoff policy(0.01);
+  std::vector<ElectionTable> tables;
+  tables.reserve(8);
+  std::vector<des::Rng> rngs;
+  for (int i = 0; i < 8; ++i) {
+    tables.emplace_back(sched);
+    rngs.emplace_back(1000 + i);
+  }
+  int winner = -1;
+  std::vector<double> delays(8, 0.0);
+  for (int i = 0; i < 8; ++i) {
+    tables[i].arm(42, policy, {}, rngs[i], [&, i](des::Time d) {
+      delays[i] = d;
+      if (winner == -1) {
+        winner = i;
+        // The winner's announcement cancels everyone else.
+        for (int j = 0; j < 8; ++j) {
+          if (j != i) tables[j].cancel(42, CancelReason::DuplicateHeard);
+        }
+      }
+    });
+  }
+  sched.run();
+  ASSERT_NE(winner, -1);
+  int fired = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (delays[i] > 0.0) ++fired;
+  }
+  EXPECT_EQ(fired, 1);  // exactly one leader
+}
+
+}  // namespace
+}  // namespace rrnet::core

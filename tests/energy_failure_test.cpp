@@ -1,0 +1,114 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "phy/energy.hpp"
+#include "phy/failure.hpp"
+#include "phy/propagation.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::phy {
+namespace {
+
+TEST(EnergyMeter, AccumulatesByState) {
+  EnergyProfile profile;
+  profile.tx_w = 0.1;
+  profile.rx_w = 0.03;
+  profile.idle_w = 0.01;
+  profile.off_w = 0.0;
+  EnergyMeter meter(profile, 0.0);
+  meter.account(RadioState::Idle, 10.0);   // 10 s idle
+  meter.account(RadioState::Tx, 12.0);     // 2 s tx
+  meter.account(RadioState::Off, 20.0);    // 8 s off
+  EXPECT_NEAR(meter.consumed_joules(), 10 * 0.01 + 2 * 0.1 + 8 * 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(meter.time_in(RadioState::Idle), 10.0);
+  EXPECT_DOUBLE_EQ(meter.time_in(RadioState::Tx), 2.0);
+  EXPECT_DOUBLE_EQ(meter.time_in(RadioState::Off), 8.0);
+}
+
+TEST(EnergyMeter, IgnoresNonMonotoneTime) {
+  EnergyMeter meter(EnergyProfile{}, 5.0);
+  meter.account(RadioState::Idle, 4.0);  // in the past: ignored
+  EXPECT_DOUBLE_EQ(meter.consumed_joules(), 0.0);
+}
+
+class FailureModelTest : public ::testing::Test {
+ protected:
+  void build(double fraction, std::vector<std::uint32_t> exempt = {}) {
+    std::vector<geom::Vec2> positions{{100, 100}, {200, 100}, {300, 100}};
+    RadioParams radio;
+    channel_ = std::make_unique<Channel>(
+        scheduler_, geom::Terrain(1000, 1000), std::make_unique<FreeSpace>(),
+        radio, positions, des::Rng(3));
+    FailureConfig config;
+    config.off_fraction = fraction;
+    config.mean_cycle_s = 5.0;
+    config.exempt_nodes = std::move(exempt);
+    model_ = std::make_unique<FailureModel>(scheduler_, *channel_, config,
+                                            des::Rng(4));
+  }
+
+  des::Scheduler scheduler_;
+  std::unique_ptr<Channel> channel_;
+  std::unique_ptr<FailureModel> model_;
+};
+
+TEST_F(FailureModelTest, ZeroFractionNeverTogglesAnything) {
+  build(0.0);
+  model_->start();
+  scheduler_.run_until(100.0);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(channel_->transceiver(i).is_off());
+    EXPECT_DOUBLE_EQ(model_->observed_off_fraction(i), 0.0);
+  }
+  EXPECT_EQ(scheduler_.executed_count(), 0u);
+}
+
+TEST_F(FailureModelTest, LongRunOffFractionApproachesTarget) {
+  build(0.3);
+  model_->start();
+  scheduler_.run_until(20000.0);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(model_->observed_off_fraction(i), 0.3, 0.05) << "node " << i;
+  }
+}
+
+TEST_F(FailureModelTest, ExemptNodesNeverFail) {
+  build(0.5, {1});
+  model_->start();
+  scheduler_.run_until(5000.0);
+  EXPECT_DOUBLE_EQ(model_->observed_off_fraction(1), 0.0);
+  EXPECT_NEAR(model_->observed_off_fraction(0), 0.5, 0.07);
+  EXPECT_NEAR(model_->observed_off_fraction(2), 0.5, 0.07);
+}
+
+TEST_F(FailureModelTest, RejectsInvalidConfig) {
+  std::vector<geom::Vec2> positions{{100, 100}};
+  RadioParams radio;
+  Channel channel(scheduler_, geom::Terrain(1000, 1000),
+                  std::make_unique<FreeSpace>(), radio, positions,
+                  des::Rng(3));
+  FailureConfig bad;
+  bad.off_fraction = 1.0;
+  EXPECT_THROW(FailureModel(scheduler_, channel, bad, des::Rng(1)),
+               rrnet::ContractViolation);
+}
+
+TEST_F(FailureModelTest, RadiosActuallyToggle) {
+  build(0.5);
+  model_->start();
+  int observed_off = 0, observed_on = 0;
+  for (int i = 1; i <= 400; ++i) {
+    scheduler_.run_until(static_cast<double>(i));
+    if (channel_->transceiver(0).is_off()) {
+      ++observed_off;
+    } else {
+      ++observed_on;
+    }
+  }
+  EXPECT_GT(observed_off, 50);
+  EXPECT_GT(observed_on, 50);
+}
+
+}  // namespace
+}  // namespace rrnet::phy

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "proto/flooding.hpp"
+#include "proto/ssaf.hpp"
+#include "test_helpers.hpp"
+
+namespace rrnet::proto {
+namespace {
+
+using rrnet::testing::TestNet;
+using rrnet::testing::line_positions;
+using rrnet::testing::make_line_net;
+
+FloodingProtocol& flooding_of(net::Node& node) {
+  return static_cast<FloodingProtocol&>(node.protocol());
+}
+
+void attach_counter1(TestNet& tn, des::Time lambda = 5e-3,
+                     std::uint8_t ttl = 32) {
+  for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+    tn.node(i).set_protocol(make_counter1_flooding(tn.node(i), lambda, ttl));
+  }
+  tn.network->start_protocols();
+}
+
+TEST(Counter1, DeliversAcrossMultipleHops) {
+  auto tn = make_line_net(6);
+  attach_counter1(tn);
+  net::Packet delivered;
+  int deliveries = 0;
+  tn.node(5).set_delivery_handler([&](const net::Packet& p) {
+    delivered = p;
+    ++deliveries;
+  });
+  tn.node(0).protocol().send_data(5, 64);
+  tn.scheduler.run();
+  ASSERT_EQ(deliveries, 1);
+  EXPECT_EQ(delivered.origin, 0u);
+  EXPECT_EQ(delivered.actual_hops, 5u);  // line topology: exactly 5 hops
+  EXPECT_EQ(delivered.payload_bytes, 64u);
+}
+
+TEST(Counter1, EveryNodeRelaysAtMostOncePerPacket) {
+  auto tn = make_line_net(6);
+  attach_counter1(tn);
+  tn.node(0).protocol().send_data(5, 64);
+  tn.scheduler.run();
+  for (std::uint32_t i = 1; i < 5; ++i) {
+    EXPECT_LE(flooding_of(tn.node(i)).flood_stats().relayed, 1u) << i;
+  }
+  // Total data transmissions: source + at most one relay per non-target.
+  EXPECT_LE(tn.network->channel().stats().transmissions, 6u);
+}
+
+TEST(Counter1, DestinationDoesNotRelayByDefault) {
+  auto tn = make_line_net(4);
+  attach_counter1(tn);
+  tn.node(0).protocol().send_data(3, 10);
+  tn.scheduler.run();
+  EXPECT_EQ(flooding_of(tn.node(3)).flood_stats().relayed, 0u);
+  EXPECT_EQ(flooding_of(tn.node(3)).flood_stats().delivered, 1u);
+}
+
+TEST(Counter1, TtlLimitsPropagation) {
+  auto tn = make_line_net(8);
+  attach_counter1(tn, 5e-3, /*ttl=*/3);
+  int deliveries = 0;
+  tn.node(7).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(7, 10);
+  tn.scheduler.run();
+  EXPECT_EQ(deliveries, 0);  // 7 hops needed, ttl 3
+  std::uint64_t total_relays = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    total_relays += flooding_of(tn.node(i)).flood_stats().relayed;
+  }
+  EXPECT_LE(total_relays, 3u);
+}
+
+TEST(Counter1, SequenceNumbersKeepPacketsDistinct) {
+  auto tn = make_line_net(3);
+  attach_counter1(tn);
+  int deliveries = 0;
+  tn.node(2).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(2, 10);
+  tn.scheduler.schedule_at(0.5, [&]() { tn.node(0).protocol().send_data(2, 10); });
+  tn.scheduler.schedule_at(1.0, [&]() { tn.node(0).protocol().send_data(2, 10); });
+  tn.scheduler.run();
+  EXPECT_EQ(deliveries, 3);
+}
+
+TEST(BlindFlooding, GeneratesMoreTransmissionsThanCounter1) {
+  // A 3x3 grid with ~150 m spacing: dense enough for duplicate copies.
+  std::vector<geom::Vec2> positions;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      positions.push_back({100.0 + 150.0 * c, 100.0 + 150.0 * r});
+    }
+  }
+  std::uint64_t tx_counter1 = 0, tx_blind = 0;
+  {
+    TestNet tn(positions, 250.0, geom::Terrain(600, 600));
+    attach_counter1(tn);
+    tn.node(0).protocol().send_data(8, 32);
+    tn.scheduler.run();
+    tx_counter1 = tn.network->channel().stats().transmissions;
+  }
+  {
+    TestNet tn(positions, 250.0, geom::Terrain(600, 600));
+    FloodingConfig fc;
+    fc.blind = true;
+    fc.lambda = 5e-3;
+    for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+      tn.node(i).set_protocol(std::make_unique<FloodingProtocol>(
+          tn.node(i), fc, std::make_unique<core::UniformBackoff>(5e-3)));
+    }
+    tn.network->start_protocols();
+    tn.node(0).protocol().send_data(8, 32);
+    tn.scheduler.run_until(30.0);
+    tx_blind = tn.network->channel().stats().transmissions;
+  }
+  EXPECT_GT(tx_blind, tx_counter1);
+}
+
+TEST(CounterThreshold, SuppressionReducesTransmissions) {
+  std::vector<geom::Vec2> positions;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      positions.push_back({100.0 + 120.0 * c, 100.0 + 120.0 * r});
+    }
+  }
+  auto run_with_threshold = [&](std::uint32_t k) {
+    TestNet tn(positions, 250.0, geom::Terrain(600, 600));
+    FloodingConfig fc;
+    fc.counter_threshold = k;
+    fc.lambda = 10e-3;
+    for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+      tn.node(i).set_protocol(std::make_unique<FloodingProtocol>(
+          tn.node(i), fc, std::make_unique<core::UniformBackoff>(10e-3)));
+    }
+    tn.network->start_protocols();
+    int deliveries = 0;
+    tn.node(15).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+    tn.node(0).protocol().send_data(15, 32);
+    tn.scheduler.run();
+    EXPECT_EQ(deliveries, 1) << "threshold " << k;
+    return tn.network->channel().stats().transmissions;
+  };
+  const std::uint64_t tx_plain = run_with_threshold(0);
+  const std::uint64_t tx_suppressed = run_with_threshold(1);
+  EXPECT_LT(tx_suppressed, tx_plain);
+}
+
+TEST(Flooding, OriginNeverRelaysItsOwnPacket) {
+  auto tn = make_line_net(3);
+  attach_counter1(tn);
+  tn.node(0).protocol().send_data(2, 10);
+  tn.scheduler.run();
+  EXPECT_EQ(flooding_of(tn.node(0)).flood_stats().relayed, 0u);
+  EXPECT_EQ(flooding_of(tn.node(0)).flood_stats().originated, 1u);
+}
+
+TEST(Flooding, ElectionStatsExposeActivity) {
+  auto tn = make_line_net(4);
+  attach_counter1(tn);
+  tn.node(0).protocol().send_data(3, 10);
+  tn.scheduler.run();
+  EXPECT_GE(flooding_of(tn.node(1)).election_stats().armed, 1u);
+  EXPECT_GE(flooding_of(tn.node(1)).election_stats().won, 1u);
+}
+
+TEST(Flooding, BroadcastToUnreachableTargetDeliversNothing) {
+  // Two disconnected clusters.
+  std::vector<geom::Vec2> positions{{0, 500}, {200, 500}, {3000, 500},
+                                    {3200, 500}};
+  TestNet tn(positions, 250.0, geom::Terrain(4000, 1000));
+  attach_counter1(tn);
+  int deliveries = 0;
+  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(3, 10);
+  tn.scheduler.run();
+  EXPECT_EQ(deliveries, 0);
+}
+
+}  // namespace
+}  // namespace rrnet::proto

@@ -1,0 +1,174 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/rng.hpp"
+#include "geom/placement.hpp"
+#include "geom/spatial_grid.hpp"
+#include "geom/terrain.hpp"
+#include "geom/vec2.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Vec2, DistanceToSegmentInterior) {
+  // Point above the middle of a horizontal segment.
+  EXPECT_DOUBLE_EQ(distance_to_segment({5, 3}, {0, 0}, {10, 0}), 3.0);
+}
+
+TEST(Vec2, DistanceToSegmentClampsToEndpoints) {
+  EXPECT_DOUBLE_EQ(distance_to_segment({-3, 4}, {0, 0}, {10, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment({13, 4}, {0, 0}, {10, 0}), 5.0);
+}
+
+TEST(Vec2, DistanceToDegenerateSegment) {
+  EXPECT_DOUBLE_EQ(distance_to_segment({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(Terrain, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Terrain(0.0, 10.0), rrnet::ContractViolation);
+  EXPECT_THROW(Terrain(10.0, -1.0), rrnet::ContractViolation);
+}
+
+TEST(Terrain, ContainsAndClamp) {
+  const Terrain t(100.0, 50.0);
+  EXPECT_TRUE(t.contains({0, 0}));
+  EXPECT_TRUE(t.contains({100, 50}));
+  EXPECT_FALSE(t.contains({100.1, 0}));
+  EXPECT_FALSE(t.contains({5, -0.1}));
+  EXPECT_EQ(t.clamp({-5, 60}), (Vec2{0, 50}));
+  EXPECT_DOUBLE_EQ(t.area(), 5000.0);
+  EXPECT_EQ(t.center(), (Vec2{50, 25}));
+  EXPECT_NEAR(t.diameter(), 111.803, 1e-3);
+}
+
+TEST(Placement, UniformStaysInsideAndCounts) {
+  const Terrain t(1000.0, 500.0);
+  des::Rng rng(3);
+  const auto pts = place_uniform(t, 250, rng);
+  ASSERT_EQ(pts.size(), 250u);
+  for (const Vec2& p : pts) EXPECT_TRUE(t.contains(p));
+}
+
+TEST(Placement, UniformCoversAllQuadrants) {
+  const Terrain t(100.0, 100.0);
+  des::Rng rng(5);
+  const auto pts = place_uniform(t, 400, rng);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (const Vec2& p : pts) {
+    const int q = (p.x > 50.0 ? 1 : 0) + (p.y > 50.0 ? 2 : 0);
+    ++quadrant[q];
+  }
+  for (int q = 0; q < 4; ++q) EXPECT_GT(quadrant[q], 50);
+}
+
+TEST(Placement, GridExactAndInside) {
+  const Terrain t(100.0, 100.0);
+  const auto pts = place_grid(t, 9);
+  ASSERT_EQ(pts.size(), 9u);
+  for (const Vec2& p : pts) EXPECT_TRUE(t.contains(p));
+  // All distinct.
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_GT(distance(pts[i], pts[j]), 1.0);
+    }
+  }
+}
+
+TEST(Placement, MinSeparationHonored) {
+  const Terrain t(1000.0, 1000.0);
+  des::Rng rng(7);
+  const auto pts = place_min_separation(t, 50, 60.0, rng);
+  ASSERT_EQ(pts.size(), 50u);
+  int violations = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (distance(pts[i], pts[j]) < 60.0) ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(SpatialGrid, RejectsOutOfTerrainPositions) {
+  const Terrain t(100.0, 100.0);
+  EXPECT_THROW(SpatialGrid(t, 10.0, {{150.0, 0.0}}), rrnet::ContractViolation);
+}
+
+TEST(SpatialGrid, QueryFindsSelfAndNeighbors) {
+  const Terrain t(100.0, 100.0);
+  SpatialGrid grid(t, 25.0, {{10, 10}, {20, 10}, {90, 90}});
+  std::vector<std::uint32_t> out;
+  grid.query({10, 10}, 15.0, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1}));
+  grid.query({90, 90}, 5.0, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{2}));
+  grid.query({50, 50}, 5.0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpatialGrid, UpdatePositionMovesAcrossCells) {
+  const Terrain t(100.0, 100.0);
+  SpatialGrid grid(t, 10.0, {{5, 5}});
+  std::vector<std::uint32_t> out;
+  grid.update_position(0, {95, 95});
+  grid.query({5, 5}, 8.0, out);
+  EXPECT_TRUE(out.empty());
+  grid.query({95, 95}, 8.0, out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(grid.position(0), (Vec2{95, 95}));
+}
+
+// Property: grid query equals brute force for random layouts / radii / cell
+// sizes.
+struct GridCase {
+  std::uint64_t seed;
+  double cell;
+  double radius;
+};
+
+class SpatialGridPropertyTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(SpatialGridPropertyTest, MatchesBruteForce) {
+  const GridCase c = GetParam();
+  const Terrain t(1000.0, 800.0);
+  des::Rng rng(c.seed);
+  const auto pts = place_uniform(t, 300, rng);
+  SpatialGrid grid(t, c.cell, pts);
+  std::vector<std::uint32_t> got;
+  for (int q = 0; q < 25; ++q) {
+    const Vec2 center{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 800.0)};
+    grid.query(center, c.radius, got);
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (distance(pts[i], center) <= c.radius) expected.push_back(i);
+    }
+    EXPECT_EQ(got, expected) << "seed=" << c.seed << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SpatialGridPropertyTest,
+    ::testing::Values(GridCase{1, 50.0, 100.0}, GridCase{2, 250.0, 100.0},
+                      GridCase{3, 100.0, 10.0}, GridCase{4, 33.0, 400.0},
+                      GridCase{5, 1500.0, 200.0}));
+
+}  // namespace
+}  // namespace rrnet::geom

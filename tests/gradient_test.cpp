@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "proto/gradient.hpp"
+#include "proto/routeless.hpp"
+#include "test_helpers.hpp"
+
+namespace rrnet::proto {
+namespace {
+
+using rrnet::testing::TestNet;
+
+GradientProtocol& gr_of(net::Node& node) {
+  return static_cast<GradientProtocol&>(node.protocol());
+}
+
+void attach_gradient(TestNet& tn, GradientConfig config = {}) {
+  for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+    tn.node(i).set_protocol(
+        std::make_unique<GradientProtocol>(tn.node(i), config));
+  }
+  tn.network->start_protocols();
+}
+
+TEST(Gradient, DeliversOnLineTopology) {
+  auto tn = rrnet::testing::make_line_net(5);
+  attach_gradient(tn);
+  int deliveries = 0;
+  net::Packet delivered;
+  tn.node(4).set_delivery_handler([&](const net::Packet& p) {
+    ++deliveries;
+    delivered = p;
+  });
+  tn.node(0).protocol().send_data(4, 64);
+  tn.scheduler.run_until(30.0);
+  ASSERT_EQ(deliveries, 1);
+  EXPECT_EQ(delivered.actual_hops, 4u);
+}
+
+TEST(Gradient, OnlyDownhillNodesForward) {
+  auto tn = rrnet::testing::make_line_net(5);
+  attach_gradient(tn);
+  tn.node(0).protocol().send_data(4, 64);
+  tn.scheduler.run_until(30.0);
+  // Node 0's neighbors uphill of the target never relay data; on a line
+  // every relay is on the single shortest path, so not_on_gradient stays
+  // small while relays ~ path length.
+  std::uint64_t relays = 0;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    relays += gr_of(tn.node(i)).gradient_stats().relays;
+  }
+  EXPECT_GE(relays, 3u);
+}
+
+TEST(Gradient, MoreDataRelaysThanRoutelessOnDenseNet) {
+  // Dense 6x3 grid: many nodes sit strictly downhill of each transmitter,
+  // and gradient routing lets all of them forward the same packet — the
+  // redundant-retransmission congestion §4.4 describes. Routeless Routing's
+  // leader election keeps relays near one per hop. Compare *data relays*
+  // (the redundant traffic in question), not control chatter.
+  std::vector<geom::Vec2> positions;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      positions.push_back({60.0 + 110.0 * c, 100.0 + 110.0 * r});
+    }
+  }
+  const std::uint32_t target = 17;  // far corner
+  auto drive = [&](auto& tn) {
+    int deliveries = 0;
+    tn.node(target).set_delivery_handler(
+        [&](const net::Packet&) { ++deliveries; });
+    for (int i = 0; i < 5; ++i) {
+      tn.scheduler.schedule_at(0.5 * i + 0.1, [&tn, target]() {
+        tn.node(0).protocol().send_data(target, 64);
+      });
+    }
+    tn.scheduler.run_until(30.0);
+    EXPECT_GE(deliveries, 4);
+  };
+  std::uint64_t gradient_relays = 0;
+  {
+    TestNet tn(positions, 250.0, geom::Terrain(800, 500));
+    attach_gradient(tn);
+    drive(tn);
+    for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+      gradient_relays += gr_of(tn.node(i)).gradient_stats().relays;
+    }
+  }
+  std::uint64_t rr_relays = 0;
+  {
+    TestNet tn(positions, 250.0, geom::Terrain(800, 500));
+    for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+      tn.node(i).set_protocol(
+          std::make_unique<RoutelessProtocol>(tn.node(i)));
+    }
+    tn.network->start_protocols();
+    drive(tn);
+    for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+      rr_relays += static_cast<RoutelessProtocol&>(tn.node(i).protocol())
+                       .rr_stats()
+                       .relays;
+    }
+  }
+  EXPECT_GT(gradient_relays, rr_relays);
+}
+
+TEST(Gradient, UnreachableTargetDropsPending) {
+  std::vector<geom::Vec2> positions{{0, 500}, {3000, 500}};
+  GradientConfig config;
+  config.discovery_timeout = 0.5;
+  config.max_discovery_retries = 1;
+  TestNet tn(positions, 250.0, geom::Terrain(4000, 1000));
+  attach_gradient(tn, config);
+  tn.node(0).protocol().send_data(1, 64);
+  tn.scheduler.run_until(10.0);
+  EXPECT_GE(gr_of(tn.node(0)).gradient_stats().pending_dropped, 1u);
+}
+
+TEST(Gradient, DeliversOncePerPacket) {
+  auto tn = rrnet::testing::make_line_net(4);
+  attach_gradient(tn);
+  int deliveries = 0;
+  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  for (int i = 0; i < 4; ++i) {
+    tn.scheduler.schedule_at(0.6 * i + 0.1, [&tn]() {
+      tn.node(0).protocol().send_data(3, 32);
+    });
+  }
+  tn.scheduler.run_until(30.0);
+  EXPECT_EQ(deliveries, 4);
+}
+
+}  // namespace
+}  // namespace rrnet::proto

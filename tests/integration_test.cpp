@@ -1,0 +1,122 @@
+// Cross-module integration: the paper's qualitative claims on small (fast)
+// versions of its scenarios. These are shape checks, not benchmarks — the
+// bench/ binaries regenerate the full figures.
+#include <gtest/gtest.h>
+
+#include "sim/replication.hpp"
+#include "sim/runner.hpp"
+
+namespace rrnet::sim {
+namespace {
+
+ScenarioConfig flooding_base() {
+  // The paper's Figure-1 topology (100 nodes / 1000x1000 m) at moderate
+  // load: small enough to run in a second, large enough (4-5 hop paths)
+  // that SSAF's far-first relaying is measurable above noise.
+  ScenarioConfig config;
+  config.seed = 42;
+  config.nodes = 100;
+  config.width_m = 1000.0;
+  config.height_m = 1000.0;
+  config.range_m = 250.0;
+  config.pairs = 20;
+  config.cbr_interval = 2.0;
+  config.payload_bytes = 64;
+  config.traffic_start = 1.0;
+  config.traffic_stop = 13.0;
+  config.sim_end = 20.0;
+  return config;
+}
+
+ScenarioConfig routing_base() {
+  ScenarioConfig config;
+  config.seed = 43;
+  config.nodes = 80;
+  config.width_m = 1000.0;
+  config.height_m = 1000.0;
+  config.range_m = 250.0;
+  config.pairs = 3;
+  config.bidirectional = true;
+  config.cbr_interval = 2.0;
+  config.payload_bytes = 256;
+  config.traffic_start = 1.0;
+  config.traffic_stop = 21.0;
+  config.sim_end = 30.0;
+  return config;
+}
+
+TEST(Integration, SsafBeatsCounter1OnHopsAndDelivery) {
+  ScenarioConfig base = flooding_base();
+  base.protocol = ProtocolKind::Counter1Flooding;
+  const Aggregated counter1 = run_replications(base, 3);
+  base.protocol = ProtocolKind::Ssaf;
+  const Aggregated ssaf = run_replications(base, 3);
+
+  EXPECT_GT(counter1.delivery_ratio.mean, 0.5);
+  EXPECT_GT(ssaf.delivery_ratio.mean, 0.5);
+  // Figure 1 shapes (with slack for small-scale noise).
+  EXPECT_LT(ssaf.hops.mean, counter1.hops.mean);
+  EXPECT_LT(ssaf.delay_s.mean, counter1.delay_s.mean);
+  EXPECT_GE(ssaf.delivery_ratio.mean, counter1.delivery_ratio.mean - 0.05);
+  EXPECT_LT(ssaf.mac_packets.mean, counter1.mac_packets.mean);
+}
+
+TEST(Integration, RoutelessAndAodvBothDeliverWithoutFailures) {
+  ScenarioConfig base = routing_base();
+  base.protocol = ProtocolKind::Routeless;
+  const Aggregated rr = run_replications(base, 2);
+  base.protocol = ProtocolKind::Aodv;
+  base.aodv.discovery = proto::RreqFlooding::Dedup;
+  const Aggregated aodv = run_replications(base, 2);
+
+  EXPECT_GT(rr.delivery_ratio.mean, 0.8);
+  EXPECT_GT(aodv.delivery_ratio.mean, 0.8);
+}
+
+TEST(Integration, RoutelessResilientToFailuresAodvDegrades) {
+  ScenarioConfig base = routing_base();
+  base.failure_fraction = 0.08;
+  base.pairs = 2;
+
+  base.protocol = ProtocolKind::Routeless;
+  const Aggregated rr = run_replications(base, 2);
+  base.protocol = ProtocolKind::Aodv;
+  base.aodv.discovery = proto::RreqFlooding::Dedup;
+  const Aggregated aodv = run_replications(base, 2);
+
+  // Figure 4 shape: RR keeps delivering under failures about as well as
+  // AODV (the paper shows near-identical delivery ratios).
+  EXPECT_GE(rr.delivery_ratio.mean, aodv.delivery_ratio.mean - 0.05);
+  EXPECT_GT(rr.delivery_ratio.mean, 0.85);
+}
+
+TEST(Integration, FailuresRaiseAodvOverheadPerDeliveredPacket) {
+  // Figure 4 shape: under failures AODV pays MAC retries, RERRs, and
+  // re-discovery floods for every delivered packet.
+  ScenarioConfig base = routing_base();
+  base.protocol = ProtocolKind::Aodv;
+  base.aodv.discovery = proto::RreqFlooding::Dedup;
+  base.pairs = 2;
+  base.cbr_interval = 1.0;
+  base.traffic_stop = 41.0;
+  base.sim_end = 50.0;
+  const Aggregated clean = run_replications(base, 3);
+  base.failure_fraction = 0.2;
+  const Aggregated faulty = run_replications(base, 3);
+  EXPECT_GT(faulty.mac_per_delivered.mean, clean.mac_per_delivered.mean);
+}
+
+TEST(Integration, BlindFloodingCostsMostTransmissions) {
+  ScenarioConfig base = flooding_base();
+  base.pairs = 2;
+  base.traffic_stop = 5.0;
+  base.sim_end = 12.0;
+  base.protocol = ProtocolKind::Counter1Flooding;
+  const Aggregated counter1 = run_replications(base, 2);
+  base.protocol = ProtocolKind::BlindFlooding;
+  const Aggregated blind = run_replications(base, 2);
+  EXPECT_GT(blind.mac_packets.mean, counter1.mac_packets.mean);
+}
+
+}  // namespace
+}  // namespace rrnet::sim

@@ -1,0 +1,180 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "sim/mobility.hpp"
+#include "sim/runner.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::sim {
+namespace {
+
+class MobilityTest : public ::testing::Test {
+ protected:
+  void build(MobilityConfig config, std::size_t nodes = 5) {
+    terrain_ = std::make_unique<geom::Terrain>(1000.0, 800.0);
+    std::vector<geom::Vec2> positions;
+    des::Rng place(3);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      positions.push_back(
+          {place.uniform(0.0, 1000.0), place.uniform(0.0, 800.0)});
+    }
+    initial_positions_ = positions;
+    phy::RadioParams radio;
+    channel_ = std::make_unique<phy::Channel>(
+        scheduler_, *terrain_, std::make_unique<phy::FreeSpace>(), radio,
+        positions, des::Rng(4));
+    model_ = std::make_unique<RandomWaypoint>(scheduler_, *channel_, *terrain_,
+                                              config, des::Rng(5));
+  }
+
+  des::Scheduler scheduler_;
+  std::unique_ptr<geom::Terrain> terrain_;
+  std::unique_ptr<phy::Channel> channel_;
+  std::unique_ptr<RandomWaypoint> model_;
+  std::vector<geom::Vec2> initial_positions_;
+};
+
+TEST_F(MobilityTest, NodesActuallyMove) {
+  build(MobilityConfig{});
+  model_->start();
+  scheduler_.run_until(30.0);
+  int moved = 0;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    if (geom::distance(channel_->position(i), initial_positions_[i]) > 1.0) {
+      ++moved;
+    }
+    EXPECT_GT(model_->distance_traveled(i), 0.0) << i;
+  }
+  EXPECT_EQ(moved, 5);
+}
+
+TEST_F(MobilityTest, PositionsStayInsideTerrain) {
+  MobilityConfig config;
+  config.max_speed_mps = 20.0;
+  config.pause_s = 0.1;
+  build(config);
+  model_->start();
+  for (int step = 1; step <= 60; ++step) {
+    scheduler_.run_until(static_cast<double>(step));
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      EXPECT_TRUE(terrain_->contains(channel_->position(i)))
+          << "node " << i << " at t=" << step;
+    }
+  }
+}
+
+TEST_F(MobilityTest, SpeedBoundsRespected) {
+  MobilityConfig config;
+  config.min_speed_mps = 2.0;
+  config.max_speed_mps = 4.0;
+  config.pause_s = 0.0001;
+  build(config);
+  model_->start();
+  const double horizon = 100.0;
+  scheduler_.run_until(horizon);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const double avg_speed = model_->distance_traveled(i) / horizon;
+    EXPECT_LE(avg_speed, 4.0 + 0.1) << i;
+    EXPECT_GE(avg_speed, 0.5) << i;  // pauses are negligible here
+  }
+}
+
+TEST_F(MobilityTest, PinnedNodesNeverMove) {
+  MobilityConfig config;
+  config.pinned_nodes = {2};
+  build(config);
+  model_->start();
+  scheduler_.run_until(30.0);
+  EXPECT_EQ(channel_->position(2), initial_positions_[2]);
+  EXPECT_DOUBLE_EQ(model_->distance_traveled(2), 0.0);
+}
+
+TEST_F(MobilityTest, RejectsBadConfig) {
+  MobilityConfig bad;
+  bad.min_speed_mps = 0.0;
+  EXPECT_THROW(build(bad), rrnet::ContractViolation);
+  MobilityConfig inverted;
+  inverted.min_speed_mps = 5.0;
+  inverted.max_speed_mps = 1.0;
+  EXPECT_THROW(build(inverted), rrnet::ContractViolation);
+}
+
+TEST(MobilityScenario, RoutelessDeliversUnderMobility) {
+  ScenarioConfig config;
+  config.seed = 9;
+  config.nodes = 60;
+  config.width_m = config.height_m = 800.0;
+  config.protocol = ProtocolKind::Routeless;
+  config.pairs = 2;
+  config.cbr_interval = 1.0;
+  config.traffic_start = 1.0;
+  config.traffic_stop = 21.0;
+  config.sim_end = 30.0;
+  config.mobility = true;
+  config.mobility_min_speed_mps = 2.0;
+  config.mobility_max_speed_mps = 8.0;
+  const ScenarioResult r = run_scenario(config);
+  EXPECT_GT(r.sent, 0u);
+  // Routeless Routing's selling point: topology changes are absorbed by
+  // per-packet elections; a dense mobile network still delivers most data.
+  EXPECT_GT(r.delivery_ratio, 0.8);
+}
+
+TEST(MobilityScenario, MobilityOffByDefault) {
+  ScenarioConfig config;
+  config.nodes = 10;
+  config.pairs = 1;
+  config.sim_end = 2.0;
+  SimInstance sim(config);
+  EXPECT_EQ(sim.mobility(), nullptr);
+}
+
+TEST(EnergyScenario, TracksConsumptionWhenEnabled) {
+  ScenarioConfig config;
+  config.seed = 12;
+  config.nodes = 30;
+  config.width_m = config.height_m = 600.0;
+  config.protocol = ProtocolKind::Ssaf;
+  config.pairs = 2;
+  config.cbr_interval = 1.0;
+  config.traffic_stop = 6.0;
+  config.sim_end = 10.0;
+  config.track_energy = true;
+  const ScenarioResult r = run_scenario(config);
+  EXPECT_GT(r.total_energy_j, 0.0);
+  EXPECT_GT(r.energy_per_delivered_j, 0.0);
+  // Sanity bound: 30 radios idling at ~30 mW for 10 s ~ 9 J, plus tx.
+  EXPECT_GT(r.total_energy_j, 5.0);
+  EXPECT_LT(r.total_energy_j, 30.0);
+}
+
+TEST(EnergyScenario, SleepingRadiosConsumeLess) {
+  ScenarioConfig config;
+  config.seed = 12;
+  config.nodes = 30;
+  config.width_m = config.height_m = 600.0;
+  config.protocol = ProtocolKind::Routeless;
+  config.pairs = 1;
+  config.cbr_interval = 2.0;
+  config.traffic_stop = 11.0;
+  config.sim_end = 20.0;
+  config.track_energy = true;
+  const ScenarioResult awake = run_scenario(config);
+  config.failure_fraction = 0.5;  // duty-cycle half the time (sleep mode)
+  const ScenarioResult dozy = run_scenario(config);
+  EXPECT_LT(dozy.total_energy_j, awake.total_energy_j);
+}
+
+TEST(EnergyScenario, OffByDefault) {
+  ScenarioConfig config;
+  config.nodes = 10;
+  config.pairs = 1;
+  config.traffic_stop = 2.0;
+  config.sim_end = 3.0;
+  const ScenarioResult r = run_scenario(config);
+  EXPECT_DOUBLE_EQ(r.total_energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace rrnet::sim

@@ -1,0 +1,124 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+#include "net/duplicate_cache.hpp"
+#include "net/packet.hpp"
+
+namespace rrnet::net {
+namespace {
+
+TEST(Packet, HeaderSizesPerType) {
+  Packet p;
+  p.type = PacketType::Data;
+  p.payload_bytes = 512;
+  EXPECT_EQ(p.header_bytes(), 20u);
+  EXPECT_EQ(p.size_bytes(), 532u);
+  p.type = PacketType::PathDiscovery;
+  EXPECT_EQ(p.header_bytes(), 24u);
+  p.type = PacketType::NetAck;
+  EXPECT_EQ(p.header_bytes(), 16u);
+  p.type = PacketType::RouteError;
+  EXPECT_EQ(p.header_bytes(), 12u);
+}
+
+TEST(Packet, FloodKeyDistinguishesOriginSequenceType) {
+  Packet a;
+  a.origin = 1;
+  a.sequence = 5;
+  a.type = PacketType::Data;
+  Packet b = a;
+  EXPECT_EQ(a.flood_key(), b.flood_key());
+  b.sequence = 6;
+  EXPECT_NE(a.flood_key(), b.flood_key());
+  b = a;
+  b.origin = 2;
+  EXPECT_NE(a.flood_key(), b.flood_key());
+  b = a;
+  b.type = PacketType::PathReply;
+  EXPECT_NE(a.flood_key(), b.flood_key());
+}
+
+TEST(Packet, FloodKeyStableAcrossRelayMutations) {
+  Packet p;
+  p.origin = 9;
+  p.sequence = 4;
+  p.type = PacketType::PathReply;
+  const auto key = p.flood_key();
+  p.actual_hops = 7;
+  p.expected_hops = 3;
+  p.ttl = 1;
+  p.prev_hop = 12;
+  EXPECT_EQ(p.flood_key(), key);
+}
+
+TEST(Packet, FloodKeysUniqueOverManyPackets) {
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t origin = 0; origin < 50; ++origin) {
+    for (std::uint32_t seq = 0; seq < 50; ++seq) {
+      Packet p;
+      p.origin = origin;
+      p.sequence = seq;
+      keys.insert(p.flood_key());
+    }
+  }
+  EXPECT_EQ(keys.size(), 2500u);
+}
+
+TEST(Packet, DescribeMentionsTypeAndIds) {
+  Packet p;
+  p.type = PacketType::PathDiscovery;
+  p.origin = 3;
+  p.target = 8;
+  const std::string s = p.describe();
+  EXPECT_NE(s.find("PathDiscovery"), std::string::npos);
+  EXPECT_NE(s.find("origin=3"), std::string::npos);
+  EXPECT_NE(s.find("target=8"), std::string::npos);
+}
+
+TEST(Packet, TypeNames) {
+  EXPECT_STREQ(to_string(PacketType::Data), "Data");
+  EXPECT_STREQ(to_string(PacketType::RouteRequest), "RouteRequest");
+  EXPECT_STREQ(to_string(PacketType::NetAck), "NetAck");
+}
+
+TEST(DuplicateCache, FirstObservationIsNew) {
+  DuplicateCache cache(16);
+  EXPECT_TRUE(cache.observe(1));
+  EXPECT_FALSE(cache.observe(1));
+  EXPECT_TRUE(cache.observe(2));
+  EXPECT_TRUE(cache.seen(1));
+  EXPECT_FALSE(cache.seen(3));
+}
+
+TEST(DuplicateCache, CountsObservations) {
+  DuplicateCache cache(16);
+  cache.observe(7);
+  cache.observe(7);
+  cache.observe(7);
+  EXPECT_EQ(cache.count(7), 3u);
+  EXPECT_EQ(cache.count(8), 0u);
+}
+
+TEST(DuplicateCache, EvictsOldestBeyondCapacity) {
+  DuplicateCache cache(3);
+  cache.observe(1);
+  cache.observe(2);
+  cache.observe(3);
+  cache.observe(4);  // evicts 1
+  EXPECT_FALSE(cache.seen(1));
+  EXPECT_TRUE(cache.seen(2));
+  EXPECT_TRUE(cache.seen(4));
+  EXPECT_EQ(cache.size(), 3u);
+  // An evicted key is "new" again.
+  EXPECT_TRUE(cache.observe(1));
+}
+
+TEST(DuplicateCache, RejectsZeroCapacity) {
+  EXPECT_THROW(DuplicateCache(0), rrnet::ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrnet::net

@@ -1,0 +1,183 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "phy/propagation.hpp"
+#include "phy/units.hpp"
+
+namespace rrnet::phy {
+namespace {
+
+TEST(Units, DbmMwRoundtrip) {
+  EXPECT_DOUBLE_EQ(dbm_to_mw(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(10.0), 10.0);
+  EXPECT_NEAR(mw_to_dbm(dbm_to_mw(-37.5)), -37.5, 1e-9);
+  EXPECT_NEAR(db_to_ratio(ratio_to_db(123.0)), 123.0, 1e-9);
+}
+
+TEST(Units, ZeroPowerClampsInsteadOfInf) {
+  EXPECT_GT(mw_to_dbm(0.0), -400.0);
+  EXPECT_LT(mw_to_dbm(0.0), -200.0);
+}
+
+TEST(FreeSpace, MatchesFriisFormula) {
+  const double f = 914e6;
+  FreeSpace model(f);
+  des::Rng rng(1);
+  const double lambda = 299792458.0 / f;
+  const double d = 250.0;
+  const double expected =
+      10.0 + 20.0 * std::log10(lambda / (4.0 * M_PI * d));
+  EXPECT_NEAR(model.rx_power_dbm(10.0, d, rng), expected, 1e-9);
+}
+
+TEST(FreeSpace, InverseSquareIn20DbPerDecade) {
+  FreeSpace model;
+  const double p100 = model.mean_rx_power_dbm(0.0, 100.0);
+  const double p1000 = model.mean_rx_power_dbm(0.0, 1000.0);
+  EXPECT_NEAR(p100 - p1000, 20.0, 1e-9);
+}
+
+TEST(FreeSpace, ClampsTinyDistances) {
+  FreeSpace model;
+  EXPECT_DOUBLE_EQ(model.mean_rx_power_dbm(0.0, 0.0),
+                   model.mean_rx_power_dbm(0.0, kMinDistanceM));
+}
+
+TEST(TwoRay, FreeSpaceBelowCrossover) {
+  TwoRayGround model(914e6, 1.5, 1.5);
+  FreeSpace fs(914e6);
+  const double d = model.crossover_distance_m() * 0.5;
+  EXPECT_DOUBLE_EQ(model.mean_rx_power_dbm(7.0, d),
+                   fs.mean_rx_power_dbm(7.0, d));
+}
+
+TEST(TwoRay, FourthPowerBeyondCrossover) {
+  TwoRayGround model(914e6, 1.5, 1.5);
+  const double d = model.crossover_distance_m() * 2.0;
+  const double p1 = model.mean_rx_power_dbm(0.0, d);
+  const double p2 = model.mean_rx_power_dbm(0.0, 2.0 * d);
+  EXPECT_NEAR(p1 - p2, 40.0 * std::log10(2.0), 1e-9);
+}
+
+TEST(LogDistance, ExponentControlsSlope) {
+  LogDistance model(3.5, 1.0);
+  const double p10 = model.mean_rx_power_dbm(0.0, 10.0);
+  const double p100 = model.mean_rx_power_dbm(0.0, 100.0);
+  EXPECT_NEAR(p10 - p100, 35.0, 1e-9);
+}
+
+TEST(LogDistance, FlatBelowReference) {
+  LogDistance model(3.0, 10.0);
+  EXPECT_DOUBLE_EQ(model.mean_rx_power_dbm(0.0, 2.0),
+                   model.mean_rx_power_dbm(0.0, 10.0));
+}
+
+TEST(Rayleigh, MeanPowerTracksLargeScale) {
+  RayleighFading model(std::make_unique<FreeSpace>());
+  FreeSpace fs;
+  des::Rng rng(5);
+  const double d = 200.0;
+  double sum_mw = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum_mw += dbm_to_mw(model.rx_power_dbm(0.0, d, rng));
+  }
+  const double mean_dbm = mw_to_dbm(sum_mw / kN);
+  EXPECT_NEAR(mean_dbm, fs.mean_rx_power_dbm(0.0, d), 0.3);
+}
+
+TEST(Rayleigh, SamplesActuallyFluctuate) {
+  RayleighFading model(std::make_unique<FreeSpace>());
+  des::Rng rng(6);
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 100; ++i) {
+    const double p = model.rx_power_dbm(0.0, 100.0, rng);
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi - lo, 10.0);  // deep fades happen
+}
+
+TEST(Shadowing, SigmaMatches) {
+  LogNormalShadowing model(std::make_unique<FreeSpace>(), 6.0);
+  FreeSpace fs;
+  des::Rng rng(7);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 20000;
+  const double base = fs.mean_rx_power_dbm(0.0, 150.0);
+  for (int i = 0; i < kN; ++i) {
+    const double dev = model.rx_power_dbm(0.0, 150.0, rng) - base;
+    sum += dev;
+    sq += dev * dev;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.15);
+  EXPECT_NEAR(std::sqrt(sq / kN), 6.0, 0.15);
+}
+
+TEST(Range, RangeForThresholdInverts) {
+  FreeSpace model;
+  const double tx = 15.0;
+  const double at250 = model.mean_rx_power_dbm(tx, 250.0);
+  EXPECT_NEAR(range_for_threshold(model, tx, at250), 250.0, 0.01);
+}
+
+TEST(Range, UnreachableThresholdGivesZero) {
+  FreeSpace model;
+  EXPECT_DOUBLE_EQ(range_for_threshold(model, -100.0, 0.0), 0.0);
+}
+
+TEST(Range, TxPowerForRangeRoundTrips) {
+  FreeSpace model;
+  const double tx = tx_power_for_range(model, 250.0, -64.0);
+  EXPECT_NEAR(model.mean_rx_power_dbm(tx, 250.0), -64.0, 1e-6);
+  EXPECT_NEAR(range_for_threshold(model, tx, -64.0), 250.0, 0.1);
+}
+
+TEST(Range, TwoRayCalibrationToo) {
+  TwoRayGround model;
+  const double tx = tx_power_for_range(model, 250.0, -64.0);
+  EXPECT_NEAR(range_for_threshold(model, tx, -64.0), 250.0, 0.1);
+}
+
+// Property: mean received power is nonincreasing with distance for every
+// large-scale model.
+class MonotoneModelTest
+    : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<PropagationModel> make_model() const {
+    switch (GetParam()) {
+      case 0: return std::make_unique<FreeSpace>();
+      case 1: return std::make_unique<TwoRayGround>();
+      case 2: return std::make_unique<LogDistance>(2.7);
+      case 3:
+        return std::make_unique<RayleighFading>(std::make_unique<FreeSpace>());
+      default:
+        return std::make_unique<LogNormalShadowing>(
+            std::make_unique<FreeSpace>(), 4.0);
+    }
+  }
+};
+
+TEST_P(MonotoneModelTest, MeanPowerNonincreasing) {
+  const auto model = make_model();
+  double prev = model->mean_rx_power_dbm(10.0, 1.0);
+  for (double d = 2.0; d < 3000.0; d *= 1.3) {
+    const double p = model->mean_rx_power_dbm(10.0, d);
+    EXPECT_LE(p, prev + 1e-9) << "at distance " << d;
+    prev = p;
+  }
+}
+
+TEST_P(MonotoneModelTest, TxPowerShiftsLinearly) {
+  const auto model = make_model();
+  const double base = model->mean_rx_power_dbm(0.0, 120.0);
+  EXPECT_NEAR(model->mean_rx_power_dbm(17.0, 120.0), base + 17.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, MonotoneModelTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace rrnet::phy

@@ -1,0 +1,196 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/rng.hpp"
+
+namespace rrnet::des {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 8.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 8.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of 2..6 hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(2.5);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 2.5, 0.03);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, RayleighMeanMatches) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.rayleigh(1.0);
+  // E[Rayleigh(sigma)] = sigma * sqrt(pi/2) ~= 1.2533.
+  EXPECT_NEAR(sum / kN, 1.2533, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsDeterministicAndTagSensitive) {
+  Rng root(42);
+  Rng a1 = root.fork("mac");
+  Rng a2 = root.fork("mac");
+  Rng b = root.fork("phy");
+  EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  EXPECT_NE(a1.seed(), b.seed());
+}
+
+TEST(Rng, ForkIndexSensitive) {
+  Rng root(42);
+  Rng n0 = root.fork("node", 0);
+  Rng n1 = root.fork("node", 1);
+  EXPECT_NE(n0.seed(), n1.seed());
+}
+
+TEST(Rng, ForkedStreamsLookIndependent) {
+  Rng root(99);
+  Rng a = root.fork("a");
+  Rng b = root.fork("b");
+  // Correlation of 10k pairs should be near zero.
+  double sa = 0, sb = 0, sab = 0, saa = 0, sbb = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = a.uniform01();
+    const double y = b.uniform01();
+    sa += x;
+    sb += y;
+    sab += x * y;
+    saa += x * x;
+    sbb += y * y;
+  }
+  const double cov = sab / kN - (sa / kN) * (sb / kN);
+  const double var_a = saa / kN - (sa / kN) * (sa / kN);
+  const double var_b = sbb / kN - (sb / kN) * (sb / kN);
+  EXPECT_LT(std::abs(cov / std::sqrt(var_a * var_b)), 0.05);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng root(7);
+  Rng probe(7);
+  (void)root.fork("x");
+  EXPECT_EQ(root.next_u64(), probe.next_u64());
+}
+
+// Property: chi-squared uniformity of uniform_int across parameterized
+// range widths.
+class UniformIntRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UniformIntRangeTest, RoughlyUniform) {
+  const int buckets = GetParam();
+  Rng rng(1000 + buckets);
+  std::vector<int> counts(buckets, 0);
+  const int kN = 20000 * buckets;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, buckets - 1))];
+  }
+  const double expected = static_cast<double>(kN) / buckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // Very loose: 3x the dof; catches systematic bias, not fine statistics.
+  EXPECT_LT(chi2, 3.0 * buckets + 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, UniformIntRangeTest,
+                         ::testing::Values(2, 3, 7, 16, 100));
+
+TEST(Splitmix, KnownNonDegenerate) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+}
+
+}  // namespace
+}  // namespace rrnet::des

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "proto/routeless.hpp"
+#include "test_helpers.hpp"
+
+namespace rrnet::proto {
+namespace {
+
+using rrnet::testing::TestNet;
+
+RoutelessProtocol& rr_of(net::Node& node) {
+  return static_cast<RoutelessProtocol&>(node.protocol());
+}
+
+void attach_rr(TestNet& tn, RoutelessConfig config = {}) {
+  for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+    tn.node(i).set_protocol(
+        std::make_unique<RoutelessProtocol>(tn.node(i), config));
+  }
+  tn.network->start_protocols();
+}
+
+TEST(Routeless, DiscoveryAndDataDeliveryOnLine) {
+  auto tn = rrnet::testing::make_line_net(5);
+  attach_rr(tn);
+  int deliveries = 0;
+  net::Packet delivered;
+  tn.node(4).set_delivery_handler([&](const net::Packet& p) {
+    ++deliveries;
+    delivered = p;
+  });
+  tn.node(0).protocol().send_data(4, 128);
+  tn.scheduler.run_until(20.0);
+  ASSERT_EQ(deliveries, 1);
+  EXPECT_EQ(delivered.origin, 0u);
+  EXPECT_EQ(delivered.actual_hops, 4u);  // shortest path on a line
+  EXPECT_EQ(delivered.payload_bytes, 128u);
+}
+
+TEST(Routeless, ActiveTableLearnsHopDistances) {
+  auto tn = rrnet::testing::make_line_net(5);
+  attach_rr(tn);
+  tn.node(0).protocol().send_data(4, 64);
+  tn.scheduler.run_until(20.0);
+  // Discovery flood from node 0 teaches every node its distance to 0.
+  for (std::uint32_t i = 1; i < 5; ++i) {
+    ASSERT_TRUE(rr_of(tn.node(i)).knows_target(0)) << i;
+    EXPECT_EQ(rr_of(tn.node(i)).hops_to(0), i) << i;
+  }
+  // The reply (and data) teach the source its distance to the destination.
+  ASSERT_TRUE(rr_of(tn.node(0)).knows_target(4));
+  EXPECT_EQ(rr_of(tn.node(0)).hops_to(4), 4u);
+}
+
+TEST(Routeless, SecondPacketSkipsDiscovery) {
+  auto tn = rrnet::testing::make_line_net(4);
+  attach_rr(tn);
+  int deliveries = 0;
+  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(20.0);
+  const std::uint64_t discoveries_before =
+      rr_of(tn.node(0)).rr_stats().discoveries_started;
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(40.0);
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(rr_of(tn.node(0)).rr_stats().discoveries_started,
+            discoveries_before);
+}
+
+TEST(Routeless, NetAcksFlowBackPerHop) {
+  auto tn = rrnet::testing::make_line_net(4);
+  attach_rr(tn);
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(20.0);
+  std::uint64_t acks = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    acks += rr_of(tn.node(i)).rr_stats().netacks_sent;
+  }
+  EXPECT_GE(acks, 2u);  // at least destination + one relay arbiter
+}
+
+TEST(Routeless, SurvivesRelayNodeFailureMidFlow) {
+  // Two parallel relay rows between endpoints: when the relay that carried
+  // the first packets dies, the other row takes over seamlessly.
+  std::vector<geom::Vec2> positions{
+      {0, 500},             // 0: source
+      {200, 440},           // 1: relay row A
+      {200, 560},           // 2: relay row B
+      {400, 500},           // 3: destination
+  };
+  TestNet tn(positions, 250.0, geom::Terrain(800, 1000));
+  attach_rr(tn);
+  int deliveries = 0;
+  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  // Send one packet per second; kill one relay (whichever) at t = 5.5 s.
+  for (int i = 0; i < 12; ++i) {
+    tn.scheduler.schedule_at(0.5 + i, [&tn]() {
+      tn.node(0).protocol().send_data(3, 64);
+    });
+  }
+  tn.scheduler.schedule_at(5.5, [&tn]() {
+    tn.network->channel().transceiver(1).turn_off();
+  });
+  tn.scheduler.run_until(30.0);
+  EXPECT_EQ(deliveries, 12);
+}
+
+TEST(Routeless, UnreachableTargetDiscoveryFailsCleanly) {
+  std::vector<geom::Vec2> positions{{0, 500}, {200, 500}, {3000, 500}};
+  RoutelessConfig config;
+  config.discovery_timeout = 0.5;
+  config.max_discovery_retries = 2;
+  TestNet tn(positions, 250.0, geom::Terrain(4000, 1000));
+  attach_rr(tn, config);
+  tn.node(0).protocol().send_data(2, 64);
+  tn.scheduler.run_until(10.0);
+  const auto& stats = rr_of(tn.node(0)).rr_stats();
+  EXPECT_EQ(stats.discovery_failures, 1u);
+  EXPECT_EQ(stats.discovery_retries, 2u);
+  EXPECT_EQ(stats.pending_dropped, 1u);
+  EXPECT_EQ(stats.data_delivered, 0u);
+}
+
+TEST(Routeless, PendingQueueCapacityBounds) {
+  std::vector<geom::Vec2> positions{{0, 500}, {3000, 500}};
+  RoutelessConfig config;
+  config.pending_capacity = 4;
+  config.discovery_timeout = 5.0;
+  TestNet tn(positions, 250.0, geom::Terrain(4000, 1000));
+  attach_rr(tn, config);
+  for (int i = 0; i < 10; ++i) {
+    tn.node(0).protocol().send_data(1, 64);
+  }
+  tn.scheduler.run_until(1.0);
+  EXPECT_GE(rr_of(tn.node(0)).rr_stats().pending_dropped, 6u);
+}
+
+TEST(Routeless, BidirectionalTrafficBothDirectionsDeliver) {
+  auto tn = rrnet::testing::make_line_net(4);
+  attach_rr(tn);
+  int fwd = 0, rev = 0;
+  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++fwd; });
+  tn.node(0).set_delivery_handler([&](const net::Packet&) { ++rev; });
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.schedule_at(5.0, [&tn]() {
+    tn.node(3).protocol().send_data(0, 64);
+  });
+  tn.scheduler.run_until(20.0);
+  EXPECT_EQ(fwd, 1);
+  EXPECT_EQ(rev, 1);
+}
+
+TEST(Routeless, DataPacketsUseGradientElections) {
+  auto tn = rrnet::testing::make_line_net(5);
+  attach_rr(tn);
+  tn.node(0).protocol().send_data(4, 64);
+  tn.scheduler.run_until(20.0);
+  // A middle node must have both armed and won at least one forwarding
+  // election (it relayed either the reply or the data packet).
+  std::uint64_t total_won = 0;
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    total_won += rr_of(tn.node(i)).election_stats().won;
+  }
+  EXPECT_GE(total_won, 2u);
+}
+
+TEST(Routeless, ArbiterRetransmitsWhenRelayUnheard) {
+  // Destination broadcasts a reply that nobody can relay (no other nodes in
+  // range of the source side): the arbiter retries then gives up.
+  std::vector<geom::Vec2> positions{{0, 500}, {200, 500}};
+  RoutelessConfig config;
+  config.arbiter.relay_timeout = 0.02;
+  config.arbiter.max_retransmits = 2;
+  TestNet tn(positions, 250.0, geom::Terrain(1000, 1000));
+  attach_rr(tn, config);
+  int deliveries = 0;
+  tn.node(1).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(1, 64);
+  tn.scheduler.run_until(10.0);
+  // Adjacent nodes: reply goes straight to the source, data straight to the
+  // destination — delivered despite there being no intermediate relays.
+  EXPECT_EQ(deliveries, 1);
+  // Source's data broadcast was never "relayed" by anyone, but the
+  // destination's NetAck stops the arbiter: no give-up storm. The reply
+  // behaves symmetrically.
+  EXPECT_LE(rr_of(tn.node(0)).arbiter_stats().retransmits, 3u);
+}
+
+TEST(Routeless, TableRefreshesWithNewerSequences) {
+  auto tn = rrnet::testing::make_line_net(3);
+  attach_rr(tn);
+  // First flow teaches node 2 that node 0 is 2 hops away.
+  tn.node(0).protocol().send_data(2, 16);
+  tn.scheduler.run_until(20.0);
+  ASSERT_TRUE(rr_of(tn.node(2)).knows_target(0));
+  EXPECT_EQ(rr_of(tn.node(2)).hops_to(0), 2u);
+  // Later packets keep the entry fresh rather than stale-min.
+  tn.node(0).protocol().send_data(2, 16);
+  tn.scheduler.run_until(40.0);
+  EXPECT_EQ(rr_of(tn.node(2)).hops_to(0), 2u);
+}
+
+TEST(Routeless, DeliversExactlyOncePerDataPacket) {
+  auto tn = rrnet::testing::make_line_net(4);
+  attach_rr(tn);
+  int deliveries = 0;
+  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  for (int i = 0; i < 5; ++i) {
+    tn.scheduler.schedule_at(0.5 * i + 0.1, [&tn]() {
+      tn.node(0).protocol().send_data(3, 32);
+    });
+  }
+  tn.scheduler.run_until(30.0);
+  EXPECT_EQ(deliveries, 5);
+}
+
+TEST(Routeless, SsafDiscoveryDelivers) {
+  auto tn = rrnet::testing::make_line_net(5);
+  RoutelessConfig config;
+  config.ssaf_discovery = true;
+  attach_rr(tn, config);
+  int deliveries = 0;
+  tn.node(4).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(0).protocol().send_data(4, 64);
+  tn.scheduler.run_until(20.0);
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST(Routeless, SsafDiscoveryUsesFewerRelaysOnDenseNet) {
+  std::vector<geom::Vec2> positions;
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      positions.push_back({100.0 + 120.0 * c, 100.0 + 120.0 * r});
+    }
+  }
+  auto discovery_relays = [&](bool ssaf) {
+    TestNet tn(positions, 250.0, geom::Terrain(800, 800));
+    RoutelessConfig config;
+    config.ssaf_discovery = ssaf;
+    attach_rr(tn, config);
+    int deliveries = 0;
+    tn.node(24).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+    tn.node(0).protocol().send_data(24, 64);
+    tn.scheduler.run_until(20.0);
+    EXPECT_EQ(deliveries, 1) << "ssaf=" << ssaf;
+    std::uint64_t relays = 0;
+    for (std::uint32_t i = 0; i < tn.network->size(); ++i) {
+      relays += rr_of(tn.node(i)).rr_stats().discovery_relays;
+    }
+    return relays;
+  };
+  EXPECT_LT(discovery_relays(true), discovery_relays(false));
+}
+
+}  // namespace
+}  // namespace rrnet::proto

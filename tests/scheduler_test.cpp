@@ -1,0 +1,250 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "des/rng.hpp"
+#include "des/scheduler.hpp"
+#include "des/timer.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::des {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(3.0, [&]() { order.push_back(3); });
+  sched.schedule_at(1.0, [&]() { order.push_back(1); });
+  sched.schedule_at(2.0, [&]() { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sched.now(), 3.0);
+  EXPECT_EQ(sched.executed_count(), 3u);
+}
+
+TEST(Scheduler, EqualTimesRunFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(1.0, [&, i]() { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, RejectsPastAndNullCallbacks) {
+  Scheduler sched;
+  sched.schedule_at(5.0, []() {});
+  sched.run();
+  EXPECT_THROW(sched.schedule_at(4.0, []() {}), rrnet::ContractViolation);
+  EXPECT_THROW(sched.schedule_in(-1.0, []() {}), rrnet::ContractViolation);
+  EXPECT_THROW(sched.schedule_at(6.0, nullptr), rrnet::ContractViolation);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool ran = false;
+  const EventId id = sched.schedule_at(1.0, [&]() { ran = true; });
+  EXPECT_TRUE(sched.pending(id));
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.pending(id));
+  EXPECT_FALSE(sched.cancel(id));  // second cancel is a no-op
+  sched.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sched.executed_count(), 0u);
+}
+
+TEST(Scheduler, SlotReuseDoesNotResurrectOldIds) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId first = sched.schedule_at(1.0, [&]() { ++fired; });
+  sched.cancel(first);
+  // New event likely reuses the slot; the old id must stay dead.
+  const EventId second = sched.schedule_at(2.0, [&]() { ++fired; });
+  EXPECT_FALSE(sched.pending(first));
+  EXPECT_TRUE(sched.pending(second));
+  EXPECT_FALSE(sched.cancel(first));
+  sched.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, ScheduleDuringCallback) {
+  Scheduler sched;
+  std::vector<std::string> log;
+  sched.schedule_at(1.0, [&]() {
+    log.push_back("a");
+    sched.schedule_in(0.5, [&]() { log.push_back("b"); });
+  });
+  sched.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a", "b"}));
+  EXPECT_DOUBLE_EQ(sched.now(), 1.5);
+}
+
+TEST(Scheduler, CancelDuringCallback) {
+  Scheduler sched;
+  bool second_ran = false;
+  EventId second{};
+  second = sched.schedule_at(2.0, [&]() { second_ran = true; });
+  sched.schedule_at(1.0, [&]() { sched.cancel(second); });
+  sched.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockToHorizon) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(1.0, [&]() { ++fired; });
+  sched.schedule_at(5.0, [&]() { ++fired; });
+  sched.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sched.now(), 3.0);
+  EXPECT_EQ(sched.pending_count(), 1u);
+  sched.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sched.now(), 10.0);
+}
+
+TEST(Scheduler, RunUntilIncludesBoundary) {
+  Scheduler sched;
+  bool ran = false;
+  sched.schedule_at(3.0, [&]() { ran = true; });
+  sched.run_until(3.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(1.0, [&]() { ++fired; });
+  sched.schedule_at(2.0, [&]() { ++fired; });
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, PendingCountTracksLiveEvents) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(1.0, []() {});
+  sched.schedule_at(2.0, []() {});
+  EXPECT_EQ(sched.pending_count(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending_count(), 1u);
+  sched.run();
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
+TEST(Scheduler, ManyInterleavedScheduleCancels) {
+  Scheduler sched;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(
+        sched.schedule_at(1.0 + 0.001 * i, [&]() { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) sched.cancel(ids[i]);
+  sched.run();
+  EXPECT_EQ(fired, 500);
+}
+
+TEST(Timer, FiresAfterDelay) {
+  Scheduler sched;
+  Timer timer(sched);
+  bool fired = false;
+  timer.start(2.0, [&]() { fired = true; });
+  EXPECT_TRUE(timer.active());
+  EXPECT_DOUBLE_EQ(timer.expiry(), 2.0);
+  sched.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(timer.active());
+}
+
+TEST(Timer, CancelStopsFiring) {
+  Scheduler sched;
+  Timer timer(sched);
+  bool fired = false;
+  timer.start(1.0, [&]() { fired = true; });
+  EXPECT_TRUE(timer.cancel());
+  EXPECT_FALSE(timer.cancel());
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, RestartReplacesPending) {
+  Scheduler sched;
+  Timer timer(sched);
+  int which = 0;
+  timer.start(1.0, [&]() { which = 1; });
+  timer.start(2.0, [&]() { which = 2; });
+  sched.run();
+  EXPECT_EQ(which, 2);
+  EXPECT_DOUBLE_EQ(sched.now(), 2.0);
+  EXPECT_EQ(sched.executed_count(), 1u);
+}
+
+TEST(Timer, DestructionCancels) {
+  Scheduler sched;
+  bool fired = false;
+  {
+    Timer timer(sched);
+    timer.start(1.0, [&]() { fired = true; });
+  }
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, MoveTransfersOwnership) {
+  Scheduler sched;
+  bool fired = false;
+  Timer a(sched);
+  a.start(1.0, [&]() { fired = true; });
+  Timer b = std::move(a);
+  EXPECT_TRUE(b.active());
+  sched.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Timer, RearmFromInsideCallback) {
+  Scheduler sched;
+  Timer timer(sched);
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    if (++count < 5) timer.start(1.0, tick);
+  };
+  timer.start(1.0, tick);
+  sched.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sched.now(), 5.0);
+}
+
+// Property: an arbitrary interleaving of schedules executes in
+// nondecreasing time order.
+class SchedulerOrderTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerOrderTest, TimesNondecreasing) {
+  Scheduler sched;
+  std::uint64_t state = GetParam();
+  std::vector<Time> executed;
+  for (int i = 0; i < 200; ++i) {
+    const Time t = static_cast<double>(splitmix64(state) % 1000) / 100.0;
+    sched.schedule_at(t, [&, t]() {
+      executed.push_back(t);
+      // Occasionally chain another event.
+      if (executed.size() % 7 == 0) {
+        sched.schedule_in(0.01, [&]() { executed.push_back(sched.now()); });
+      }
+    });
+  }
+  sched.run();
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    EXPECT_LE(executed[i - 1], executed[i] + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerOrderTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 999u));
+
+}  // namespace
+}  // namespace rrnet::des

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "sim/replication.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+
+namespace rrnet::sim {
+namespace {
+
+ScenarioConfig small_scenario(ProtocolKind protocol) {
+  ScenarioConfig config;
+  config.seed = 11;
+  config.nodes = 30;
+  config.width_m = 600.0;
+  config.height_m = 600.0;
+  config.range_m = 250.0;
+  config.protocol = protocol;
+  config.pairs = 2;
+  config.cbr_interval = 1.0;
+  config.payload_bytes = 128;
+  config.traffic_start = 1.0;
+  config.traffic_stop = 8.0;
+  config.sim_end = 15.0;
+  return config;
+}
+
+TEST(DrawPairs, EndpointsDistinctAndInRange) {
+  des::Rng rng(5);
+  const auto pairs = draw_pairs(20, 50, rng);
+  ASSERT_EQ(pairs.size(), 50u);
+  for (const auto& [src, dst] : pairs) {
+    EXPECT_LT(src, 20u);
+    EXPECT_LT(dst, 20u);
+    EXPECT_NE(src, dst);
+  }
+}
+
+TEST(ProtocolKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(ProtocolKind::Ssaf), "SSAF");
+  EXPECT_STREQ(to_string(ProtocolKind::Routeless), "Routeless Routing");
+  EXPECT_STREQ(to_string(ProtocolKind::Aodv), "AODV");
+}
+
+TEST(SimInstance, RunsAndProducesSaneMetrics) {
+  const ScenarioResult r = run_scenario(small_scenario(ProtocolKind::Ssaf));
+  EXPECT_GT(r.sent, 0u);
+  EXPECT_GT(r.delivered, 0u);
+  EXPECT_GE(r.delivery_ratio, 0.0);
+  EXPECT_LE(r.delivery_ratio, 1.0);
+  EXPECT_GT(r.mac_packets, r.sent);
+  EXPECT_GT(r.events_executed, 0u);
+  EXPECT_GE(r.mean_hops, 1.0);
+  EXPECT_GT(r.mean_delay_s, 0.0);
+}
+
+TEST(SimInstance, DeterministicForSameSeed) {
+  const ScenarioResult a = run_scenario(small_scenario(ProtocolKind::Routeless));
+  const ScenarioResult b = run_scenario(small_scenario(ProtocolKind::Routeless));
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.mac_packets, b.mac_packets);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.mean_delay_s, b.mean_delay_s);
+}
+
+TEST(SimInstance, SeedChangesOutcome) {
+  ScenarioConfig c1 = small_scenario(ProtocolKind::Ssaf);
+  ScenarioConfig c2 = c1;
+  c2.seed = 12;
+  const ScenarioResult a = run_scenario(c1);
+  const ScenarioResult b = run_scenario(c2);
+  EXPECT_NE(a.events_executed, b.events_executed);
+}
+
+TEST(SimInstance, ExplicitPairsHonored) {
+  ScenarioConfig config = small_scenario(ProtocolKind::Ssaf);
+  config.explicit_pairs = {{0, 1}, {2, 3}};
+  SimInstance sim(config);
+  ASSERT_EQ(sim.pairs().size(), 2u);
+  EXPECT_EQ(sim.pairs()[0], (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+}
+
+TEST(SimInstance, BidirectionalDoublesTraffic) {
+  ScenarioConfig uni = small_scenario(ProtocolKind::Ssaf);
+  ScenarioConfig bi = uni;
+  bi.bidirectional = true;
+  const ScenarioResult a = run_scenario(uni);
+  const ScenarioResult b = run_scenario(bi);
+  EXPECT_GT(b.sent, a.sent * 3 / 2);
+}
+
+TEST(SimInstance, TracePathsRecordsWhenEnabled) {
+  ScenarioConfig config = small_scenario(ProtocolKind::Routeless);
+  config.trace_paths = true;
+  SimInstance sim(config);
+  sim.run();
+  ASSERT_NE(sim.path_trace(), nullptr);
+  EXPECT_FALSE(sim.path_trace()->paths().empty());
+}
+
+TEST(SimInstance, FailureModelCreatedOnlyWhenRequested) {
+  ScenarioConfig config = small_scenario(ProtocolKind::Routeless);
+  SimInstance without(config);
+  EXPECT_EQ(without.failures(), nullptr);
+  config.failure_fraction = 0.1;
+  SimInstance with(config);
+  EXPECT_NE(with.failures(), nullptr);
+}
+
+TEST(SimInstance, RadioCalibratedToConfiguredRange) {
+  ScenarioConfig config = small_scenario(ProtocolKind::Ssaf);
+  config.range_m = 180.0;
+  SimInstance sim(config);
+  EXPECT_NEAR(sim.network().channel().nominal_range_m(), 180.0, 1.0);
+}
+
+TEST(Replication, ParallelMatchesSerial) {
+  const ScenarioConfig base = small_scenario(ProtocolKind::Ssaf);
+  const Aggregated serial = run_replications(base, 4, /*threads=*/1);
+  const Aggregated parallel = run_replications(base, 4, /*threads=*/4);
+  EXPECT_DOUBLE_EQ(serial.delivery_ratio.mean, parallel.delivery_ratio.mean);
+  EXPECT_DOUBLE_EQ(serial.delay_s.mean, parallel.delay_s.mean);
+  EXPECT_DOUBLE_EQ(serial.mac_packets.mean, parallel.mac_packets.mean);
+  EXPECT_EQ(serial.replications, 4u);
+}
+
+TEST(Replication, SummariesCoverAllReplications) {
+  const Aggregated agg =
+      run_replications(small_scenario(ProtocolKind::Ssaf), 3, 3);
+  EXPECT_EQ(agg.delivery_ratio.count, 3u);
+  EXPECT_EQ(agg.mac_packets.count, 3u);
+  EXPECT_GT(agg.mac_packets.mean, 0.0);
+}
+
+TEST(Sweep, BuildsLabeledTable) {
+  SweepSpec spec;
+  spec.x_label = "interval_s";
+  spec.x_values = {1.0, 2.0};
+  spec.replications = 1;
+  ScenarioConfig base = small_scenario(ProtocolKind::Ssaf);
+  Sweep sweep(spec, base);
+  sweep.run("ssaf", ProtocolKind::Ssaf, [](ScenarioConfig& c, double x) {
+    c.cbr_interval = x;
+  });
+  const util::Table table = sweep.table();
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 5u);
+  EXPECT_DOUBLE_EQ(std::get<double>(table.at(0, 0)), 1.0);
+  EXPECT_GT(std::get<double>(table.at(0, 1)), 0.0);  // delivery ratio
+}
+
+}  // namespace
+}  // namespace rrnet::sim

@@ -1,0 +1,61 @@
+// Shared fixtures: hand-placed topologies wired through the real substrate.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "des/scheduler.hpp"
+#include "geom/terrain.hpp"
+#include "net/network.hpp"
+#include "phy/propagation.hpp"
+
+namespace rrnet::testing {
+
+/// A complete network over explicit positions with free-space propagation
+/// and tx power calibrated for the requested range.
+struct TestNet {
+  des::Scheduler scheduler;
+  geom::Terrain terrain;
+  std::unique_ptr<net::Network> network;
+
+  TestNet(std::vector<geom::Vec2> positions, double range_m,
+          geom::Terrain terrain_in, std::uint64_t seed = 7,
+          mac::MacParams mac_params = {})
+      : terrain(terrain_in) {
+    phy::FreeSpace model_for_power;
+    phy::RadioParams radio;
+    radio.cs_threshold_dbm = radio.rx_threshold_dbm - 7.0;
+    radio.noise_floor_dbm = radio.rx_threshold_dbm - 14.0;
+    radio.interference_cutoff_dbm = radio.rx_threshold_dbm - 14.0;
+    radio.tx_power_dbm = phy::tx_power_for_range(model_for_power, range_m,
+                                                 radio.rx_threshold_dbm);
+    network = std::make_unique<net::Network>(
+        scheduler, terrain, std::make_unique<phy::FreeSpace>(), radio,
+        mac_params, std::move(positions), des::Rng(seed));
+  }
+
+  net::Node& node(std::uint32_t id) { return network->node(id); }
+};
+
+/// N nodes on a horizontal line with the given spacing; with spacing just
+/// under the range only adjacent nodes hear each other.
+inline std::vector<geom::Vec2> line_positions(std::size_t n, double spacing,
+                                              double y = 500.0,
+                                              double x0 = 10.0) {
+  std::vector<geom::Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({x0 + spacing * static_cast<double>(i), y});
+  }
+  return out;
+}
+
+/// A line network: spacing 200 m, range 250 m -> adjacent-only links.
+inline TestNet make_line_net(std::size_t n, std::uint64_t seed = 7,
+                             mac::MacParams mac_params = {}) {
+  const double width = 200.0 * static_cast<double>(n) + 20.0;
+  return TestNet(line_positions(n, 200.0), 250.0,
+                 geom::Terrain(width, 1000.0), seed, mac_params);
+}
+
+}  // namespace rrnet::testing

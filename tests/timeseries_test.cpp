@@ -1,0 +1,104 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "app/cbr.hpp"
+#include "proto/ssaf.hpp"
+#include "test_helpers.hpp"
+#include "util/contracts.hpp"
+#include "util/timeseries.hpp"
+
+namespace rrnet::util {
+namespace {
+
+TEST(TimeSeries, BucketsByTime) {
+  TimeSeries series(1.0);
+  series.add(0.1, 10.0);
+  series.add(0.9, 20.0);
+  series.add(1.5, 30.0);
+  series.add(4.2, 40.0);
+  ASSERT_EQ(series.buckets(), 5u);
+  EXPECT_EQ(series.count(0), 2u);
+  EXPECT_EQ(series.count(1), 1u);
+  EXPECT_EQ(series.count(2), 0u);
+  EXPECT_EQ(series.count(4), 1u);
+  EXPECT_DOUBLE_EQ(series.sum(0), 30.0);
+  EXPECT_DOUBLE_EQ(series.mean(0), 15.0);
+  EXPECT_TRUE(std::isnan(series.mean(2)));
+  EXPECT_DOUBLE_EQ(series.rate(0), 2.0);
+}
+
+TEST(TimeSeries, StartOffsetDropsEarlySamples) {
+  TimeSeries series(0.5, /*start=*/2.0);
+  series.add(1.0);  // before start: dropped
+  series.add(2.1);
+  series.add(2.6);
+  ASSERT_EQ(series.buckets(), 2u);
+  EXPECT_DOUBLE_EQ(series.bucket_start(0), 2.0);
+  EXPECT_DOUBLE_EQ(series.bucket_start(1), 2.5);
+  EXPECT_EQ(series.count(0), 1u);
+  EXPECT_EQ(series.count(1), 1u);
+}
+
+TEST(TimeSeries, PeakBucket) {
+  TimeSeries series(1.0);
+  series.add(0.5);
+  series.add(3.1);
+  series.add(3.2);
+  series.add(3.3);
+  EXPECT_EQ(series.peak_bucket(), 3u);
+  TimeSeries empty(1.0);
+  EXPECT_EQ(empty.peak_bucket(), 0u);
+}
+
+TEST(TimeSeries, ToTableShape) {
+  TimeSeries series(2.0);
+  series.add(1.0, 5.0);
+  series.add(3.0, 7.0);
+  const Table table = series.to_table("delay");
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 4u);
+  EXPECT_DOUBLE_EQ(std::get<double>(table.at(1, 3)), 7.0);
+}
+
+TEST(TimeSeries, BoundsChecked) {
+  TimeSeries series(1.0);
+  EXPECT_THROW(static_cast<void>(series.count(0)),
+               rrnet::ContractViolation);
+  EXPECT_THROW(TimeSeries(0.0), rrnet::ContractViolation);
+}
+
+TEST(FlowStatsSeries, RecordsDeliveriesPerBucket) {
+  auto tn = rrnet::testing::make_line_net(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    tn.node(i).set_protocol(proto::make_counter1_flooding(tn.node(i)));
+  }
+  tn.network->start_protocols();
+  app::FlowStats stats;
+  stats.enable_timeseries(1.0);
+  app::attach_sink(tn.node(2), stats);
+  app::CbrConfig config;
+  config.interval = 0.5;
+  config.start_time = 0.0;
+  config.stop_time = 5.0;
+  app::CbrSource source(tn.node(0), 2, config, stats);
+  source.start();
+  tn.scheduler.run_until(10.0);
+  ASSERT_NE(stats.timeseries(), nullptr);
+  const TimeSeries& series = *stats.timeseries();
+  ASSERT_GE(series.buckets(), 5u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < series.buckets(); ++i) total += series.count(i);
+  EXPECT_EQ(total, stats.delivered());
+  // Roughly two deliveries per one-second bucket while traffic flows.
+  EXPECT_GE(series.count(2), 1u);
+  EXPECT_LE(series.count(2), 3u);
+}
+
+TEST(FlowStatsSeries, DisabledByDefault) {
+  app::FlowStats stats;
+  EXPECT_EQ(stats.timeseries(), nullptr);
+}
+
+}  // namespace
+}  // namespace rrnet::util

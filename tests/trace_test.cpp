@@ -1,0 +1,127 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+#include "proto/routeless.hpp"
+#include "test_helpers.hpp"
+#include "trace/path_trace.hpp"
+#include "trace/render.hpp"
+
+namespace rrnet::trace {
+namespace {
+
+using rrnet::testing::TestNet;
+
+TEST(PathTrace, RecordsRelayChain) {
+  auto tn = rrnet::testing::make_line_net(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    tn.node(i).set_protocol(
+        std::make_unique<proto::RoutelessProtocol>(tn.node(i)));
+  }
+  tn.network->start_protocols();
+  PathTrace trace(*tn.network);
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(20.0);
+  // Find the delivered data path.
+  const PacketPath* data_path = nullptr;
+  for (const auto& [uid, path] : trace.paths()) {
+    if (path.delivered) data_path = &path;
+  }
+  ASSERT_NE(data_path, nullptr);
+  EXPECT_EQ(data_path->origin, 0u);
+  EXPECT_EQ(data_path->target, 3u);
+  // Transmissions at 0, 1, 2 plus the delivery hop at 3.
+  ASSERT_GE(data_path->hops.size(), 4u);
+  EXPECT_EQ(data_path->hops.front().node, 0u);
+  EXPECT_EQ(data_path->hops.back().node, 3u);
+  // Times strictly increase along the chain.
+  for (std::size_t i = 1; i < data_path->hops.size(); ++i) {
+    EXPECT_GE(data_path->hops[i].time, data_path->hops[i - 1].time);
+  }
+}
+
+TEST(PathTrace, DetourZeroForStraightLine) {
+  PacketPath path;
+  path.origin = 0;
+  path.target = 1;
+  path.delivered = true;
+  for (int i = 0; i <= 4; ++i) {
+    path.hops.push_back({0, {100.0 * i, 500.0}, 0.1 * i});
+  }
+  EXPECT_NEAR(PathTrace::mean_detour(path, {0, 500}, {400, 500}), 0.0, 1e-9);
+}
+
+TEST(PathTrace, DetourMeasuresDeviation) {
+  PacketPath path;
+  path.hops.push_back({0, {0, 500}, 0.0});
+  path.hops.push_back({1, {200, 700}, 0.1});  // 200 m off the line
+  path.hops.push_back({2, {400, 500}, 0.2});
+  const double detour = PathTrace::mean_detour(path, {0, 500}, {400, 500});
+  EXPECT_NEAR(detour, 200.0 / 3.0, 1e-9);
+}
+
+TEST(GridCanvas, PointAccumulation) {
+  GridCanvas canvas(geom::Terrain(100, 100), 10, 10);
+  canvas.add_point({5, 5});
+  canvas.add_point({5, 5}, 2.0);
+  EXPECT_DOUBLE_EQ(canvas.cell(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(canvas.cell(5, 5), 0.0);
+}
+
+TEST(GridCanvas, SegmentTouchesCellsAlongLine) {
+  GridCanvas canvas(geom::Terrain(100, 100), 10, 10);
+  canvas.add_segment({5, 5}, {95, 5});
+  int touched = 0;
+  for (std::size_t c = 0; c < 10; ++c) {
+    if (canvas.cell(c, 0) > 0.0) ++touched;
+  }
+  EXPECT_EQ(touched, 10);
+  // No vertical bleed.
+  for (std::size_t c = 0; c < 10; ++c) {
+    EXPECT_DOUBLE_EQ(canvas.cell(c, 5), 0.0);
+  }
+}
+
+TEST(GridCanvas, AsciiShapesAndMarkers) {
+  GridCanvas canvas(geom::Terrain(100, 100), 8, 4);
+  canvas.add_point({50, 50}, 5.0);
+  canvas.add_marker({5, 5}, 'A');
+  const std::string art = canvas.to_ascii();
+  // 4 rows of 8 chars + newlines.
+  EXPECT_EQ(art.size(), 4u * 9u);
+  EXPECT_EQ(art[0], 'A');  // marker in top-left cell
+  EXPECT_NE(art.find('#'), std::string::npos);  // the hot cell
+}
+
+TEST(GridCanvas, EmptyCanvasRendersBlank) {
+  GridCanvas canvas(geom::Terrain(10, 10), 4, 2);
+  const std::string art = canvas.to_ascii();
+  for (char c : art) {
+    EXPECT_TRUE(c == ' ' || c == '\n');
+  }
+}
+
+TEST(GridCanvas, SavePgmWritesValidHeader) {
+  GridCanvas canvas(geom::Terrain(100, 100), 16, 16);
+  canvas.add_point({50, 50}, 3.0);
+  const std::string path = ::testing::TempDir() + "/rrnet_canvas.pgm";
+  ASSERT_TRUE(canvas.save_pgm(path));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {0, 0, 0};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  EXPECT_EQ(magic[0], 'P');
+  EXPECT_EQ(magic[1], '5');
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(GridCanvas, RejectsZeroDims) {
+  EXPECT_THROW(GridCanvas(geom::Terrain(10, 10), 0, 4),
+               rrnet::ContractViolation);
+}
+
+}  // namespace
+}  // namespace rrnet::trace

@@ -1,0 +1,256 @@
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+namespace rrnet::util {
+namespace {
+
+TEST(Accumulator, EmptyHasNaNMeanAndZeroCount) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_TRUE(acc.empty());
+  EXPECT_TRUE(std::isnan(acc.mean()));
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+}
+
+TEST(Accumulator, MeanAndVarianceMatchClosedForm) {
+  Accumulator acc;
+  for (int i = 1; i <= 100; ++i) acc.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(acc.mean(), 50.5);
+  // Var of 1..100 (sample): n(n+1)/12 with n=101 -> 841.66...
+  EXPECT_NEAR(acc.variance(), 841.6666667, 1e-6);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 100.0);
+  EXPECT_NEAR(acc.sum(), 5050.0, 1e-9);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = std::cos(i) * 3.0 + 1.0;
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.add(3.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Accumulator, SummaryCi95) {
+  Accumulator acc;
+  for (int i = 0; i < 100; ++i) acc.add(i % 2 == 0 ? 1.0 : -1.0);
+  const Summary s = acc.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean, 0.0, 1e-12);
+  EXPECT_NEAR(s.ci95, 1.96 * s.stddev / 10.0, 1e-12);
+}
+
+TEST(RatioCounter, Basics) {
+  RatioCounter rc;
+  EXPECT_TRUE(std::isnan(rc.ratio()));
+  rc.add(true);
+  rc.add(false);
+  rc.add(true);
+  rc.add(true);
+  EXPECT_EQ(rc.hits(), 3u);
+  EXPECT_EQ(rc.total(), 4u);
+  EXPECT_DOUBLE_EQ(rc.ratio(), 0.75);
+}
+
+TEST(RatioCounter, Merge) {
+  RatioCounter a, b;
+  a.add_hits(3, 10);
+  b.add_hits(7, 10);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.ratio(), 0.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);  // underflow -> first bin
+  h.add(10.0);  // overflow -> last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, QuantileOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.5, 0.5);
+}
+
+TEST(Summarize, VectorSummary) {
+  const Summary s = summarize({2.0, 4.0, 6.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+}
+
+TEST(Csv, EscapePlainAndSpecial) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({Cell{std::int64_t{1}}}), ContractViolation);
+}
+
+TEST(Table, CsvRoundtripContent) {
+  Table t({"x", "name", "value"});
+  t.add_row({Cell{std::int64_t{1}}, Cell{std::string{"alpha"}}, Cell{0.5}});
+  t.add_row({Cell{std::int64_t{2}}, Cell{std::string{"b,c"}}, Cell{1.25}});
+  std::ostringstream oss;
+  t.write_csv(oss, 2);
+  EXPECT_EQ(oss.str(), "x,name,value\n1,alpha,0.50\n2,\"b,c\",1.25\n");
+}
+
+TEST(Table, PrettyAlignsColumns) {
+  Table t({"metric", "v"});
+  t.add_row({Cell{std::string{"delivery"}}, Cell{0.95}});
+  std::ostringstream oss;
+  t.write_pretty(oss, 2);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("metric"), std::string::npos);
+  EXPECT_NE(out.find("0.95"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, AtAccessorBoundsChecked) {
+  Table t({"a"});
+  t.add_row({Cell{1.0}});
+  EXPECT_THROW(static_cast<void>(t.at(1, 0)), ContractViolation);
+  EXPECT_THROW(static_cast<void>(t.at(0, 1)), ContractViolation);
+  EXPECT_DOUBLE_EQ(std::get<double>(t.at(0, 0)), 1.0);
+}
+
+TEST(Flags, ParsesKeyValueForms) {
+  // Note: a bare "--flag" followed by a non-flag token consumes it as the
+  // value, so positionals must precede bare boolean flags.
+  const char* argv[] = {"prog", "--alpha=1.5", "--name", "bench",
+                        "positional", "--on"};
+  Flags flags(6, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(flags.get_string("name", ""), "bench");
+  EXPECT_TRUE(flags.get_bool("on", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, argv);
+  EXPECT_EQ(flags.get_int("n", 42), 42);
+  EXPECT_FALSE(flags.has("n"));
+}
+
+TEST(Flags, TypeErrorsThrow) {
+  const char* argv[] = {"prog", "--n=abc", "--b=maybe"};
+  Flags flags(3, argv);
+  EXPECT_THROW(static_cast<void>(flags.get_int("n", 0)),
+               ContractViolation);
+  EXPECT_THROW(static_cast<void>(flags.get_bool("b", false)),
+               ContractViolation);
+}
+
+TEST(Flags, SetOverrides) {
+  Flags flags;
+  flags.set("k", "9");
+  EXPECT_EQ(flags.get_int("k", 0), 9);
+}
+
+TEST(Contracts, MacrosThrowWithLocation) {
+  try {
+    RRNET_EXPECTS(1 == 2);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+  EXPECT_THROW(RRNET_ENSURES(false), ContractViolation);
+  EXPECT_THROW(RRNET_ASSERT(false), ContractViolation);
+  EXPECT_NO_THROW(RRNET_EXPECTS(true));
+}
+
+// Property sweep: Welford matches two-pass computation on assorted scales.
+class AccumulatorScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AccumulatorScaleTest, MatchesTwoPassAtScale) {
+  const double scale = GetParam();
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const double x = scale * (std::sin(0.1 * i) + 2.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(acc.mean(), mean, std::abs(mean) * 1e-12 + 1e-12);
+  EXPECT_NEAR(acc.variance(), var, std::abs(var) * 1e-9 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, AccumulatorScaleTest,
+                         ::testing::Values(1e-9, 1e-3, 1.0, 1e3, 1e9));
+
+}  // namespace
+}  // namespace rrnet::util
