@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_aodv_discovery.dir/abl_aodv_discovery.cpp.o"
+  "CMakeFiles/abl_aodv_discovery.dir/abl_aodv_discovery.cpp.o.d"
+  "abl_aodv_discovery"
+  "abl_aodv_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_aodv_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

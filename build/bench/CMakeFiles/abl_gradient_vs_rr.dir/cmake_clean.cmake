@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gradient_vs_rr.dir/abl_gradient_vs_rr.cpp.o"
+  "CMakeFiles/abl_gradient_vs_rr.dir/abl_gradient_vs_rr.cpp.o.d"
+  "abl_gradient_vs_rr"
+  "abl_gradient_vs_rr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gradient_vs_rr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

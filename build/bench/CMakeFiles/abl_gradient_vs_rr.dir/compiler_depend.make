@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_gradient_vs_rr.
+# This may be replaced when dependencies are built.

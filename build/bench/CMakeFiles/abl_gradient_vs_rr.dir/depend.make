@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_gradient_vs_rr.
+# This may be replaced when dependencies are built.

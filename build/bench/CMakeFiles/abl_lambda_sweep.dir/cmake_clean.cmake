@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lambda_sweep.dir/abl_lambda_sweep.cpp.o"
+  "CMakeFiles/abl_lambda_sweep.dir/abl_lambda_sweep.cpp.o.d"
+  "abl_lambda_sweep"
+  "abl_lambda_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lambda_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mobility.dir/abl_mobility.cpp.o"
+  "CMakeFiles/abl_mobility.dir/abl_mobility.cpp.o.d"
+  "abl_mobility"
+  "abl_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_priority_queue.dir/abl_priority_queue.cpp.o"
+  "CMakeFiles/abl_priority_queue.dir/abl_priority_queue.cpp.o.d"
+  "abl_priority_queue"
+  "abl_priority_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_priority_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

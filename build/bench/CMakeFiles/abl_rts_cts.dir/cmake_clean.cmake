@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rts_cts.dir/abl_rts_cts.cpp.o"
+  "CMakeFiles/abl_rts_cts.dir/abl_rts_cts.cpp.o.d"
+  "abl_rts_cts"
+  "abl_rts_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rts_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

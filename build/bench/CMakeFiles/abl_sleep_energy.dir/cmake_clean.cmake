@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sleep_energy.dir/abl_sleep_energy.cpp.o"
+  "CMakeFiles/abl_sleep_energy.dir/abl_sleep_energy.cpp.o.d"
+  "abl_sleep_energy"
+  "abl_sleep_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sleep_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

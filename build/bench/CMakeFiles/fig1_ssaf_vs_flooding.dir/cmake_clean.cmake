@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ssaf_vs_flooding.dir/fig1_ssaf_vs_flooding.cpp.o"
+  "CMakeFiles/fig1_ssaf_vs_flooding.dir/fig1_ssaf_vs_flooding.cpp.o.d"
+  "fig1_ssaf_vs_flooding"
+  "fig1_ssaf_vs_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ssaf_vs_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

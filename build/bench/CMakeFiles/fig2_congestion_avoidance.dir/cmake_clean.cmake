@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_congestion_avoidance.dir/fig2_congestion_avoidance.cpp.o"
+  "CMakeFiles/fig2_congestion_avoidance.dir/fig2_congestion_avoidance.cpp.o.d"
+  "fig2_congestion_avoidance"
+  "fig2_congestion_avoidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_congestion_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_rr_vs_aodv.dir/fig3_rr_vs_aodv.cpp.o"
+  "CMakeFiles/fig3_rr_vs_aodv.dir/fig3_rr_vs_aodv.cpp.o.d"
+  "fig3_rr_vs_aodv"
+  "fig3_rr_vs_aodv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rr_vs_aodv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_node_failures.dir/fig4_node_failures.cpp.o"
+  "CMakeFiles/fig4_node_failures.dir/fig4_node_failures.cpp.o.d"
+  "fig4_node_failures"
+  "fig4_node_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_node_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

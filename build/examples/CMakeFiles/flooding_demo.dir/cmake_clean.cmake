@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flooding_demo.dir/flooding_demo.cpp.o"
+  "CMakeFiles/flooding_demo.dir/flooding_demo.cpp.o.d"
+  "flooding_demo"
+  "flooding_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flooding_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routeless_failover.dir/routeless_failover.cpp.o"
+  "CMakeFiles/routeless_failover.dir/routeless_failover.cpp.o.d"
+  "routeless_failover"
+  "routeless_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routeless_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

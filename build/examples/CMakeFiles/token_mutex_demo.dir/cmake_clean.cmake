@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_mutex_demo.dir/token_mutex_demo.cpp.o"
+  "CMakeFiles/token_mutex_demo.dir/token_mutex_demo.cpp.o.d"
+  "token_mutex_demo"
+  "token_mutex_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_mutex_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

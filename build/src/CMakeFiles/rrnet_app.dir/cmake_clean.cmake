@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_app.dir/app/cbr.cpp.o"
+  "CMakeFiles/rrnet_app.dir/app/cbr.cpp.o.d"
+  "CMakeFiles/rrnet_app.dir/app/flow_stats.cpp.o"
+  "CMakeFiles/rrnet_app.dir/app/flow_stats.cpp.o.d"
+  "librrnet_app.a"
+  "librrnet_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_core.dir/core/arbiter.cpp.o"
+  "CMakeFiles/rrnet_core.dir/core/arbiter.cpp.o.d"
+  "CMakeFiles/rrnet_core.dir/core/backoff_policy.cpp.o"
+  "CMakeFiles/rrnet_core.dir/core/backoff_policy.cpp.o.d"
+  "CMakeFiles/rrnet_core.dir/core/election.cpp.o"
+  "CMakeFiles/rrnet_core.dir/core/election.cpp.o.d"
+  "librrnet_core.a"
+  "librrnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/rng.cpp" "src/CMakeFiles/rrnet_des.dir/des/rng.cpp.o" "gcc" "src/CMakeFiles/rrnet_des.dir/des/rng.cpp.o.d"
+  "/root/repo/src/des/scheduler.cpp" "src/CMakeFiles/rrnet_des.dir/des/scheduler.cpp.o" "gcc" "src/CMakeFiles/rrnet_des.dir/des/scheduler.cpp.o.d"
+  "/root/repo/src/des/timer.cpp" "src/CMakeFiles/rrnet_des.dir/des/timer.cpp.o" "gcc" "src/CMakeFiles/rrnet_des.dir/des/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_des.dir/des/rng.cpp.o"
+  "CMakeFiles/rrnet_des.dir/des/rng.cpp.o.d"
+  "CMakeFiles/rrnet_des.dir/des/scheduler.cpp.o"
+  "CMakeFiles/rrnet_des.dir/des/scheduler.cpp.o.d"
+  "CMakeFiles/rrnet_des.dir/des/timer.cpp.o"
+  "CMakeFiles/rrnet_des.dir/des/timer.cpp.o.d"
+  "librrnet_des.a"
+  "librrnet_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/placement.cpp" "src/CMakeFiles/rrnet_geom.dir/geom/placement.cpp.o" "gcc" "src/CMakeFiles/rrnet_geom.dir/geom/placement.cpp.o.d"
+  "/root/repo/src/geom/spatial_grid.cpp" "src/CMakeFiles/rrnet_geom.dir/geom/spatial_grid.cpp.o" "gcc" "src/CMakeFiles/rrnet_geom.dir/geom/spatial_grid.cpp.o.d"
+  "/root/repo/src/geom/terrain.cpp" "src/CMakeFiles/rrnet_geom.dir/geom/terrain.cpp.o" "gcc" "src/CMakeFiles/rrnet_geom.dir/geom/terrain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrnet_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

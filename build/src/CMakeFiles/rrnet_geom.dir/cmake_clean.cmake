@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_geom.dir/geom/placement.cpp.o"
+  "CMakeFiles/rrnet_geom.dir/geom/placement.cpp.o.d"
+  "CMakeFiles/rrnet_geom.dir/geom/spatial_grid.cpp.o"
+  "CMakeFiles/rrnet_geom.dir/geom/spatial_grid.cpp.o.d"
+  "CMakeFiles/rrnet_geom.dir/geom/terrain.cpp.o"
+  "CMakeFiles/rrnet_geom.dir/geom/terrain.cpp.o.d"
+  "librrnet_geom.a"
+  "librrnet_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

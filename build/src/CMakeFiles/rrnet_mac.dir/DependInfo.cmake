@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/csma.cpp" "src/CMakeFiles/rrnet_mac.dir/mac/csma.cpp.o" "gcc" "src/CMakeFiles/rrnet_mac.dir/mac/csma.cpp.o.d"
+  "/root/repo/src/mac/frame.cpp" "src/CMakeFiles/rrnet_mac.dir/mac/frame.cpp.o" "gcc" "src/CMakeFiles/rrnet_mac.dir/mac/frame.cpp.o.d"
+  "/root/repo/src/mac/priority_queue.cpp" "src/CMakeFiles/rrnet_mac.dir/mac/priority_queue.cpp.o" "gcc" "src/CMakeFiles/rrnet_mac.dir/mac/priority_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrnet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_mac.dir/mac/csma.cpp.o"
+  "CMakeFiles/rrnet_mac.dir/mac/csma.cpp.o.d"
+  "CMakeFiles/rrnet_mac.dir/mac/frame.cpp.o"
+  "CMakeFiles/rrnet_mac.dir/mac/frame.cpp.o.d"
+  "CMakeFiles/rrnet_mac.dir/mac/priority_queue.cpp.o"
+  "CMakeFiles/rrnet_mac.dir/mac/priority_queue.cpp.o.d"
+  "librrnet_mac.a"
+  "librrnet_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

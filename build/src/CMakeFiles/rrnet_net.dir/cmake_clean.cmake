@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_net.dir/net/duplicate_cache.cpp.o"
+  "CMakeFiles/rrnet_net.dir/net/duplicate_cache.cpp.o.d"
+  "CMakeFiles/rrnet_net.dir/net/network.cpp.o"
+  "CMakeFiles/rrnet_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/rrnet_net.dir/net/node.cpp.o"
+  "CMakeFiles/rrnet_net.dir/net/node.cpp.o.d"
+  "CMakeFiles/rrnet_net.dir/net/packet.cpp.o"
+  "CMakeFiles/rrnet_net.dir/net/packet.cpp.o.d"
+  "librrnet_net.a"
+  "librrnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel.cpp" "src/CMakeFiles/rrnet_phy.dir/phy/channel.cpp.o" "gcc" "src/CMakeFiles/rrnet_phy.dir/phy/channel.cpp.o.d"
+  "/root/repo/src/phy/energy.cpp" "src/CMakeFiles/rrnet_phy.dir/phy/energy.cpp.o" "gcc" "src/CMakeFiles/rrnet_phy.dir/phy/energy.cpp.o.d"
+  "/root/repo/src/phy/failure.cpp" "src/CMakeFiles/rrnet_phy.dir/phy/failure.cpp.o" "gcc" "src/CMakeFiles/rrnet_phy.dir/phy/failure.cpp.o.d"
+  "/root/repo/src/phy/propagation.cpp" "src/CMakeFiles/rrnet_phy.dir/phy/propagation.cpp.o" "gcc" "src/CMakeFiles/rrnet_phy.dir/phy/propagation.cpp.o.d"
+  "/root/repo/src/phy/transceiver.cpp" "src/CMakeFiles/rrnet_phy.dir/phy/transceiver.cpp.o" "gcc" "src/CMakeFiles/rrnet_phy.dir/phy/transceiver.cpp.o.d"
+  "/root/repo/src/phy/units.cpp" "src/CMakeFiles/rrnet_phy.dir/phy/units.cpp.o" "gcc" "src/CMakeFiles/rrnet_phy.dir/phy/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrnet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_phy.dir/phy/channel.cpp.o"
+  "CMakeFiles/rrnet_phy.dir/phy/channel.cpp.o.d"
+  "CMakeFiles/rrnet_phy.dir/phy/energy.cpp.o"
+  "CMakeFiles/rrnet_phy.dir/phy/energy.cpp.o.d"
+  "CMakeFiles/rrnet_phy.dir/phy/failure.cpp.o"
+  "CMakeFiles/rrnet_phy.dir/phy/failure.cpp.o.d"
+  "CMakeFiles/rrnet_phy.dir/phy/propagation.cpp.o"
+  "CMakeFiles/rrnet_phy.dir/phy/propagation.cpp.o.d"
+  "CMakeFiles/rrnet_phy.dir/phy/transceiver.cpp.o"
+  "CMakeFiles/rrnet_phy.dir/phy/transceiver.cpp.o.d"
+  "CMakeFiles/rrnet_phy.dir/phy/units.cpp.o"
+  "CMakeFiles/rrnet_phy.dir/phy/units.cpp.o.d"
+  "librrnet_phy.a"
+  "librrnet_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

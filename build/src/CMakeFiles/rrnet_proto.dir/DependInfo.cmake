@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/aodv.cpp" "src/CMakeFiles/rrnet_proto.dir/proto/aodv.cpp.o" "gcc" "src/CMakeFiles/rrnet_proto.dir/proto/aodv.cpp.o.d"
+  "/root/repo/src/proto/dsdv.cpp" "src/CMakeFiles/rrnet_proto.dir/proto/dsdv.cpp.o" "gcc" "src/CMakeFiles/rrnet_proto.dir/proto/dsdv.cpp.o.d"
+  "/root/repo/src/proto/dsr.cpp" "src/CMakeFiles/rrnet_proto.dir/proto/dsr.cpp.o" "gcc" "src/CMakeFiles/rrnet_proto.dir/proto/dsr.cpp.o.d"
+  "/root/repo/src/proto/flooding.cpp" "src/CMakeFiles/rrnet_proto.dir/proto/flooding.cpp.o" "gcc" "src/CMakeFiles/rrnet_proto.dir/proto/flooding.cpp.o.d"
+  "/root/repo/src/proto/gradient.cpp" "src/CMakeFiles/rrnet_proto.dir/proto/gradient.cpp.o" "gcc" "src/CMakeFiles/rrnet_proto.dir/proto/gradient.cpp.o.d"
+  "/root/repo/src/proto/routeless.cpp" "src/CMakeFiles/rrnet_proto.dir/proto/routeless.cpp.o" "gcc" "src/CMakeFiles/rrnet_proto.dir/proto/routeless.cpp.o.d"
+  "/root/repo/src/proto/ssaf.cpp" "src/CMakeFiles/rrnet_proto.dir/proto/ssaf.cpp.o" "gcc" "src/CMakeFiles/rrnet_proto.dir/proto/ssaf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_proto.dir/proto/aodv.cpp.o"
+  "CMakeFiles/rrnet_proto.dir/proto/aodv.cpp.o.d"
+  "CMakeFiles/rrnet_proto.dir/proto/dsdv.cpp.o"
+  "CMakeFiles/rrnet_proto.dir/proto/dsdv.cpp.o.d"
+  "CMakeFiles/rrnet_proto.dir/proto/dsr.cpp.o"
+  "CMakeFiles/rrnet_proto.dir/proto/dsr.cpp.o.d"
+  "CMakeFiles/rrnet_proto.dir/proto/flooding.cpp.o"
+  "CMakeFiles/rrnet_proto.dir/proto/flooding.cpp.o.d"
+  "CMakeFiles/rrnet_proto.dir/proto/gradient.cpp.o"
+  "CMakeFiles/rrnet_proto.dir/proto/gradient.cpp.o.d"
+  "CMakeFiles/rrnet_proto.dir/proto/routeless.cpp.o"
+  "CMakeFiles/rrnet_proto.dir/proto/routeless.cpp.o.d"
+  "CMakeFiles/rrnet_proto.dir/proto/ssaf.cpp.o"
+  "CMakeFiles/rrnet_proto.dir/proto/ssaf.cpp.o.d"
+  "librrnet_proto.a"
+  "librrnet_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

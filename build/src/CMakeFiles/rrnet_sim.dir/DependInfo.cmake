@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/builder.cpp" "src/CMakeFiles/rrnet_sim.dir/sim/builder.cpp.o" "gcc" "src/CMakeFiles/rrnet_sim.dir/sim/builder.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/CMakeFiles/rrnet_sim.dir/sim/mobility.cpp.o" "gcc" "src/CMakeFiles/rrnet_sim.dir/sim/mobility.cpp.o.d"
+  "/root/repo/src/sim/replication.cpp" "src/CMakeFiles/rrnet_sim.dir/sim/replication.cpp.o" "gcc" "src/CMakeFiles/rrnet_sim.dir/sim/replication.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/CMakeFiles/rrnet_sim.dir/sim/runner.cpp.o" "gcc" "src/CMakeFiles/rrnet_sim.dir/sim/runner.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/rrnet_sim.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/rrnet_sim.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/rrnet_sim.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/rrnet_sim.dir/sim/sweep.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/rrnet_sim.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/rrnet_sim.dir/sim/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

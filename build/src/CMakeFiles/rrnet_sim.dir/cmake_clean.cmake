@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_sim.dir/sim/builder.cpp.o"
+  "CMakeFiles/rrnet_sim.dir/sim/builder.cpp.o.d"
+  "CMakeFiles/rrnet_sim.dir/sim/mobility.cpp.o"
+  "CMakeFiles/rrnet_sim.dir/sim/mobility.cpp.o.d"
+  "CMakeFiles/rrnet_sim.dir/sim/replication.cpp.o"
+  "CMakeFiles/rrnet_sim.dir/sim/replication.cpp.o.d"
+  "CMakeFiles/rrnet_sim.dir/sim/runner.cpp.o"
+  "CMakeFiles/rrnet_sim.dir/sim/runner.cpp.o.d"
+  "CMakeFiles/rrnet_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/rrnet_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/rrnet_sim.dir/sim/sweep.cpp.o"
+  "CMakeFiles/rrnet_sim.dir/sim/sweep.cpp.o.d"
+  "CMakeFiles/rrnet_sim.dir/sim/topology.cpp.o"
+  "CMakeFiles/rrnet_sim.dir/sim/topology.cpp.o.d"
+  "librrnet_sim.a"
+  "librrnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_trace.dir/trace/path_trace.cpp.o"
+  "CMakeFiles/rrnet_trace.dir/trace/path_trace.cpp.o.d"
+  "CMakeFiles/rrnet_trace.dir/trace/render.cpp.o"
+  "CMakeFiles/rrnet_trace.dir/trace/render.cpp.o.d"
+  "librrnet_trace.a"
+  "librrnet_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

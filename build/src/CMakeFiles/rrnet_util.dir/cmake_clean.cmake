@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrnet_util.dir/util/csv.cpp.o"
+  "CMakeFiles/rrnet_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/rrnet_util.dir/util/flags.cpp.o"
+  "CMakeFiles/rrnet_util.dir/util/flags.cpp.o.d"
+  "CMakeFiles/rrnet_util.dir/util/log.cpp.o"
+  "CMakeFiles/rrnet_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/rrnet_util.dir/util/stats.cpp.o"
+  "CMakeFiles/rrnet_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/rrnet_util.dir/util/timeseries.cpp.o"
+  "CMakeFiles/rrnet_util.dir/util/timeseries.cpp.o.d"
+  "librrnet_util.a"
+  "librrnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aodv_test.cpp" "tests/CMakeFiles/aodv_test.dir/aodv_test.cpp.o" "gcc" "tests/CMakeFiles/aodv_test.dir/aodv_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsdv_test.dir/dsdv_test.cpp.o"
+  "CMakeFiles/dsdv_test.dir/dsdv_test.cpp.o.d"
+  "dsdv_test"
+  "dsdv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsdv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradient_test.dir/gradient_test.cpp.o"
+  "CMakeFiles/gradient_test.dir/gradient_test.cpp.o.d"
+  "gradient_test"
+  "gradient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routeless_test.dir/routeless_test.cpp.o"
+  "CMakeFiles/routeless_test.dir/routeless_test.cpp.o.d"
+  "routeless_test"
+  "routeless_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routeless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rts_cts_test.dir/rts_cts_test.cpp.o"
+  "CMakeFiles/rts_cts_test.dir/rts_cts_test.cpp.o.d"
+  "rts_cts_test"
+  "rts_cts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rts_cts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

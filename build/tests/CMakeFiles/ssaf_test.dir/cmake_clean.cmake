@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssaf_test.dir/ssaf_test.cpp.o"
+  "CMakeFiles/ssaf_test.dir/ssaf_test.cpp.o.d"
+  "ssaf_test"
+  "ssaf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
