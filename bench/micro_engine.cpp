@@ -34,6 +34,65 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(16384)->Arg(131072);
 
+// Schedule/execute with a hot-path-sized capture (~56 bytes, the size of
+// Channel::transmit's per-receiver lambda). This is the capture class that
+// used to fall off std::function's 16-byte SBO and heap-allocate per event;
+// InlineCallback stores it in the pooled slot.
+void BM_SchedulerHotPayload(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  des::Rng rng(21);
+  des::Scheduler sched;
+  std::uint64_t sink = 0;
+  struct Payload {
+    std::uint64_t* sink;
+    std::uint64_t frame_id;
+    double power_dbm;
+    double duration;
+    std::uint32_t sender;
+    std::uint32_t receiver;
+    double extra;
+  };
+  for (auto _ : state) {
+    Payload p{&sink, 0, -60.0, 1e-3, 1, 2, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      p.frame_id = i;
+      sched.schedule_at(sched.now() + rng.uniform01(),
+                        [p]() { *p.sink += p.frame_id; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerHotPayload)->Arg(16384)->Arg(131072);
+
+// Cancel/reschedule churn: half the events are cancelled and re-scheduled
+// at a new time before the queue drains — the protocol-layer pattern
+// (election concessions, timer re-arms) that stresses slot recycling.
+void BM_SchedulerRescheduleChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  des::Rng rng(22);
+  des::Scheduler sched;
+  std::vector<des::EventId> ids;
+  ids.reserve(n);
+  for (auto _ : state) {
+    ids.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(sched.schedule_at(sched.now() + rng.uniform01(), []() {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) {
+      sched.cancel(ids[i]);
+      sched.schedule_at(sched.now() + rng.uniform01(), []() {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.executed_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n + n / 2));
+}
+BENCHMARK(BM_SchedulerRescheduleChurn)->Arg(16384);
+
 void BM_SchedulerCancelHeavy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   des::Rng rng(2);

@@ -1,0 +1,310 @@
+// Engine benchmark suite with machine-readable output.
+//
+// Unlike the google-benchmark binary (micro_engine), this driver owns its
+// timing loop so it can interpose the global allocator and report
+// allocations/event alongside events/sec and ns/event. It emits
+// BENCH_engine.json so successive PRs can be gated on the perf trajectory
+// (see bench_results/ for checked-in baselines).
+//
+// Usage: run_bench_suite [output.json]
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "des/rng.hpp"
+#include "des/scheduler.hpp"
+#include "des/timer.hpp"
+#include "geom/placement.hpp"
+#include "phy/channel.hpp"
+#include "phy/propagation.hpp"
+#include "sim/runner.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation interposer: every global new/delete in this binary bumps a
+// counter, so a measured region can report exact allocations/event.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace rrnet;
+using Clock = std::chrono::steady_clock;
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t events = 0;   ///< unit of work (events, timers, frames, ...)
+  double seconds = 0.0;
+  std::uint64_t allocations = 0;
+  std::uint64_t alloc_bytes = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+  [[nodiscard]] double ns_per_event() const {
+    return events > 0 ? seconds * 1e9 / static_cast<double>(events) : 0.0;
+  }
+  [[nodiscard]] double allocs_per_event() const {
+    return events > 0
+               ? static_cast<double>(allocations) / static_cast<double>(events)
+               : 0.0;
+  }
+};
+
+/// Runs `body` repeatedly until it has consumed at least `min_seconds` of
+/// wall clock, measuring time and allocations. `body` returns the number of
+/// work units it performed.
+template <typename Body>
+BenchResult measure(const std::string& name, double min_seconds, Body&& body) {
+  // One warmup round: lets pools/vectors reach steady-state capacity so the
+  // measured region reflects steady-state behaviour, not cold growth.
+  (void)body();
+  BenchResult r;
+  r.name = name;
+  const std::uint64_t alloc0 = g_alloc_count.load(std::memory_order_relaxed);
+  const std::uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    r.events += body();
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < min_seconds);
+  r.seconds = elapsed;
+  r.allocations = g_alloc_count.load(std::memory_order_relaxed) - alloc0;
+  r.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+  std::fprintf(stderr,
+               "  %-28s %12.0f ev/s  %8.1f ns/ev  %7.3f allocs/ev\n",
+               r.name.c_str(), r.events_per_sec(), r.ns_per_event(),
+               r.allocs_per_event());
+  return r;
+}
+
+/// Payload comparable to the capture of Channel::transmit's per-receiver
+/// lambda (~56 bytes: this + Airframe + power + id + duration). This is the
+/// hot-path capture size; a type-erased callback that cannot store it inline
+/// pays one heap allocation per scheduled event.
+struct HotPayload {
+  void* self = nullptr;
+  std::uint64_t frame_id = 0;
+  std::uint32_t sender = 0;
+  std::uint32_t receiver = 0;
+  double power_dbm = 0.0;
+  double duration = 0.0;
+  double extra[2] = {0.0, 0.0};
+};
+
+BenchResult bench_schedule_execute() {
+  constexpr std::size_t kEvents = 1 << 16;
+  des::Rng rng(1);
+  des::Scheduler sched;  // reused across rounds: steady-state pools
+  std::uint64_t sink = 0;
+  return measure("schedule_execute", 1.0, [&]() {
+    HotPayload payload;
+    payload.self = &sink;
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      payload.frame_id = i;
+      sched.schedule_at(sched.now() + rng.uniform01(), [payload]() {
+        *static_cast<std::uint64_t*>(payload.self) += payload.frame_id;
+      });
+    }
+    sched.run();
+    return kEvents;
+  });
+}
+
+BenchResult bench_schedule_cancel_churn() {
+  constexpr std::size_t kEvents = 1 << 15;
+  des::Rng rng(2);
+  des::Scheduler sched;
+  std::vector<des::EventId> ids;
+  ids.reserve(kEvents);
+  std::uint64_t sink = 0;
+  return measure("schedule_cancel_churn", 1.0, [&]() {
+    HotPayload payload;
+    payload.self = &sink;
+    ids.clear();
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      payload.frame_id = i;
+      ids.push_back(
+          sched.schedule_at(sched.now() + rng.uniform01(), [payload]() {
+            *static_cast<std::uint64_t*>(payload.self) += payload.frame_id;
+          }));
+    }
+    // Cancel half, reschedule a quarter, then drain.
+    for (std::size_t i = 0; i < kEvents; i += 2) sched.cancel(ids[i]);
+    for (std::size_t i = 0; i < kEvents; i += 4) {
+      payload.frame_id = i;
+      sched.schedule_at(sched.now() + rng.uniform01(),
+                        [payload]() { (void)payload; });
+    }
+    sched.run();
+    return kEvents + kEvents / 4;
+  });
+}
+
+BenchResult bench_timer_churn() {
+  constexpr std::size_t kRestarts = 1 << 16;
+  des::Scheduler sched;
+  des::Timer timer(sched);
+  std::uint64_t sink = 0;
+  return measure("timer_restart_churn", 1.0, [&]() {
+    HotPayload payload;
+    payload.self = &sink;
+    for (std::size_t i = 0; i < kRestarts; ++i) {
+      payload.frame_id = i;
+      timer.start(1.0, [payload]() {
+        *static_cast<std::uint64_t*>(payload.self) += payload.frame_id;
+      });
+    }
+    sched.run();
+    return kRestarts;
+  });
+}
+
+struct NullListener final : phy::RadioListener {
+  void on_receive(const phy::Airframe&, const phy::RxInfo&) override {}
+  void on_tx_done(std::uint64_t) override {}
+  void on_medium_changed(bool) override {}
+};
+
+BenchResult bench_channel_broadcast(std::size_t nodes) {
+  const geom::Terrain terrain(2000.0, 2000.0);
+  des::Rng rng(6);
+  const auto positions = geom::place_uniform(terrain, nodes, rng);
+  des::Scheduler sched;
+  phy::FreeSpace for_power;
+  phy::RadioParams radio;
+  radio.tx_power_dbm =
+      phy::tx_power_for_range(for_power, 250.0, radio.rx_threshold_dbm);
+  phy::Channel channel(sched, terrain, std::make_unique<phy::FreeSpace>(),
+                       radio, positions, des::Rng(7));
+  std::vector<NullListener> listeners(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    channel.transceiver(i).attach(listeners[i]);
+  }
+  std::uint32_t sender = 0;
+  std::uint64_t executed0 = 0;
+  auto result = measure(
+      "channel_broadcast_n" + std::to_string(nodes), 1.0, [&]() {
+        const std::uint64_t before = sched.executed_count();
+        for (int round = 0; round < 64; ++round) {
+          phy::Airframe frame;
+          frame.id = channel.next_frame_id();
+          frame.sender = sender++ % static_cast<std::uint32_t>(nodes);
+          frame.size_bytes = 128;
+          channel.transmit(frame);
+          sched.run();  // drain all reception events
+        }
+        return sched.executed_count() - before;
+      });
+  (void)executed0;
+  return result;
+}
+
+BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
+                           std::size_t nodes, std::size_t pairs) {
+  sim::ScenarioConfig config;
+  config.nodes = nodes;
+  config.width_m = config.height_m = 1000.0;
+  config.pairs = pairs;
+  config.protocol = proto;
+  config.cbr_interval = 1.0;
+  config.traffic_stop = 6.0;
+  config.sim_end = 10.0;
+  config.seed = 42;
+  return measure(name, 1.0, [&]() {
+    const sim::ScenarioResult r = sim::run_scenario(config);
+    return r.events_executed;
+  });
+}
+
+void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  os << "{\n  \"schema\": \"rrnet-bench-engine-v1\",\n";
+  os << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const BenchResult& r = rs[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"events\": %llu, \"seconds\": "
+                  "%.6f, \"events_per_sec\": %.1f, \"ns_per_event\": %.2f, "
+                  "\"allocations\": %llu, \"allocs_per_event\": %.4f, "
+                  "\"alloc_bytes\": %llu}%s\n",
+                  r.name.c_str(),
+                  static_cast<unsigned long long>(r.events), r.seconds,
+                  r.events_per_sec(), r.ns_per_event(),
+                  static_cast<unsigned long long>(r.allocations),
+                  r.allocs_per_event(),
+                  static_cast<unsigned long long>(r.alloc_bytes),
+                  i + 1 < rs.size() ? "," : "");
+    os << buf;
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_engine.json";
+  std::fprintf(stderr, "rrnet engine bench suite\n");
+  std::vector<BenchResult> results;
+  results.push_back(bench_schedule_execute());
+  results.push_back(bench_schedule_cancel_churn());
+  results.push_back(bench_timer_churn());
+  results.push_back(bench_channel_broadcast(100));
+  results.push_back(bench_channel_broadcast(500));
+  results.push_back(bench_scenario("fig1_flooding_wallclock",
+                                   sim::ProtocolKind::Counter1Flooding, 80, 1));
+  results.push_back(
+      bench_scenario("fig1_ssaf_wallclock", sim::ProtocolKind::Ssaf, 80, 1));
+  results.push_back(bench_scenario("fig3_rr_wallclock",
+                                   sim::ProtocolKind::Routeless, 100, 5));
+  results.push_back(
+      bench_scenario("fig3_aodv_wallclock", sim::ProtocolKind::Aodv, 100, 5));
+  write_json(out, results);
+  std::fprintf(stderr, "wrote %s\n", out.c_str());
+  return 0;
+}

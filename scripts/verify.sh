@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification: plain build + tests, then the same suite under
+# ASan/UBSan (second build dir, registered as the "sanitize" configuration).
+#
+# Usage: scripts/verify.sh [--with-bench]
+#   --with-bench  additionally run the engine benchmark suite and refresh
+#                 bench_results/BENCH_engine.json (plain build only; never
+#                 benchmark a sanitized binary).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+WITH_BENCH=0
+[[ "${1:-}" == "--with-bench" ]] && WITH_BENCH=1
+
+echo "== plain build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitize build (address;undefined) + ctest =="
+cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      "-DRRNET_SANITIZE=address;undefined" >/dev/null
+cmake --build build-sanitize -j "$JOBS"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+
+if [[ "$WITH_BENCH" == 1 ]]; then
+  echo "== engine bench suite =="
+  mkdir -p bench_results
+  taskset -c 0 ./build/bench/run_bench_suite bench_results/BENCH_engine.json
+fi
+
+echo "verify OK"

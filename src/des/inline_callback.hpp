@@ -1,0 +1,126 @@
+// Fixed-capacity inline callable for scheduler events.
+//
+// std::function's small-buffer optimisation (16 bytes in libstdc++) cannot
+// hold the hot-path captures of this simulator — Channel::transmit schedules
+// three lambdas per receiver whose captures run up to ~60 bytes — so every
+// scheduled event paid one heap allocation and one indirect free. With
+// millions of events per replication that allocation dominated the engine.
+//
+// InlineCallback stores the callable entirely inside the object (kCapacity
+// bytes of aligned storage + one ops-table pointer), is move-only, and
+// *statically rejects* captures that do not fit: exceeding the budget is a
+// compile error at the schedule site, never a silent heap fallback. Protocol
+// code that genuinely needs a large state block (e.g. a delayed net::Packet
+// relay) boxes it in a shared_ptr and captures the 16-byte handle.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rrnet::des {
+
+class InlineCallback {
+ public:
+  /// Capture budget. Sized for the largest engine-internal capture (the
+  /// per-receiver delivery lambda in Channel::transmit: this + Airframe +
+  /// power + id + duration = 60 bytes) with no headroom to spare — growing a
+  /// hot-path capture should be a deliberate, reviewed decision.
+  static constexpr std::size_t kCapacity = 64;
+  static constexpr std::size_t kAlignment = alignof(std::max_align_t);
+
+  InlineCallback() noexcept = default;
+  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename Fn = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, InlineCallback> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  InlineCallback(F&& fn) {  // NOLINT(runtime/explicit)
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "callback capture exceeds InlineCallback::kCapacity; "
+                  "capture a shared_ptr to the large state instead");
+    static_assert(alignof(Fn) <= kAlignment,
+                  "callback capture over-aligned for InlineCallback storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callback captures must be nothrow-move-constructible");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+    ops_ = &kOpsFor<Fn>;
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  InlineCallback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~InlineCallback() { reset(); }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Invoke the held callable; precondition: non-empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  friend bool operator==(const InlineCallback& cb, std::nullptr_t) noexcept {
+    return !static_cast<bool>(cb);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static void invoke_impl(void* self) {
+    (*static_cast<Fn*>(self))();
+  }
+  template <typename Fn>
+  static void relocate_impl(void* src, void* dst) noexcept {
+    ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+    static_cast<Fn*>(src)->~Fn();
+  }
+  template <typename Fn>
+  static void destroy_impl(void* self) noexcept {
+    static_cast<Fn*>(self)->~Fn();
+  }
+
+  template <typename Fn>
+  static constexpr Ops kOpsFor{&invoke_impl<Fn>, &relocate_impl<Fn>,
+                               &destroy_impl<Fn>};
+
+  alignas(kAlignment) std::byte storage_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rrnet::des

@@ -12,6 +12,15 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t base,
+                                 std::uint64_t index) noexcept {
+  // Mix the base seed through one splitmix64 step, fold the index in, and
+  // mix again: adjacent (base, index) pairs land in unrelated streams.
+  std::uint64_t s = base;
+  s = splitmix64(s) ^ index;
+  return splitmix64(s);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

@@ -14,6 +14,13 @@ namespace rrnet::des {
 /// splitmix64 step; used for seeding and for hashing stream tags.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Derive an independent stream seed from (base, index) by full splitmix64
+/// mixing. Replication i of a run MUST NOT use `base + i`: runs at adjacent
+/// base seeds would then share entire replication streams (seed 1 reps 4..9
+/// == seed 5 reps 0..5), silently correlating sweep variants.
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t base,
+                                               std::uint64_t index) noexcept;
+
 /// xoshiro256** engine (public domain algorithm by Blackman & Vigna).
 class Xoshiro256 {
  public:

@@ -66,9 +66,8 @@ bool Scheduler::step() {
   Slot& s = slots_[top.slot];
   RRNET_ASSERT(top.time >= now_);
   now_ = top.time;
-  Callback cb = std::move(s.callback);
+  Callback cb = std::move(s.callback);  // moved-from slot is empty
   s.live = false;
-  s.callback = nullptr;
   ++s.generation;
   free_slots_.push_back(top.slot);
   --live_;

@@ -5,13 +5,17 @@
 // slot generation, so stale heap entries are skipped lazily at pop time.
 // Ties in time are executed in insertion order, which makes simulations
 // deterministic even when two events share a timestamp.
+//
+// Callbacks are des::InlineCallback, not std::function: captures live inside
+// the pooled slot (zero heap allocations per event in steady state) and a
+// capture larger than the inline budget is a compile-time error.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "des/inline_callback.hpp"
 #include "des/time.hpp"
 
 namespace rrnet::des {
@@ -28,7 +32,7 @@ struct EventId {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;

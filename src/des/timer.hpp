@@ -5,7 +5,6 @@
 // C.31 / F.52 discipline for capturing lambdas).
 #pragma once
 
-#include <functional>
 #include <utility>
 
 #include "des/scheduler.hpp"
@@ -14,7 +13,7 @@ namespace rrnet::des {
 
 class Timer {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Scheduler::Callback;
 
   /// Binds the timer to a scheduler; the scheduler must outlive the timer.
   explicit Timer(Scheduler& scheduler) noexcept : scheduler_(&scheduler) {}

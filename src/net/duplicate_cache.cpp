@@ -9,24 +9,30 @@ DuplicateCache::DuplicateCache(std::size_t capacity) : capacity_(capacity) {
 }
 
 bool DuplicateCache::observe(std::uint64_t key) {
-  auto [it, inserted] = counts_.try_emplace(key, 0u);
-  ++it->second;
-  if (!inserted) return false;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++it->second.count;
+    // Refresh recency: a key still being heard must not age out while colder
+    // keys sit in the cache.
+    order_.splice(order_.end(), order_, it->second.pos);
+    return false;
+  }
   order_.push_back(key);
-  if (order_.size() > capacity_) {
-    counts_.erase(order_.front());
+  entries_.emplace(key, Entry{1u, std::prev(order_.end())});
+  if (entries_.size() > capacity_) {
+    entries_.erase(order_.front());
     order_.pop_front();
   }
   return true;
 }
 
 bool DuplicateCache::seen(std::uint64_t key) const {
-  return counts_.count(key) > 0;
+  return entries_.count(key) > 0;
 }
 
 std::uint32_t DuplicateCache::count(std::uint64_t key) const {
-  const auto it = counts_.find(key);
-  return it == counts_.end() ? 0u : it->second;
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? 0u : it->second.count;
 }
 
 }  // namespace rrnet::net

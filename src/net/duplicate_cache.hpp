@@ -3,17 +3,25 @@
 // Counter-1 flooding requires "a list of sequence numbers of received
 // packets" per node; the cache also counts how many copies were heard, which
 // the counter-based flooding variants and the election logic use.
+//
+// Eviction is least-recently-OBSERVED, not FIFO-by-insertion: under FIFO a
+// packet whose duplicates are still arriving could be evicted purely by
+// insertion age, after which a late copy looked "fresh" and re-flooded (and
+// its duplicate counter silently restarted). Every observation therefore
+// refreshes the key's position; only keys the node has genuinely stopped
+// hearing fall off the end.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <unordered_map>
 
 namespace rrnet::net {
 
 class DuplicateCache {
  public:
-  /// Keep at most `capacity` distinct keys; oldest keys are evicted FIFO.
+  /// Keep at most `capacity` distinct keys; the least-recently-observed key
+  /// is evicted when a new key would exceed the budget.
   explicit DuplicateCache(std::size_t capacity = 4096);
 
   /// Record one observation of `key`. Returns true iff it was NEW.
@@ -23,13 +31,18 @@ class DuplicateCache {
   /// Number of observations of `key` still in the cache (0 if unknown).
   [[nodiscard]] std::uint32_t count(std::uint64_t key) const;
 
-  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  struct Entry {
+    std::uint32_t count = 0;
+    std::list<std::uint64_t>::iterator pos;  ///< position in order_
+  };
+
   std::size_t capacity_;
-  std::unordered_map<std::uint64_t, std::uint32_t> counts_;
-  std::deque<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> order_;  ///< front = least recently observed
 };
 
 }  // namespace rrnet::net

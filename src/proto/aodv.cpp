@@ -235,9 +235,10 @@ void AodvProtocol::relay_rreq(const net::Packet& packet) {
   copy.actual_hops += 1;
   copy.prev_hop = node().id();
   const des::Time delay = rng_.uniform(0.0, config_.rreq_backoff);
-  node().scheduler().schedule_in(delay, [this, copy, delay]() {
+  auto boxed = std::make_shared<const net::Packet>(std::move(copy));
+  node().scheduler().schedule_in(delay, [this, boxed, delay]() {
     ++stats_.rreq_relayed;
-    node().send_packet(copy, mac::kBroadcastAddress, delay);
+    node().send_packet(*boxed, mac::kBroadcastAddress, delay);
   });
 }
 

@@ -213,9 +213,10 @@ void DsrProtocol::handle_rreq(const net::Packet& packet) {
   copy.extension = std::make_shared<const SourceRoute>(std::move(extended));
   copy.payload_bytes += kRouteEntryBytes;
   const des::Time delay = rng_.uniform(0.0, config_.rreq_jitter);
-  node().scheduler().schedule_in(delay, [this, copy, delay]() {
+  auto boxed = std::make_shared<const net::Packet>(std::move(copy));
+  node().scheduler().schedule_in(delay, [this, boxed, delay]() {
     ++stats_.rreq_relayed;
-    node().send_packet(copy, mac::kBroadcastAddress, delay);
+    node().send_packet(*boxed, mac::kBroadcastAddress, delay);
   });
 }
 

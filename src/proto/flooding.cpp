@@ -91,9 +91,10 @@ void FloodingProtocol::on_packet(const net::Packet& packet,
                                           (static_cast<std::uint64_t>(mac_src) + 1));
     if (!copy_seen_.insert(copy_key).second) return;
     const des::Time delay = rng_.uniform(0.0, config_.lambda);
-    net::Packet copy = packet;
+    // Boxed: a Packet is too large for the scheduler's inline capture budget.
+    auto copy = std::make_shared<const net::Packet>(packet);
     node().scheduler().schedule_in(delay, [this, copy, delay]() {
-      relay(copy, delay);
+      relay(*copy, delay);
     });
     return;
   }

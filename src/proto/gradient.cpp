@@ -152,9 +152,10 @@ void GradientProtocol::handle_discovery(const net::Packet& packet) {
   copy.actual_hops += 1;
   copy.prev_hop = node().id();
   const des::Time delay = rng_.uniform(0.0, config_.discovery_lambda);
-  node().scheduler().schedule_in(delay, [this, copy, delay]() {
+  auto boxed = std::make_shared<const net::Packet>(std::move(copy));
+  node().scheduler().schedule_in(delay, [this, boxed, delay]() {
     ++stats_.discovery_relays;
-    node().send_packet(copy, mac::kBroadcastAddress, delay);
+    node().send_packet(*boxed, mac::kBroadcastAddress, delay);
   });
 }
 
@@ -194,9 +195,10 @@ void GradientProtocol::handle_forwarded(const net::Packet& packet) {
   copy.prev_hop = node().id();
   copy.expected_hops = it->second.first;  // my own height gates the next ring
   const des::Time delay = rng_.uniform(0.0, config_.jitter);
-  node().scheduler().schedule_in(delay, [this, copy, delay]() {
+  auto boxed = std::make_shared<const net::Packet>(std::move(copy));
+  node().scheduler().schedule_in(delay, [this, boxed, delay]() {
     ++stats_.relays;
-    node().send_packet(copy, mac::kBroadcastAddress, delay);
+    node().send_packet(*boxed, mac::kBroadcastAddress, delay);
   });
 }
 

@@ -378,10 +378,10 @@ void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
       ++st.re_relays_used;
       ++stats_.re_relays;
       const des::Time delay = rng_.uniform(0.0, config_.lambda);
-      const net::Packet copy = st.relayed_copy;
+      auto copy = std::make_shared<const net::Packet>(st.relayed_copy);
       node().scheduler().schedule_in(delay, [this, key, copy, delay]() {
-        node().send_packet(copy, mac::kBroadcastAddress, delay);
-        watch_as_arbiter(key, copy);
+        node().send_packet(*copy, mac::kBroadcastAddress, delay);
+        watch_as_arbiter(key, *copy);
       });
     }
     return;

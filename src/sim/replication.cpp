@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "des/rng.hpp"
 #include "sim/runner.hpp"
 #include "util/contracts.hpp"
 
@@ -24,7 +25,7 @@ Aggregated run_replications(const ScenarioConfig& base,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= replications) return;
       ScenarioConfig config = base;
-      config.seed = base.seed + i;
+      config.seed = des::derive_stream_seed(base.seed, i);
       results[i] = run_scenario(config);
     }
   };

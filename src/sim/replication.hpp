@@ -1,9 +1,11 @@
 // Multi-seed replication with thread-parallel execution.
 //
 // Replications are shared-nothing: each thread builds and runs its own
-// SimInstance from `base` with seed = base.seed + replication index, so a
+// SimInstance from `base` with seed = derive_stream_seed(base.seed, i), so a
 // parallel run produces bit-identical per-replication results to a serial
-// one. Metrics are aggregated into mean +/- CI summaries.
+// one. Seeds are hash-derived (never base.seed + i) so runs at adjacent base
+// seeds draw from disjoint streams. Metrics are aggregated into mean +/- CI
+// summaries in replication-index order, independent of thread interleaving.
 #pragma once
 
 #include <cstddef>
@@ -23,8 +25,9 @@ struct Aggregated {
   std::size_t replications = 0;
 };
 
-/// Run `replications` independent copies of `base` (seeds base.seed + i) on
-/// up to `threads` worker threads (0 = hardware concurrency).
+/// Run `replications` independent copies of `base` (per-replication seeds
+/// hash-derived from (base.seed, i)) on up to `threads` worker threads
+/// (0 = hardware concurrency).
 [[nodiscard]] Aggregated run_replications(const ScenarioConfig& base,
                                           std::size_t replications,
                                           std::size_t threads = 0);

@@ -1,6 +1,7 @@
 #include "util/csv.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iomanip>
@@ -14,8 +15,12 @@ namespace rrnet::util {
 std::string cell_to_string(const Cell& cell, int precision) {
   if (const auto* s = std::get_if<std::string>(&cell)) return *s;
   if (const auto* i = std::get_if<std::int64_t>(&cell)) return std::to_string(*i);
+  const double d = std::get<double>(cell);
+  // Non-finite values (e.g. the mean of an empty Accumulator) render as an
+  // empty cell: "nan"/"inf" literals break downstream CSV tooling.
+  if (!std::isfinite(d)) return {};
   std::ostringstream oss;
-  oss << std::fixed << std::setprecision(precision) << std::get<double>(cell);
+  oss << std::fixed << std::setprecision(precision) << d;
   return oss.str();
 }
 

@@ -11,7 +11,8 @@ namespace rrnet::util {
 /// A single table cell: string, integer, or double.
 using Cell = std::variant<std::string, std::int64_t, double>;
 
-/// Render a cell with a fixed floating-point precision.
+/// Render a cell with a fixed floating-point precision. Non-finite doubles
+/// (NaN/inf) render as an empty string, so CSVs never contain "nan" cells.
 [[nodiscard]] std::string cell_to_string(const Cell& cell, int precision = 4);
 
 /// Row-oriented table that can render itself as CSV or as an aligned,

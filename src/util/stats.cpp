@@ -54,6 +54,8 @@ Summary Accumulator::summary() const noexcept {
   s.stddev = stddev();
   s.min = min_;
   s.max = max_;
+  // ci95 is pinned to 0 for n < 2: a half-width is meaningless for a single
+  // observation and must never leak NaN into serialized sweep tables.
   if (n_ >= 2) {
     s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(n_));
   }

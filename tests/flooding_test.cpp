@@ -168,6 +168,52 @@ TEST(Flooding, ElectionStatsExposeActivity) {
   EXPECT_GE(flooding_of(tn.node(1)).election_stats().won, 1u);
 }
 
+// Regression tests for the flooding duplicate cache at small capacity.
+// Under the old FIFO-by-insertion eviction, a packet whose duplicates were
+// still arriving could be evicted purely by insertion age; a late copy then
+// looked fresh (observe() == true) and re-flooded in counter-1 flooding,
+// with its duplicate counter silently reset.
+TEST(DuplicateCache, ActivelyHeardKeySurvivesCapacityPressure) {
+  net::DuplicateCache cache(2);
+  EXPECT_TRUE(cache.observe(100));  // the "hot" in-flight packet
+  EXPECT_TRUE(cache.observe(200));
+  for (std::uint64_t fresh = 300; fresh < 330; ++fresh) {
+    EXPECT_FALSE(cache.observe(100)) << "hot key re-flooded at " << fresh;
+    EXPECT_TRUE(cache.observe(fresh));  // evicts the coldest key, never 100
+    EXPECT_TRUE(cache.seen(100));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  // Counter continuity: 1 initial + 30 duplicates, never reset by eviction.
+  EXPECT_EQ(cache.count(100), 31u);
+}
+
+TEST(DuplicateCache, FifoInsertionOrderWouldHaveEvictedHotKey) {
+  // The exact interleaving that broke under FIFO: A and B inserted, A heard
+  // again (duplicate), then C inserted. FIFO evicted A (oldest insertion);
+  // recency-based eviction must evict B.
+  net::DuplicateCache cache(2);
+  EXPECT_TRUE(cache.observe(1));   // A
+  EXPECT_TRUE(cache.observe(2));   // B
+  EXPECT_FALSE(cache.observe(1));  // duplicate of A refreshes it
+  EXPECT_TRUE(cache.observe(3));   // C: must evict B, not A
+  EXPECT_TRUE(cache.seen(1));
+  EXPECT_FALSE(cache.seen(2));
+  EXPECT_EQ(cache.count(1), 2u);
+}
+
+TEST(DuplicateCache, TrulyColdKeyIsEvictedAndLooksFreshAgain) {
+  // Pinned behavior of any bounded cache: once a key has genuinely stopped
+  // being heard and falls off the end, a very late duplicate is
+  // indistinguishable from a new packet and will be treated as fresh.
+  net::DuplicateCache cache(2);
+  EXPECT_TRUE(cache.observe(1));
+  EXPECT_TRUE(cache.observe(2));
+  EXPECT_TRUE(cache.observe(3));  // evicts 1 (cold)
+  EXPECT_FALSE(cache.seen(1));
+  EXPECT_EQ(cache.count(1), 0u);
+  EXPECT_TRUE(cache.observe(1));  // late duplicate re-enters as fresh
+}
+
 TEST(Flooding, BroadcastToUnreachableTargetDeliversNothing) {
   // Two disconnected clusters.
   std::vector<geom::Vec2> positions{{0, 500}, {200, 500}, {3000, 500},

@@ -1,3 +1,6 @@
+#include <cstdint>
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "sim/replication.hpp"
@@ -114,14 +117,50 @@ TEST(SimInstance, RadioCalibratedToConfiguredRange) {
   EXPECT_NEAR(sim.network().channel().nominal_range_m(), 180.0, 1.0);
 }
 
-TEST(Replication, ParallelMatchesSerial) {
+// Compare two summaries bit-exactly (NaN-safe): determinism means identical
+// doubles, not merely close ones.
+void expect_bit_identical(const util::Summary& a, const util::Summary& b,
+                          const char* what) {
+  EXPECT_EQ(a.count, b.count) << what;
+  auto bits = [](double d) {
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  EXPECT_EQ(bits(a.mean), bits(b.mean)) << what << ".mean";
+  EXPECT_EQ(bits(a.stddev), bits(b.stddev)) << what << ".stddev";
+  EXPECT_EQ(bits(a.min), bits(b.min)) << what << ".min";
+  EXPECT_EQ(bits(a.max), bits(b.max)) << what << ".max";
+  EXPECT_EQ(bits(a.ci95), bits(b.ci95)) << what << ".ci95";
+}
+
+TEST(Replication, ParallelIsBitIdenticalToSerial) {
   const ScenarioConfig base = small_scenario(ProtocolKind::Ssaf);
   const Aggregated serial = run_replications(base, 4, /*threads=*/1);
   const Aggregated parallel = run_replications(base, 4, /*threads=*/4);
-  EXPECT_DOUBLE_EQ(serial.delivery_ratio.mean, parallel.delivery_ratio.mean);
-  EXPECT_DOUBLE_EQ(serial.delay_s.mean, parallel.delay_s.mean);
-  EXPECT_DOUBLE_EQ(serial.mac_packets.mean, parallel.mac_packets.mean);
+  expect_bit_identical(serial.delivery_ratio, parallel.delivery_ratio,
+                       "delivery_ratio");
+  expect_bit_identical(serial.delay_s, parallel.delay_s, "delay_s");
+  expect_bit_identical(serial.hops, parallel.hops, "hops");
+  expect_bit_identical(serial.mac_packets, parallel.mac_packets,
+                       "mac_packets");
+  expect_bit_identical(serial.mac_per_delivered, parallel.mac_per_delivered,
+                       "mac_per_delivered");
   EXPECT_EQ(serial.replications, 4u);
+}
+
+TEST(Replication, AdjacentBaseSeedsDoNotShareReplications) {
+  // Regression for the base.seed + i overlap: with additive seeding, base
+  // seed 1 replication 2 and base seed 3 replication 0 were the SAME run.
+  ScenarioConfig a = small_scenario(ProtocolKind::Ssaf);
+  a.seed = 1;
+  ScenarioConfig b = a;
+  b.seed = 3;
+  const Aggregated agg_a = run_replications(a, 4, /*threads=*/2);
+  const Aggregated agg_b = run_replications(b, 4, /*threads=*/2);
+  // Identical replication sets would make every aggregate coincide; the
+  // mac_packets totals are fine-grained enough to distinguish real runs.
+  EXPECT_NE(agg_a.mac_packets.mean, agg_b.mac_packets.mean);
 }
 
 TEST(Replication, SummariesCoverAllReplications) {

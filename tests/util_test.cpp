@@ -1,6 +1,8 @@
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -81,6 +83,36 @@ TEST(Accumulator, SummaryCi95) {
   EXPECT_EQ(s.count, 100u);
   EXPECT_NEAR(s.mean, 0.0, 1e-12);
   EXPECT_NEAR(s.ci95, 1.96 * s.stddev / 10.0, 1e-12);
+}
+
+TEST(Summary, Ci95PinnedToZeroBelowTwoSamples) {
+  Accumulator empty;
+  EXPECT_EQ(empty.summary().ci95, 0.0);
+  EXPECT_EQ(empty.summary().stddev, 0.0);
+  Accumulator one;
+  one.add(3.5);
+  const Summary s = one.summary();
+  EXPECT_EQ(s.ci95, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+}
+
+TEST(CellToString, NonFiniteDoublesRenderEmpty) {
+  EXPECT_EQ(cell_to_string(Cell{std::numeric_limits<double>::quiet_NaN()}), "");
+  EXPECT_EQ(cell_to_string(Cell{std::numeric_limits<double>::infinity()}), "");
+  EXPECT_EQ(cell_to_string(Cell{-std::numeric_limits<double>::infinity()}), "");
+  EXPECT_EQ(cell_to_string(Cell{1.5}, 2), "1.50");
+}
+
+TEST(Table, EmptyAccumulatorSerializesAsEmptyCsvCells) {
+  // Regression: the NaN mean of an empty Accumulator used to be written
+  // verbatim into sweep CSVs, producing "nan" cells that broke plotting.
+  const Summary s = Accumulator{}.summary();
+  Table table({"x", "mean", "ci95"});
+  table.add_row({std::int64_t{1}, s.mean, s.ci95});
+  std::ostringstream os;
+  table.write_csv(os, 2);
+  EXPECT_EQ(os.str(), "x,mean,ci95\n1,,0.00\n");
 }
 
 TEST(RatioCounter, Basics) {
