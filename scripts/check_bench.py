@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Gate engine-bench results against the checked-in baseline.
+
+Usage: check_bench.py FRESH.json [BASELINE.json]
+
+Compares a fresh run_bench_suite output against the committed baseline
+(bench_results/BENCH_engine.json by default) and exits nonzero when any
+benchmark regresses beyond the tolerance band:
+
+  * ns_per_event may grow at most TIME_TOLERANCE (relative) — wall-clock
+    noise on shared CI boxes is real, so the band is generous; a genuine
+    data-structure regression overshoots it by multiples.
+  * allocs_per_event may grow at most ALLOC_TOLERANCE (absolute) — alloc
+    counts are deterministic, so the band only absorbs warmup rounding.
+
+Benchmarks present on only one side are reported but never fail the gate,
+so adding a benchmark does not require lockstep baseline updates.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+TIME_TOLERANCE = 0.35   # +35% ns/event before we call it a regression
+ALLOC_TOLERANCE = 0.02  # +0.02 allocs/event absolute
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rrnet-bench-engine-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {b["name"]: b for b in doc["benchmarks"]}
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        sys.exit(__doc__)
+    fresh_path = argv[1]
+    baseline_path = (
+        argv[2]
+        if len(argv) == 3
+        else Path(__file__).resolve().parent.parent
+        / "bench_results"
+        / "BENCH_engine.json"
+    )
+    fresh = load(fresh_path)
+    baseline = load(baseline_path)
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        got = fresh.get(name)
+        if got is None:
+            print(f"  [skip] {name}: missing from fresh run")
+            continue
+        base_ns = base["ns_per_event"]
+        got_ns = got["ns_per_event"]
+        ns_limit = base_ns * (1.0 + TIME_TOLERANCE)
+        base_allocs = base["allocs_per_event"]
+        got_allocs = got["allocs_per_event"]
+        alloc_limit = base_allocs + ALLOC_TOLERANCE
+        verdict = "ok"
+        if got_ns > ns_limit:
+            verdict = "REGRESSION(time)"
+            failures.append(
+                f"{name}: {got_ns:.1f} ns/ev exceeds {base_ns:.1f} "
+                f"+{TIME_TOLERANCE:.0%} = {ns_limit:.1f}"
+            )
+        if got_allocs > alloc_limit:
+            verdict = "REGRESSION(allocs)"
+            failures.append(
+                f"{name}: {got_allocs:.4f} allocs/ev exceeds "
+                f"{base_allocs:.4f} +{ALLOC_TOLERANCE} = {alloc_limit:.4f}"
+            )
+        print(
+            f"  [{verdict:>17}] {name}: {got_ns:8.1f} ns/ev "
+            f"(base {base_ns:8.1f}), {got_allocs:.4f} allocs/ev "
+            f"(base {base_allocs:.4f})"
+        )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"  [new] {name}: no baseline yet")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression(s) vs {baseline_path}:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench gate: all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,6 +6,10 @@
 #   --with-bench  additionally run the engine benchmark suite and refresh
 #                 bench_results/BENCH_engine.json (plain build only; never
 #                 benchmark a sanitized binary).
+#
+# Every run (with or without --with-bench) executes the bench suite once
+# and gates it against the checked-in baseline via scripts/check_bench.py:
+# a time or allocation regression beyond the tolerance band fails verify.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +21,12 @@ echo "== plain build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== bench regression gate =="
+FRESH_BENCH="$(mktemp /tmp/rrnet_bench.XXXXXX.json)"
+trap 'rm -f "$FRESH_BENCH"' EXIT
+taskset -c 0 ./build/bench/run_bench_suite "$FRESH_BENCH"
+python3 scripts/check_bench.py "$FRESH_BENCH"
 
 echo "== sanitize build (address;undefined) + ctest =="
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_set>
+#include "util/pooled_containers.hpp"
 
 #include "des/time.hpp"
 #include "net/packet.hpp"
@@ -48,8 +49,8 @@ class FlowStats {
  private:
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
-  std::unordered_set<std::uint64_t> outstanding_;
-  std::unordered_set<std::uint64_t> seen_uids_;
+  util::PooledUnorderedSet<std::uint64_t> outstanding_;
+  util::PooledUnorderedSet<std::uint64_t> seen_uids_;
   util::Accumulator delay_;
   util::Accumulator hops_;
   std::optional<util::TimeSeries> series_;

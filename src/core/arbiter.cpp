@@ -28,11 +28,18 @@ void Arbiter::arm_timer(std::uint64_t key, Watch& watch) {
     }
     ++w.retransmits_used;
     ++stats_.retransmits;
-    // Copy the callback: retransmit() may synchronously re-enter watch()
-    // and invalidate `w`.
-    auto retransmit = w.callbacks.retransmit;
+    // Move the callback out: retransmit() may synchronously re-enter
+    // watch() and invalidate `w`. If the watch survives with its slot
+    // still empty (no re-entrant watch() replaced it), move it back so
+    // the next timer firing can retransmit again.
+    auto retransmit = std::move(w.callbacks.retransmit);
     arm_timer(key, w);
     retransmit();
+    const auto again = watches_.find(key);
+    if (again != watches_.end() &&
+        again->second.callbacks.retransmit == nullptr) {
+      again->second.callbacks.retransmit = std::move(retransmit);
+    }
   });
 }
 

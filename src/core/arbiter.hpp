@@ -10,9 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
+#include "util/pooled_containers.hpp"
 
+#include "des/inline_callback.hpp"
 #include "des/timer.hpp"
 
 namespace rrnet::core {
@@ -33,10 +34,12 @@ class Arbiter {
  public:
   /// `retransmit` re-sends the original packet; `send_ack` broadcasts the
   /// acknowledgement. Both are invoked at most once per timer firing /
-  /// relay observation respectively.
+  /// relay observation respectively. Inline and move-only: captures above
+  /// the des::InlineCallback budget are a compile error — box the packet
+  /// behind a pooled handle and capture the handle.
   struct Callbacks {
-    std::function<void()> retransmit;
-    std::function<void()> send_ack;
+    des::InlineCallback retransmit;
+    des::InlineCallback send_ack;
   };
 
   Arbiter(des::Scheduler& scheduler, ArbiterConfig config) noexcept
@@ -74,7 +77,7 @@ class Arbiter {
 
   des::Scheduler* scheduler_;
   ArbiterConfig config_;
-  std::unordered_map<std::uint64_t, Watch> watches_;
+  util::PooledUnorderedMap<std::uint64_t, Watch> watches_;
   ArbiterStats stats_;
 };
 

@@ -6,14 +6,25 @@
 
 namespace rrnet::core {
 
-void ElectionSession::arm(const BackoffPolicy& policy,
-                          const ElectionContext& context, des::Rng& rng,
-                          WinHandler on_win) {
+void ElectionSession::arm_impl(const BackoffPolicy& policy,
+                               const ElectionContext& context, des::Rng& rng,
+                               WinHandler on_win, ElectionTable* owner,
+                               std::uint64_t key) {
   RRNET_EXPECTS(on_win != nullptr);
   delay_ = policy.delay(context, rng);
   RRNET_ENSURES(delay_ >= 0.0);
-  timer_.start(delay_, [this, handler = std::move(on_win)]() {
-    handler(delay_);
+  handler_ = std::move(on_win);
+  owner_ = owner;
+  key_ = key;
+  timer_.start(delay_, [this]() {
+    // Move everything to the stack first: session_won erases this session
+    // from its owning table, destroying *this.
+    const des::Time delay = delay_;
+    WinHandler handler = std::move(handler_);
+    ElectionTable* table = owner_;
+    const std::uint64_t session_key = key_;
+    if (table != nullptr) table->session_won(session_key);
+    handler(delay);
   });
 }
 
@@ -24,13 +35,13 @@ void ElectionTable::arm(std::uint64_t key, const BackoffPolicy& policy,
                         ElectionSession::WinHandler on_win) {
   auto [it, inserted] = sessions_.try_emplace(key, *scheduler_);
   ++stats_.armed;
-  it->second.arm(policy, context, rng,
-                 [this, key, handler = std::move(on_win)](des::Time delay) {
-                   ++stats_.won;
-                   // Erase before invoking: the handler may re-arm the key.
-                   sessions_.erase(key);
-                   handler(delay);
-                 });
+  it->second.arm_impl(policy, context, rng, std::move(on_win), this, key);
+}
+
+void ElectionTable::session_won(std::uint64_t key) {
+  ++stats_.won;
+  // Erase before the handler runs: the handler may re-arm the key.
+  sessions_.erase(key);
 }
 
 bool ElectionTable::cancel(std::uint64_t key, CancelReason reason) {

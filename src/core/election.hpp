@@ -13,13 +13,16 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
+#include "util/pooled_containers.hpp"
 
 #include "core/backoff_policy.hpp"
+#include "des/inline_callback.hpp"
 #include "des/timer.hpp"
 
 namespace rrnet::core {
+
+class ElectionTable;
 
 enum class CancelReason : std::uint8_t {
   DuplicateHeard,  ///< another node's announcement (relay) was overheard
@@ -39,8 +42,10 @@ struct ElectionStats {
 class ElectionSession {
  public:
   /// Called when this node wins; receives the backoff delay that won (the
-  /// protocol passes it on as the MAC queue priority).
-  using WinHandler = std::function<void(des::Time delay)>;
+  /// protocol passes it on as the MAC queue priority). Inline, move-only:
+  /// captures above 48 bytes are a compile error — box the packet behind a
+  /// pooled handle (util::make_pooled) and capture the 16-byte handle.
+  using WinHandler = des::InlineFunction<void(des::Time delay), 48>;
 
   explicit ElectionSession(des::Scheduler& scheduler) noexcept
       : timer_(scheduler) {}
@@ -48,7 +53,9 @@ class ElectionSession {
   /// Compute the backoff from `policy` and arm the timer. Re-arming an
   /// already armed session replaces the pending candidacy.
   void arm(const BackoffPolicy& policy, const ElectionContext& context,
-           des::Rng& rng, WinHandler on_win);
+           des::Rng& rng, WinHandler on_win) {
+    arm_impl(policy, context, rng, std::move(on_win), nullptr, 0);
+  }
 
   /// Concede. Returns true iff a candidacy was actually pending.
   bool cancel() noexcept;
@@ -58,8 +65,22 @@ class ElectionSession {
   [[nodiscard]] des::Time delay() const noexcept { return delay_; }
 
  private:
+  friend class ElectionTable;
+
+  /// The handler lives in the session and the timer captures only `this`,
+  /// so a table-managed session needs no wrapper closure (which could not
+  /// fit a WinHandler inside a WinHandler's own capture budget). When
+  /// `owner` is set, the win notifies it (stats + erasure) before the
+  /// handler — already moved to the stack — is invoked.
+  void arm_impl(const BackoffPolicy& policy, const ElectionContext& context,
+                des::Rng& rng, WinHandler on_win, ElectionTable* owner,
+                std::uint64_t key);
+
   des::Timer timer_;
   des::Time delay_ = 0.0;
+  WinHandler handler_;
+  ElectionTable* owner_ = nullptr;
+  std::uint64_t key_ = 0;
 };
 
 class ElectionTable {
@@ -84,8 +105,14 @@ class ElectionTable {
   [[nodiscard]] const ElectionStats& stats() const noexcept { return stats_; }
 
  private:
+  friend class ElectionSession;
+
+  /// Invoked by a winning session just before its handler runs; erases the
+  /// session (destroying it), so the caller must not touch members after.
+  void session_won(std::uint64_t key);
+
   des::Scheduler* scheduler_;
-  std::unordered_map<std::uint64_t, ElectionSession> sessions_;
+  util::PooledUnorderedMap<std::uint64_t, ElectionSession> sessions_;
   ElectionStats stats_;
 };
 

@@ -1,17 +1,22 @@
-// Fixed-capacity inline callable for scheduler events.
+// Fixed-capacity inline callables for scheduler events and hot-path handlers.
 //
 // std::function's small-buffer optimisation (16 bytes in libstdc++) cannot
 // hold the hot-path captures of this simulator — Channel::transmit schedules
-// three lambdas per receiver whose captures run up to ~60 bytes — so every
-// scheduled event paid one heap allocation and one indirect free. With
-// millions of events per replication that allocation dominated the engine.
+// lambdas whose captures run up to ~60 bytes — so every scheduled event paid
+// one heap allocation and one indirect free. With millions of events per
+// replication that allocation dominated the engine.
 //
-// InlineCallback stores the callable entirely inside the object (kCapacity
-// bytes of aligned storage + one ops-table pointer), is move-only, and
-// *statically rejects* captures that do not fit: exceeding the budget is a
-// compile error at the schedule site, never a silent heap fallback. Protocol
-// code that genuinely needs a large state block (e.g. a delayed net::Packet
-// relay) boxes it in a shared_ptr and captures the 16-byte handle.
+// InlineFunction<void(Args...), Capacity> stores the callable entirely
+// inside the object (Capacity bytes of aligned storage + one ops-table
+// pointer), is move-only, and *statically rejects* captures that do not
+// fit: exceeding the budget is a compile error at the schedule site, never
+// a silent heap fallback. Code that genuinely needs a large state block
+// (e.g. a delayed net::Packet relay) boxes it behind a 16-byte ref-counted
+// handle (util::make_pooled) and captures the handle.
+//
+// InlineCallback (= InlineFunction<void(), 64>) is the scheduler/timer
+// callback type; core::ElectionSession::WinHandler and
+// core::Arbiter::Callbacks use narrower instantiations.
 #pragma once
 
 #include <cstddef>
@@ -21,42 +26,43 @@
 
 namespace rrnet::des {
 
-class InlineCallback {
+template <typename Signature, std::size_t Capacity>
+class InlineFunction;  // only void(Args...) is supported
+
+template <typename... Args, std::size_t Capacity>
+class InlineFunction<void(Args...), Capacity> {
  public:
-  /// Capture budget. Sized for the largest engine-internal capture (the
-  /// per-receiver delivery lambda in Channel::transmit: this + Airframe +
-  /// power + id + duration = 60 bytes) with no headroom to spare — growing a
-  /// hot-path capture should be a deliberate, reviewed decision.
-  static constexpr std::size_t kCapacity = 64;
+  /// Capture budget; exceeding it is a compile-time error at the call site.
+  static constexpr std::size_t kCapacity = Capacity;
   static constexpr std::size_t kAlignment = alignof(std::max_align_t);
 
-  InlineCallback() noexcept = default;
-  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
 
   template <typename F,
             typename Fn = std::remove_cvref_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<Fn, InlineCallback> &&
-                                        std::is_invocable_r_v<void, Fn&>>>
-  InlineCallback(F&& fn) {  // NOLINT(runtime/explicit)
+            typename = std::enable_if_t<!std::is_same_v<Fn, InlineFunction> &&
+                                        std::is_invocable_r_v<void, Fn&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(runtime/explicit)
     static_assert(sizeof(Fn) <= kCapacity,
-                  "callback capture exceeds InlineCallback::kCapacity; "
-                  "capture a shared_ptr to the large state instead");
+                  "callback capture exceeds the InlineFunction capacity; "
+                  "capture a pooled/shared handle to the large state instead");
     static_assert(alignof(Fn) <= kAlignment,
-                  "callback capture over-aligned for InlineCallback storage");
+                  "callback capture over-aligned for InlineFunction storage");
     static_assert(std::is_nothrow_move_constructible_v<Fn>,
                   "callback captures must be nothrow-move-constructible");
     ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
     ops_ = &kOpsFor<Fn>;
   }
 
-  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
       ops_->relocate(other.storage_, storage_);
       other.ops_ = nullptr;
     }
   }
 
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       reset();
       ops_ = other.ops_;
@@ -68,15 +74,15 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
 
-  InlineCallback& operator=(std::nullptr_t) noexcept {
+  InlineFunction& operator=(std::nullptr_t) noexcept {
     reset();
     return *this;
   }
 
-  ~InlineCallback() { reset(); }
+  ~InlineFunction() { reset(); }
 
   /// Destroy the held callable (no-op when empty).
   void reset() noexcept {
@@ -87,23 +93,25 @@ class InlineCallback {
   }
 
   /// Invoke the held callable; precondition: non-empty.
-  void operator()() { ops_->invoke(storage_); }
+  void operator()(Args... args) {
+    ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
-  friend bool operator==(const InlineCallback& cb, std::nullptr_t) noexcept {
+  friend bool operator==(const InlineFunction& cb, std::nullptr_t) noexcept {
     return !static_cast<bool>(cb);
   }
 
  private:
   struct Ops {
-    void (*invoke)(void* self);
+    void (*invoke)(void* self, Args... args);
     void (*relocate)(void* src, void* dst) noexcept;
     void (*destroy)(void* self) noexcept;
   };
 
   template <typename Fn>
-  static void invoke_impl(void* self) {
-    (*static_cast<Fn*>(self))();
+  static void invoke_impl(void* self, Args... args) {
+    (*static_cast<Fn*>(self))(std::forward<Args>(args)...);
   }
   template <typename Fn>
   static void relocate_impl(void* src, void* dst) noexcept {
@@ -119,8 +127,13 @@ class InlineCallback {
   static constexpr Ops kOpsFor{&invoke_impl<Fn>, &relocate_impl<Fn>,
                                &destroy_impl<Fn>};
 
-  alignas(kAlignment) std::byte storage_[kCapacity];
+  alignas(kAlignment) std::byte storage_[Capacity];
   const Ops* ops_ = nullptr;
 };
+
+/// The scheduler/timer event callback. The 64-byte budget is sized for the
+/// largest engine-internal capture with no headroom to spare — growing a
+/// hot-path capture should be a deliberate, reviewed decision.
+using InlineCallback = InlineFunction<void(), 64>;
 
 }  // namespace rrnet::des

@@ -1,10 +1,10 @@
 // Discrete-event scheduler with O(log n) insertion and cancellation.
 //
-// Events are callbacks stored in generation-stamped slots; the binary heap
-// holds (time, sequence, slot, generation) entries. Cancellation bumps the
-// slot generation, so stale heap entries are skipped lazily at pop time.
-// Ties in time are executed in insertion order, which makes simulations
-// deterministic even when two events share a timestamp.
+// Events are callbacks stored in generation-stamped slots; a 4-ary implicit
+// heap (des::QuadHeap) holds (time, sequence, slot, generation) entries.
+// Cancellation bumps the slot generation, so stale heap entries are skipped
+// lazily at pop time. Ties in time are executed in insertion order, which
+// makes simulations deterministic even when two events share a timestamp.
 //
 // Callbacks are des::InlineCallback, not std::function: captures live inside
 // the pooled slot (zero heap allocations per event in steady state) and a
@@ -12,10 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "des/inline_callback.hpp"
+#include "des/quad_heap.hpp"
 #include "des/time.hpp"
 
 namespace rrnet::des {
@@ -70,10 +70,10 @@ class Scheduler {
     std::uint32_t slot;
     std::uint32_t generation;
   };
-  struct Later {
+  struct Earlier {
     bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.sequence > b.sequence;  // FIFO among equal times
+      if (a.time != b.time) return a.time < b.time;
+      return a.sequence < b.sequence;  // FIFO among equal times
     }
   };
   struct Slot {
@@ -86,7 +86,7 @@ class Scheduler {
   bool settle_top() noexcept;
   std::uint32_t acquire_slot();
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  QuadHeap<HeapEntry, Earlier> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   Time now_ = 0.0;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -162,7 +163,7 @@ void CsmaMac::transmit_current() {
   air.id = channel_->next_frame_id();
   air.sender = node_id_;
   air.size_bytes = current_->frame.size_bytes;
-  air.payload = std::make_shared<const Frame>(current_->frame);
+  air.payload = util::make_pooled<Frame>(current_->frame);
   if (!channel_->transmit(air)) {
     ++stats_.tx_dropped_radio_off;
     finish_current(false);
@@ -192,7 +193,7 @@ void CsmaMac::send_rts() {
   air.id = channel_->next_frame_id();
   air.sender = node_id_;
   air.size_bytes = rts.size_bytes;
-  air.payload = std::make_shared<const Frame>(rts);
+  air.payload = util::make_pooled<Frame>(rts);
   if (!channel_->transmit(air)) {
     ++stats_.tx_dropped_radio_off;
     finish_current(false);
@@ -223,7 +224,7 @@ void CsmaMac::transmit_data_now() {
     air.id = channel_->next_frame_id();
     air.sender = node_id_;
     air.size_bytes = current_->frame.size_bytes;
-    air.payload = std::make_shared<const Frame>(current_->frame);
+    air.payload = util::make_pooled<Frame>(current_->frame);
     if (!channel_->transmit(air)) {
       ++stats_.tx_dropped_radio_off;
       finish_current(false);
@@ -262,7 +263,7 @@ void CsmaMac::send_cts(const Frame& rts) {
     air.id = channel_->next_frame_id();
     air.sender = node_id_;
     air.size_bytes = cts.size_bytes;
-    air.payload = std::make_shared<const Frame>(cts);
+    air.payload = util::make_pooled<Frame>(cts);
     if (channel_->transmit(air)) {
       airframe_id_ = air.id;
       tx_is_ack_ = true;  // fire-and-forget, like an ACK
@@ -352,7 +353,7 @@ void CsmaMac::send_ack(const Frame& data_frame) {
     air.id = channel_->next_frame_id();
     air.sender = node_id_;
     air.size_bytes = ack.size_bytes;
-    air.payload = std::make_shared<const Frame>(ack);
+    air.payload = util::make_pooled<Frame>(ack);
     if (channel_->transmit(air)) {
       airframe_id_ = air.id;
       tx_is_ack_ = true;

@@ -11,6 +11,7 @@
 #include "mac/frame.hpp"
 #include "mac/priority_queue.hpp"
 #include "phy/channel.hpp"
+#include "util/pool.hpp"
 
 namespace rrnet::mac {
 
@@ -62,7 +63,7 @@ class MacListener {
   virtual void mac_send_done(const Frame& frame, bool success) = 0;
 };
 
-class CsmaMac final : public phy::RadioListener {
+class CsmaMac final : public phy::RadioListener, public util::PoolAllocated {
  public:
   CsmaMac(phy::Channel& channel, std::uint32_t node_id, MacParams params,
           des::Rng rng, MacListener& listener);

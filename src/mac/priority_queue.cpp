@@ -7,7 +7,7 @@ namespace rrnet::mac {
 TxQueue::TxQueue(std::size_t capacity, bool prioritized)
     : capacity_(capacity),
       prioritized_(prioritized),
-      entries_(Later{prioritized}) {
+      entries_(Earlier{prioritized}) {
   RRNET_EXPECTS(capacity > 0);
 }
 
@@ -22,9 +22,8 @@ bool TxQueue::push(QueuedFrame item) {
 
 std::optional<QueuedFrame> TxQueue::pop() {
   if (entries_.empty()) return std::nullopt;
-  QueuedFrame out = entries_.top().item;
-  entries_.pop();
-  return out;
+  // pop_top moves the entry out — no Frame / payload-handle copy.
+  return entries_.pop_top().item;
 }
 
 }  // namespace rrnet::mac

@@ -7,13 +7,17 @@
 // Lower priority value = served first; FIFO among equal priorities. A FIFO
 // mode is provided for the ablation (and for protocols that don't
 // prioritize, where every priority is equal anyway).
+//
+// Built on the same des::QuadHeap + embedded-sequence tie-break discipline
+// as the scheduler: equal-priority frames dequeue strictly in arrival
+// order regardless of standard-library heap implementation, so MAC service
+// order is deterministic across toolchains (tested in mac_queue_test.cpp).
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <queue>
-#include <vector>
 
+#include "des/quad_heap.hpp"
 #include "mac/frame.hpp"
 
 namespace rrnet::mac {
@@ -44,19 +48,19 @@ class TxQueue {
     QueuedFrame item;
     std::uint64_t sequence;
   };
-  struct Later {
+  struct Earlier {
     bool prioritized;
     bool operator()(const Entry& a, const Entry& b) const noexcept {
       if (prioritized && a.item.priority != b.item.priority) {
-        return a.item.priority > b.item.priority;
+        return a.item.priority < b.item.priority;
       }
-      return a.sequence > b.sequence;
+      return a.sequence < b.sequence;  // FIFO among equal priorities
     }
   };
 
   std::size_t capacity_;
   bool prioritized_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> entries_;
+  des::QuadHeap<Entry, Earlier> entries_;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t drops_ = 0;
 };

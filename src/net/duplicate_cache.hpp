@@ -13,8 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include "util/pooled_containers.hpp"
 
 namespace rrnet::net {
 
@@ -37,12 +36,12 @@ class DuplicateCache {
  private:
   struct Entry {
     std::uint32_t count = 0;
-    std::list<std::uint64_t>::iterator pos;  ///< position in order_
+    util::PooledList<std::uint64_t>::iterator pos;  ///< position in order_
   };
 
   std::size_t capacity_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::list<std::uint64_t> order_;  ///< front = least recently observed
+  util::PooledUnorderedMap<std::uint64_t, Entry> entries_;
+  util::PooledList<std::uint64_t> order_;  ///< front = least recently observed
 };
 
 }  // namespace rrnet::net

@@ -4,6 +4,7 @@
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 
 namespace rrnet::net {
 
@@ -34,7 +35,7 @@ void Node::send_packet(const Packet& packet, std::uint32_t mac_dst,
   if (PacketObserver* obs = network_->observer()) {
     obs->on_network_tx(id_, packet);
   }
-  mac_->send(mac_dst, std::make_shared<const Packet>(packet),
+  mac_->send(mac_dst, util::make_pooled<Packet>(packet),
              packet.size_bytes(), priority);
 }
 

@@ -11,6 +11,7 @@
 #include "mac/csma.hpp"
 #include "net/packet.hpp"
 #include "net/protocol.hpp"
+#include "util/pool.hpp"
 
 namespace rrnet::net {
 
@@ -31,7 +32,7 @@ class PacketObserver {
   }
 };
 
-class Node final : public mac::MacListener {
+class Node final : public mac::MacListener, public util::PoolAllocated {
  public:
   Node(Network& network, std::uint32_t id, const mac::MacParams& mac_params,
        des::Rng rng);

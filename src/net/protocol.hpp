@@ -8,13 +8,14 @@
 #include <functional>
 
 #include "net/packet.hpp"
+#include "util/pool.hpp"
 #include "phy/radio.hpp"
 
 namespace rrnet::net {
 
 class Node;
 
-class Protocol {
+class Protocol : public util::PoolAllocated {
  public:
   explicit Protocol(Node& node) noexcept : node_(&node) {}
   virtual ~Protocol() = default;

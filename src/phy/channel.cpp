@@ -68,31 +68,101 @@ bool Channel::transmit(const Airframe& frame) {
     transceivers_[s]->end_transmit(id, scheduler_->now());
   });
 
+  const des::Time now = scheduler_->now();
   grid_.query(origin, interference_range_, query_buffer_);
+  const std::uint32_t slot = acquire_transmission();
+  Transmission& tx = *transmissions_[slot];
+  tx.frame = frame;
+  tx.duration = duration;
   for (const std::uint32_t rx_id : query_buffer_) {
     if (rx_id == frame.sender) continue;
     const double dist = geom::distance(origin, grid_.position(rx_id));
+    // Power draws stay in grid-query order at transmit time; positions and
+    // powers are pinned here, so signals in flight ignore later mobility.
     const double power_dbm =
         model_->rx_power_dbm(params_.tx_power_dbm, dist, rng_);
     if (power_dbm < params_.interference_cutoff_dbm) continue;  // imperceptible
-    const des::Time delay = dist / des::kSpeedOfLight;
-    scheduler_->schedule_in(delay, [this, frame, power_dbm, rx_id, duration]() {
-      const des::Time now = scheduler_->now();
-      Transceiver& rx = *transceivers_[rx_id];
-      const bool could_decode =
-          !rx.is_off() && power_dbm >= params_.rx_threshold_dbm;
-      rx.signal_arrives(frame, power_dbm, now, now + duration);
-      scheduler_->schedule_in(duration, [this, frame, rx_id, could_decode]() {
-        Transceiver& r = *transceivers_[rx_id];
-        const std::uint64_t decoded_before = r.stats().frames_decoded;
-        r.signal_ends(frame, scheduler_->now());
-        if (could_decode && r.stats().frames_decoded > decoded_before) {
-          ++stats_.deliveries;
-        }
-      });
-    });
+    tx.receivers.push_back({now + dist / des::kSpeedOfLight, power_dbm,
+                            rx_id,
+                            static_cast<std::uint32_t>(tx.receivers.size()),
+                            false});
   }
+  if (tx.receivers.empty()) {
+    release_transmission(slot);
+    return true;
+  }
+  // Equal arrivals keep grid-query order (the `order` field), matching the
+  // sequence order the unfused per-receiver events would have had. Plain
+  // sort with an explicit tie-break: stable_sort allocates a temporary
+  // buffer per call, which would be the hot path's only allocation.
+  std::sort(tx.receivers.begin(), tx.receivers.end(),
+            [](const PendingRx& a, const PendingRx& b) {
+              return a.arrival != b.arrival ? a.arrival < b.arrival
+                                            : a.order < b.order;
+            });
+  scheduler_->schedule_at(tx.receivers.front().arrival,
+                          [this, slot]() { advance_transmission(slot); });
   return true;
+}
+
+void Channel::advance_transmission(std::uint32_t slot) {
+  Transmission& tx = *transmissions_[slot];
+  const des::Time now = scheduler_->now();
+  for (;;) {
+    const bool has_start = tx.next_start < tx.receivers.size();
+    const bool has_end = tx.next_end < tx.receivers.size();
+    if (!has_start && !has_end) break;
+    // End times are spelled `arrival + duration` everywhere (here and in
+    // signal_arrives below) so the merge compares bitwise-equal doubles.
+    const bool do_start =
+        has_start &&
+        (!has_end || tx.receivers[tx.next_start].arrival <=
+                         tx.receivers[tx.next_end].arrival + tx.duration);
+    const des::Time due = do_start
+                              ? tx.receivers[tx.next_start].arrival
+                              : tx.receivers[tx.next_end].arrival + tx.duration;
+    if (due > now) {
+      scheduler_->schedule_at(due,
+                              [this, slot]() { advance_transmission(slot); });
+      return;
+    }
+    if (do_start) {
+      PendingRx& rx = tx.receivers[tx.next_start++];
+      Transceiver& trx = *transceivers_[rx.rx_id];
+      rx.could_decode =
+          !trx.is_off() && rx.power_dbm >= params_.rx_threshold_dbm;
+      trx.signal_arrives(tx.frame, rx.power_dbm, now,
+                         rx.arrival + tx.duration);
+    } else {
+      const PendingRx& rx = tx.receivers[tx.next_end++];
+      Transceiver& trx = *transceivers_[rx.rx_id];
+      const std::uint64_t decoded_before = trx.stats().frames_decoded;
+      trx.signal_ends(tx.frame, now);
+      if (rx.could_decode && trx.stats().frames_decoded > decoded_before) {
+        ++stats_.deliveries;
+      }
+    }
+  }
+  release_transmission(slot);
+}
+
+std::uint32_t Channel::acquire_transmission() {
+  if (!free_transmissions_.empty()) {
+    const std::uint32_t slot = free_transmissions_.back();
+    free_transmissions_.pop_back();
+    return slot;
+  }
+  transmissions_.push_back(std::make_unique<Transmission>());
+  return static_cast<std::uint32_t>(transmissions_.size() - 1);
+}
+
+void Channel::release_transmission(std::uint32_t slot) {
+  Transmission& tx = *transmissions_[slot];
+  tx.frame = Airframe{};  // drop the payload handle now, not at slot reuse
+  tx.receivers.clear();   // keeps capacity for the next broadcast
+  tx.next_start = 0;
+  tx.next_end = 0;
+  free_transmissions_.push_back(slot);
 }
 
 }  // namespace rrnet::phy

@@ -1,6 +1,17 @@
 // Shared broadcast medium: delivers each transmission to every transceiver
 // within the interference range, after per-receiver propagation delay, with
 // per-receiver received power drawn from the propagation model.
+//
+// Receiver scheduling is fused: instead of two scheduler events per
+// receiver (signal start + signal end), each transmission owns a pooled
+// Transmission record holding its receiver list sorted by arrival, and a
+// single self-rescheduling walker event advances a two-pointer merge of
+// the start stream (arrival_i) and the end stream (arrival_i + duration).
+// The heap holds at most one entry per transmission in flight instead of
+// O(receivers), which keeps it shallow exactly when §3 floods make
+// neighborhoods dense. Start/end interleaving, power draws (grid-query
+// order at transmit time), and same-timestamp ordering (starts before
+// ends; equal arrivals in query order) are preserved bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +78,32 @@ class Channel {
   void set_position(std::uint32_t id, geom::Vec2 position);
 
  private:
+  struct PendingRx {
+    des::Time arrival;     ///< absolute signal-start time at this receiver
+    double power_dbm;      ///< drawn from the model at transmit time
+    std::uint32_t rx_id;
+    std::uint32_t order;   ///< grid-query index; tie-break for equal arrivals
+    bool could_decode;     ///< evaluated at signal start (radio state then)
+  };
+
+  /// One in-flight broadcast: the frame plus its receiver list, sorted by
+  /// arrival, with two cursors merging the start and end streams. Slots are
+  /// unique_ptr so references stay stable when a re-entrant transmit()
+  /// grows the slot vector.
+  struct Transmission {
+    Airframe frame;
+    des::Time duration = 0.0;
+    std::vector<PendingRx> receivers;
+    std::size_t next_start = 0;
+    std::size_t next_end = 0;
+  };
+
+  /// Process every start/end due now for the transmission in `slot`, then
+  /// re-schedule for the next due time (or retire the slot when done).
+  void advance_transmission(std::uint32_t slot);
+  std::uint32_t acquire_transmission();
+  void release_transmission(std::uint32_t slot);
+
   des::Scheduler* scheduler_;
   std::unique_ptr<PropagationModel> model_;
   RadioParams params_;
@@ -78,6 +115,8 @@ class Channel {
   ChannelStats stats_;
   std::uint64_t last_frame_id_ = 0;
   mutable std::vector<std::uint32_t> query_buffer_;
+  std::vector<std::unique_ptr<Transmission>> transmissions_;
+  std::vector<std::uint32_t> free_transmissions_;
 };
 
 }  // namespace rrnet::phy

@@ -12,6 +12,7 @@
 #include "des/time.hpp"
 #include "phy/energy.hpp"
 #include "phy/radio.hpp"
+#include "util/pooled_containers.hpp"
 
 namespace rrnet::phy {
 
@@ -28,10 +29,15 @@ struct TransceiverStats {
 
 class Channel;
 
-class Transceiver {
+class Transceiver : public util::PoolAllocated {
  public:
-  Transceiver(std::uint32_t node_id, const RadioParams& params) noexcept
-      : node_id_(node_id), params_(&params) {}
+  Transceiver(std::uint32_t node_id, const RadioParams& params)
+      : node_id_(node_id), params_(&params) {
+    // One pooled chunk covers the typical concurrent-signal count; denser
+    // neighborhoods grow onto the heap per instance, which is rare and
+    // bounded.
+    signals_.reserve(kReservedSignals);
+  }
 
   Transceiver(const Transceiver&) = delete;
   Transceiver& operator=(const Transceiver&) = delete;
@@ -80,6 +86,7 @@ class Transceiver {
     double power_mw;
     des::Time end_time;
   };
+  static constexpr std::size_t kReservedSignals = 8;
 
   // Channel-driven events.
   void begin_transmit(std::uint64_t frame_id);
@@ -98,7 +105,7 @@ class Transceiver {
   const RadioParams* params_;
   RadioListener* listener_ = nullptr;
   RadioState state_ = RadioState::Idle;
-  std::vector<ActiveSignal> signals_;
+  std::vector<ActiveSignal, util::NodePoolAllocator<ActiveSignal>> signals_;
   double total_power_mw_ = 0.0;
   // Locked (being-decoded) frame bookkeeping.
   std::uint64_t locked_frame_ = 0;

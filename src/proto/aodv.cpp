@@ -5,6 +5,7 @@
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 
 namespace rrnet::proto {
 
@@ -208,10 +209,11 @@ void AodvProtocol::handle_rreq(const net::Packet& packet,
     case RreqFlooding::Suppress: {
       if (is_new) {
         core::ElectionContext ctx;
-        net::Packet copy = packet;
+        // Boxed: a Packet exceeds the WinHandler inline capture budget.
+        auto boxed = util::make_pooled<net::Packet>(packet);
         rreq_elections_.arm(key, rreq_policy_, ctx, rng_,
-                            [this, copy](des::Time delay) {
-                              net::Packet relay = copy;
+                            [this, boxed](des::Time delay) {
+                              net::Packet relay = *boxed;
                               relay.ttl -= 1;
                               relay.actual_hops += 1;
                               relay.prev_hop = node().id();
@@ -235,7 +237,7 @@ void AodvProtocol::relay_rreq(const net::Packet& packet) {
   copy.actual_hops += 1;
   copy.prev_hop = node().id();
   const des::Time delay = rng_.uniform(0.0, config_.rreq_backoff);
-  auto boxed = std::make_shared<const net::Packet>(std::move(copy));
+  auto boxed = util::make_pooled<net::Packet>(std::move(copy));
   node().scheduler().schedule_in(delay, [this, boxed, delay]() {
     ++stats_.rreq_relayed;
     node().send_packet(*boxed, mac::kBroadcastAddress, delay);

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include "util/pooled_containers.hpp"
 #include <unordered_set>
 #include <vector>
 
@@ -117,12 +118,12 @@ class AodvProtocol final : public net::Protocol {
   des::Rng rng_;
   core::UniformBackoff rreq_policy_;
   core::ElectionTable rreq_elections_;  ///< pending RREQ rebroadcasts
-  std::unordered_map<std::uint32_t, Route> routes_;
+  util::PooledUnorderedMap<std::uint32_t, Route> routes_;
   net::DuplicateCache rreq_seen_;
-  std::unordered_set<std::uint64_t> rreq_copy_seen_;  ///< Blind mode
+  util::PooledUnorderedSet<std::uint64_t> rreq_copy_seen_;  ///< Blind mode
   net::DuplicateCache rerr_seen_;
   net::DuplicateCache delivered_;
-  std::unordered_map<std::uint32_t, PendingDiscovery> pending_;
+  util::PooledUnorderedMap<std::uint32_t, PendingDiscovery> pending_;
   std::uint32_t my_seqno_ = 0;
   std::uint32_t next_rreq_id_ = 0;
   std::uint32_t next_sequence_ = 0;

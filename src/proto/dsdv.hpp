@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include "util/pooled_containers.hpp"
 #include <vector>
 
 #include "des/rng.hpp"
@@ -93,8 +94,8 @@ class DsdvProtocol final : public net::Protocol {
   des::Rng rng_;
   des::Timer periodic_timer_;
   des::Timer triggered_timer_;
-  std::unordered_map<std::uint32_t, Route> routes_;
-  std::unordered_map<std::uint32_t, std::vector<net::Packet>> pending_;
+  util::PooledUnorderedMap<std::uint32_t, Route> routes_;
+  util::PooledUnorderedMap<std::uint32_t, std::vector<net::Packet>> pending_;
   std::uint32_t my_seqno_ = 0;  ///< kept even while reachable
   std::uint32_t next_sequence_ = 0;
   des::Time last_update_ = -1e9;

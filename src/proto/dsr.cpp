@@ -5,6 +5,7 @@
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 
 namespace rrnet::proto {
 
@@ -213,7 +214,7 @@ void DsrProtocol::handle_rreq(const net::Packet& packet) {
   copy.extension = std::make_shared<const SourceRoute>(std::move(extended));
   copy.payload_bytes += kRouteEntryBytes;
   const des::Time delay = rng_.uniform(0.0, config_.rreq_jitter);
-  auto boxed = std::make_shared<const net::Packet>(std::move(copy));
+  auto boxed = util::make_pooled<net::Packet>(std::move(copy));
   node().scheduler().schedule_in(delay, [this, boxed, delay]() {
     ++stats_.rreq_relayed;
     node().send_packet(*boxed, mac::kBroadcastAddress, delay);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include "util/pooled_containers.hpp"
 #include <vector>
 
 #include "des/rng.hpp"
@@ -95,12 +96,12 @@ class DsrProtocol final : public net::Protocol {
 
   DsrConfig config_;
   des::Rng rng_;
-  std::unordered_map<std::uint32_t, SourceRoute> cache_;
+  util::PooledUnorderedMap<std::uint32_t, SourceRoute> cache_;
   std::vector<std::uint32_t> cache_order_;  ///< FIFO eviction
   net::DuplicateCache rreq_seen_;
   net::DuplicateCache rerr_seen_;
   net::DuplicateCache delivered_;
-  std::unordered_map<std::uint32_t, PendingDiscovery> pending_;
+  util::PooledUnorderedMap<std::uint32_t, PendingDiscovery> pending_;
   std::uint32_t next_rreq_id_ = 0;
   std::uint32_t next_sequence_ = 0;
   DsrStats stats_;

@@ -4,6 +4,7 @@
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 
 namespace rrnet::proto {
 
@@ -92,7 +93,7 @@ void FloodingProtocol::on_packet(const net::Packet& packet,
     if (!copy_seen_.insert(copy_key).second) return;
     const des::Time delay = rng_.uniform(0.0, config_.lambda);
     // Boxed: a Packet is too large for the scheduler's inline capture budget.
-    auto copy = std::make_shared<const net::Packet>(packet);
+    auto copy = util::make_pooled<net::Packet>(packet);
     node().scheduler().schedule_in(delay, [this, copy, delay]() {
       relay(*copy, delay);
     });
@@ -102,9 +103,10 @@ void FloodingProtocol::on_packet(const net::Packet& packet,
   if (is_new) {
     // First sight: compete in the local leader election to relay it.
     core::ElectionContext ctx = make_context(info);
-    net::Packet copy = packet;
+    // Boxed: a Packet exceeds the WinHandler inline capture budget.
+    auto boxed = util::make_pooled<net::Packet>(packet);
     elections_.arm(key, *policy_, ctx, rng_,
-                   [this, copy](des::Time delay) { relay(copy, delay); });
+                   [this, boxed](des::Time delay) { relay(*boxed, delay); });
     return;
   }
 

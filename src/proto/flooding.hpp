@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_set>
+#include "util/pooled_containers.hpp"
 
 #include "core/backoff_policy.hpp"
 #include "core/election.hpp"
@@ -75,7 +76,7 @@ class FloodingProtocol : public net::Protocol {
   FloodingConfig config_;
   std::unique_ptr<core::BackoffPolicy> policy_;
   net::DuplicateCache seen_;
-  std::unordered_set<std::uint64_t> copy_seen_;  ///< blind: (key, prev_hop)
+  util::PooledUnorderedSet<std::uint64_t> copy_seen_;  ///< blind: (key, prev_hop)
   core::ElectionTable elections_;
   des::Rng rng_;
   std::uint32_t next_sequence_ = 0;

@@ -5,6 +5,7 @@
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 
 namespace rrnet::proto {
 
@@ -152,7 +153,7 @@ void GradientProtocol::handle_discovery(const net::Packet& packet) {
   copy.actual_hops += 1;
   copy.prev_hop = node().id();
   const des::Time delay = rng_.uniform(0.0, config_.discovery_lambda);
-  auto boxed = std::make_shared<const net::Packet>(std::move(copy));
+  auto boxed = util::make_pooled<net::Packet>(std::move(copy));
   node().scheduler().schedule_in(delay, [this, boxed, delay]() {
     ++stats_.discovery_relays;
     node().send_packet(*boxed, mac::kBroadcastAddress, delay);
@@ -195,7 +196,7 @@ void GradientProtocol::handle_forwarded(const net::Packet& packet) {
   copy.prev_hop = node().id();
   copy.expected_hops = it->second.first;  // my own height gates the next ring
   const des::Time delay = rng_.uniform(0.0, config_.jitter);
-  auto boxed = std::make_shared<const net::Packet>(std::move(copy));
+  auto boxed = util::make_pooled<net::Packet>(std::move(copy));
   node().scheduler().schedule_in(delay, [this, boxed, delay]() {
     ++stats_.relays;
     node().send_packet(*boxed, mac::kBroadcastAddress, delay);

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include "util/pooled_containers.hpp"
 #include <vector>
 
 #include "net/duplicate_cache.hpp"
@@ -73,12 +74,13 @@ class GradientProtocol final : public net::Protocol {
 
   GradientConfig config_;
   des::Rng rng_;
-  std::unordered_map<std::uint32_t, std::pair<std::uint16_t, std::uint32_t>>
+  util::PooledUnorderedMap<std::uint32_t,
+                           std::pair<std::uint16_t, std::uint32_t>>
       table_;  ///< target -> (hops, freshest sequence)
   net::DuplicateCache seen_;
   net::DuplicateCache relayed_;
   net::DuplicateCache delivered_;
-  std::unordered_map<std::uint32_t, PendingDiscovery> pending_;
+  util::PooledUnorderedMap<std::uint32_t, PendingDiscovery> pending_;
   std::uint32_t next_sequence_ = 0;
   GradientStats stats_;
 };

@@ -5,6 +5,7 @@
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 
 namespace rrnet::proto {
 
@@ -200,11 +201,14 @@ void RoutelessProtocol::originate_forwarded(net::Packet packet) {
 
 void RoutelessProtocol::watch_as_arbiter(std::uint64_t key,
                                          const net::Packet& sent_copy) {
+  // One boxed copy shared by both callbacks: a Packet exceeds the inline
+  // capture budget, and the retransmit path may fire several times.
+  auto boxed = util::make_pooled<net::Packet>(sent_copy);
   arbiter_.watch(key, core::Arbiter::Callbacks{
-      /*retransmit=*/[this, sent_copy]() {
-        node().send_packet(sent_copy, mac::kBroadcastAddress, 0.0);
+      /*retransmit=*/[this, boxed]() {
+        node().send_packet(*boxed, mac::kBroadcastAddress, 0.0);
       },
-      /*send_ack=*/[this, sent_copy]() { send_netack(sent_copy); }});
+      /*send_ack=*/[this, boxed]() { send_netack(*boxed); }});
 }
 
 void RoutelessProtocol::send_netack(const net::Packet& acked) {
@@ -279,10 +283,11 @@ void RoutelessProtocol::handle_discovery(const net::Packet& packet,
       config_.ssaf_discovery
           ? static_cast<const core::BackoffPolicy&>(ssaf_policy_)
           : static_cast<const core::BackoffPolicy&>(discovery_policy_);
-  net::Packet copy = packet;
+  // Boxed: a Packet exceeds the WinHandler inline capture budget.
+  auto boxed = util::make_pooled<net::Packet>(packet);
   elections_.arm(key, policy, ctx, rng_,
-                 [this, copy](des::Time delay) {
-                   net::Packet relay = copy;
+                 [this, boxed](des::Time delay) {
+                   net::Packet relay = *boxed;
                    relay.ttl -= 1;
                    relay.actual_hops += 1;
                    relay.prev_hop = node().id();
@@ -352,10 +357,10 @@ void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
     const bool eligible = entry != table_.end() &&
                           entry->second.hops <= packet.expected_hops;
     if (eligible) {
-      net::Packet copy = packet;
+      auto boxed = util::make_pooled<net::Packet>(packet);
       elections_.arm(key, gradient_policy_, gradient_context(packet), rng_,
-                     [this, key, copy](des::Time delay) {
-                       do_relay(key, copy, delay);
+                     [this, key, boxed](des::Time delay) {
+                       do_relay(key, *boxed, delay);
                      });
     }
     return;
@@ -378,7 +383,7 @@ void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
       ++st.re_relays_used;
       ++stats_.re_relays;
       const des::Time delay = rng_.uniform(0.0, config_.lambda);
-      auto copy = std::make_shared<const net::Packet>(st.relayed_copy);
+      auto copy = util::make_pooled<net::Packet>(st.relayed_copy);
       node().scheduler().schedule_in(delay, [this, key, copy, delay]() {
         node().send_packet(*copy, mac::kBroadcastAddress, delay);
         watch_as_arbiter(key, *copy);
@@ -409,10 +414,10 @@ void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
   if (is_retransmission || cancelled_retransmission) {
     st.armed_from = mac_src;
     st.armed_hops = packet.actual_hops;
-    net::Packet copy = packet;
+    auto boxed = util::make_pooled<net::Packet>(packet);
     elections_.arm(key, gradient_policy_, gradient_context(packet), rng_,
-                   [this, key, copy](des::Time delay) {
-                     do_relay(key, copy, delay);
+                   [this, key, boxed](des::Time delay) {
+                     do_relay(key, *boxed, delay);
                    });
   }
 }

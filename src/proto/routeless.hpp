@@ -18,6 +18,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include "util/pooled_containers.hpp"
 #include <vector>
 
 #include "core/arbiter.hpp"
@@ -140,12 +141,12 @@ class RoutelessProtocol final : public net::Protocol {
   core::ElectionTable elections_;
   core::Arbiter arbiter_;
   des::Rng rng_;
-  std::unordered_map<std::uint32_t, TableEntry> table_;
+  util::PooledUnorderedMap<std::uint32_t, TableEntry> table_;
   net::DuplicateCache seen_;
   net::DuplicateCache delivered_;
-  std::unordered_map<std::uint64_t, RelayState> relay_states_;
+  util::PooledUnorderedMap<std::uint64_t, RelayState> relay_states_;
   std::deque<std::uint64_t> relay_state_order_;
-  std::unordered_map<std::uint32_t, PendingDiscovery> pending_;
+  util::PooledUnorderedMap<std::uint32_t, PendingDiscovery> pending_;
   std::uint32_t next_sequence_ = 0;
   RoutelessStats stats_;
 };

@@ -1,0 +1,206 @@
+// Fixed-capacity free-list pool for boxed immutable payloads.
+//
+// Relay packets (net::Packet) and MAC frame payloads travel through the
+// simulator as `std::shared_ptr<const T>`: one control+payload block per
+// boxed object, allocated with make_shared and freed when the last frame
+// or pending callback drops it. Those were the last per-event heap
+// allocations in the fig1/fig3 scenario benches (~0.06–0.08 allocs/event).
+//
+// PayloadPool removes them: make_pooled<T>(...) routes allocate_shared's
+// single combined block through a thread-local free-list arena, so in
+// steady state boxing a payload is a pointer pop and releasing it a
+// pointer push. Key properties:
+//
+//  * Fallback, never failure: when the arena is exhausted, chunks come
+//    from operator new. Every chunk carries a header naming its owner
+//    pool (nullptr for heap chunks), so release is branch-on-header and
+//    mixed pool/heap populations coexist safely.
+//  * Thread-local by construction: replication workers are shared-nothing
+//    (sim::ScenarioResult is plain data), so pooled handles never cross
+//    threads and the pools need no locks. Each pool frees its arena at
+//    thread exit; outstanding heap-fallback chunks free themselves.
+//  * Lazy chunk sizing: allocate_shared's combined block size (control
+//    block + T) is an implementation detail, so the arena is carved on
+//    the first allocation, when the size is known. Requests of any other
+//    size (e.g. a different T rebound through the same allocator) take
+//    the heap path.
+//
+// The handle type stays `std::shared_ptr<const T>`, so downstream fields
+// that erase to `shared_ptr<const void>` (mac::Frame::payload,
+// phy::Airframe::payload) are untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace rrnet::util {
+
+struct PoolStats {
+  std::uint64_t pool_allocs = 0;  ///< chunks served from the free list
+  std::uint64_t heap_allocs = 0;  ///< fallback operator-new chunks
+  std::uint64_t releases = 0;     ///< chunks returned (either kind)
+};
+
+class PayloadPool {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Chunk payload size is fixed on the first allocate() call.
+  explicit PayloadPool(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  ~PayloadPool() { ::operator delete(arena_); }
+
+  /// Allocate `bytes` of payload. Pool-served when `bytes` matches the
+  /// pool's chunk size and a free chunk exists; heap otherwise.
+  void* allocate(std::size_t bytes) {
+    if (arena_ == nullptr && bytes > 0) carve_arena(bytes);
+    if (bytes == chunk_bytes_ && !free_.empty()) {
+      Header* h = free_.back();
+      free_.pop_back();
+      ++stats_.pool_allocs;
+      return h + 1;
+    }
+    ++stats_.heap_allocs;
+    return allocate_unpooled(bytes);
+  }
+
+  /// A headered heap chunk releasable via release(), owned by no pool.
+  static void* allocate_unpooled(std::size_t bytes) {
+    Header* h = static_cast<Header*>(::operator new(sizeof(Header) + bytes));
+    h->owner = nullptr;
+    return h + 1;
+  }
+
+  /// Return a chunk obtained from any PayloadPool's allocate().
+  static void release(void* p) noexcept {
+    Header* h = static_cast<Header*>(p) - 1;
+    if (h->owner != nullptr) {
+      ++h->owner->stats_.releases;
+      h->owner->free_.push_back(h);
+    } else {
+      ::operator delete(h);
+    }
+  }
+
+  [[nodiscard]] const PoolStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t free_count() const noexcept {
+    return free_.size();
+  }
+
+ private:
+  struct alignas(std::max_align_t) Header {
+    PayloadPool* owner;
+  };
+
+  void carve_arena(std::size_t payload_bytes) {
+    // Round the stride so every chunk's payload is max_align_t-aligned.
+    constexpr std::size_t kAlign = alignof(std::max_align_t);
+    const std::size_t stride =
+        sizeof(Header) + ((payload_bytes + kAlign - 1) / kAlign) * kAlign;
+    chunk_bytes_ = payload_bytes;
+    arena_ = static_cast<std::byte*>(::operator new(stride * capacity_));
+    free_.reserve(capacity_);
+    // Push in reverse so chunks are handed out in ascending address order.
+    for (std::size_t i = capacity_; i-- > 0;) {
+      Header* h = reinterpret_cast<Header*>(arena_ + i * stride);
+      h->owner = this;
+      free_.push_back(h);
+    }
+  }
+
+  std::size_t capacity_;
+  std::size_t chunk_bytes_ = 0;  ///< fixed by the first allocation
+  std::byte* arena_ = nullptr;
+  std::vector<Header*> free_;
+  PoolStats stats_;
+};
+
+/// Minimal allocator front-end so std::allocate_shared places its combined
+/// control-block+payload node in the pool. Rebound copies share the pool.
+template <typename T>
+class PooledAllocator {
+ public:
+  using value_type = T;
+
+  explicit PooledAllocator(PayloadPool* pool) noexcept : pool_(pool) {}
+  template <typename U>
+  PooledAllocator(const PooledAllocator<U>& other) noexcept
+      : pool_(other.pool_) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_->allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept { PayloadPool::release(p); }
+
+  template <typename U>
+  bool operator==(const PooledAllocator<U>& other) const noexcept {
+    return pool_ == other.pool_;
+  }
+
+  PayloadPool* pool_;
+};
+
+/// The per-payload-type, per-thread pool used by make_pooled<T>.
+template <typename T>
+PayloadPool& payload_pool() {
+  thread_local PayloadPool pool;
+  return pool;
+}
+
+/// Counters for the calling thread's T-pool (tests and benches).
+template <typename T>
+const PoolStats& pooled_stats() {
+  return payload_pool<T>().stats();
+}
+
+/// Box an immutable payload in the calling thread's T-pool. Drop-in for
+/// `std::make_shared<const T>(...)` on hot paths.
+template <typename T, typename... Args>
+std::shared_ptr<const T> make_pooled(Args&&... args) {
+  return std::allocate_shared<T>(PooledAllocator<T>(&payload_pool<T>()),
+                                 std::forward<Args>(args)...);
+}
+
+/// Size-class pools for whole objects (64-byte steps up to 1 KiB). Every
+/// class that inherits PoolAllocated shares these, so per-scenario object
+/// churn (nodes, MACs, transceivers, protocols) recycles through free
+/// lists instead of the heap once the classes are warm.
+inline constexpr std::size_t kSizeClassStep = 64;
+inline constexpr std::size_t kSizeClassMax = 1024;
+
+/// The calling thread's pool for the size class covering `bytes`
+/// (bytes <= kSizeClassMax). Exposed for tests.
+inline PayloadPool& sized_pool(std::size_t bytes) {
+  thread_local PayloadPool pools[kSizeClassMax / kSizeClassStep];
+  return pools[(bytes + kSizeClassStep - 1) / kSizeClassStep - 1];
+}
+
+inline void* sized_allocate(std::size_t bytes) {
+  if (bytes == 0 || bytes > kSizeClassMax) {
+    return PayloadPool::allocate_unpooled(bytes);
+  }
+  const std::size_t rounded =
+      ((bytes + kSizeClassStep - 1) / kSizeClassStep) * kSizeClassStep;
+  return sized_pool(bytes).allocate(rounded);
+}
+
+/// Inherit (empty base) to route a class's `new`/`delete` through the
+/// thread's size-class pools. Covers derived classes too — a polymorphic
+/// delete through a base pointer reaches the header-driven release, and
+/// differently-sized siblings simply land in different size classes.
+/// Pool-allocated objects must be deleted on the thread that created them.
+struct PoolAllocated {
+  static void* operator new(std::size_t bytes) { return sized_allocate(bytes); }
+  static void operator delete(void* p) noexcept { PayloadPool::release(p); }
+};
+
+}  // namespace rrnet::util

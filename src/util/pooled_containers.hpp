@@ -1,0 +1,67 @@
+// Node-based standard containers backed by thread-local payload pools.
+//
+// unordered_map / unordered_set / list allocate one heap node per element,
+// and libstdc++ never recycles erased nodes. For per-packet bookkeeping
+// (duplicate caches, election sessions, relay state) that is one or more
+// heap round trips per packet per node — the dominant steady-state
+// allocation source in the scenario benches once payloads are pooled.
+//
+// NodePoolAllocator is stateless: every allocation goes to the calling
+// thread's PayloadPool keyed by the allocator's *own* value_type. Container
+// internals rebind the allocator to their node type, so each node type gets
+// a pool whose chunk size matches exactly (a list node and a hash node of
+// the same element type land in different pools). Variable-size requests —
+// hash bucket arrays — hit the same pool's size-mismatch heap fallback,
+// which is fine: bucket growth is geometric and stops once a container
+// reaches steady size.
+//
+// All instances compare equal, so containers move/swap freely within a
+// thread. Like everything PayloadPool-based, these containers must not
+// migrate across threads (replication workers are shared-nothing).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "util/pool.hpp"
+
+namespace rrnet::util {
+
+template <typename T>
+class NodePoolAllocator {
+ public:
+  using value_type = T;
+
+  NodePoolAllocator() noexcept = default;
+  template <typename U>
+  NodePoolAllocator(const NodePoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(payload_pool<NodePoolAllocator<T>>().allocate(
+        n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept { PayloadPool::release(p); }
+
+  template <typename U>
+  bool operator==(const NodePoolAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+using PooledUnorderedMap =
+    std::unordered_map<K, V, Hash, std::equal_to<K>,
+                       NodePoolAllocator<std::pair<const K, V>>>;
+
+template <typename K, typename Hash = std::hash<K>>
+using PooledUnorderedSet =
+    std::unordered_set<K, Hash, std::equal_to<K>, NodePoolAllocator<K>>;
+
+template <typename T>
+using PooledList = std::list<T, NodePoolAllocator<T>>;
+
+}  // namespace rrnet::util

@@ -100,13 +100,14 @@ TEST(Arbiter, RetransmitCallbackMayRewatch) {
   des::Scheduler sched;
   Arbiter arbiter(sched, config(0.05, 1));
   int retx = 0;
+  // Callbacks are move-only; re-watch through a by-reference trampoline.
   std::function<void()> retransmit = [&]() {
     ++retx;
     if (retx < 3) {
-      arbiter.watch(7, {retransmit, []() {}});
+      arbiter.watch(7, {[&]() { retransmit(); }, []() {}});
     }
   };
-  arbiter.watch(7, {retransmit, []() {}});
+  arbiter.watch(7, {[&]() { retransmit(); }, []() {}});
   sched.run();
   EXPECT_EQ(retx, 3);
 }

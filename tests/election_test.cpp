@@ -253,10 +253,13 @@ TEST(ElectionTable, WinnerMayRearmFromHandler) {
   UniformBackoff policy(0.01);
   des::Rng rng(5);
   int rounds = 0;
+  // WinHandler is move-only; re-arm through a by-reference trampoline.
   std::function<void(des::Time)> on_win = [&](des::Time) {
-    if (++rounds < 3) table.arm(7, policy, {}, rng, on_win);
+    if (++rounds < 3) {
+      table.arm(7, policy, {}, rng, [&](des::Time t) { on_win(t); });
+    }
   };
-  table.arm(7, policy, {}, rng, on_win);
+  table.arm(7, policy, {}, rng, [&](des::Time t) { on_win(t); });
   sched.run();
   EXPECT_EQ(rounds, 3);
   EXPECT_EQ(table.stats().won, 3u);
