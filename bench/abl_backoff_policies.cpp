@@ -79,8 +79,8 @@ ElectionOutcome run_election(bool ssaf, std::size_t candidates, double lambda,
     geom::Vec2 sender_pos;
     double max_dist;
     des::Time t0 = 0.0;
-    void on_network_tx(std::uint32_t node, const net::Packet& packet) override {
-      if (packet.type != net::PacketType::Data) return;
+    void on_network_tx(std::uint32_t node, const net::PacketRef& packet) override {
+      if (packet.type() != net::PacketType::Data) return;
       if (node == 0) {  // the synchronization point itself
         t0 = net_->scheduler().now();
         return;

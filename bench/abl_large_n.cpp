@@ -1,15 +1,19 @@
-// Large-n regime: SSAF floods at n = 1000 / 5000 / 10000.
+// Large-n regime: SSAF floods and routeless routing at n = 1000 / 5000 /
+// 10000.
 //
 // The multi-hop radio-network literature the paper feeds into (leader
 // election at O(D log n / log D) rounds) studies networks two orders of
 // magnitude denser than the paper's 100–500-node figures. This sweep holds
-// node density fixed at the fig1 value (100 nodes per 1000x1000 m, range
-// 250 m) while the terrain grows, so per-node neighborhood size — and with
-// it the per-transmission event fan-out — stays constant while total event
-// volume scales linearly. It exists to keep a tracked wall-clock/throughput
-// baseline for the regime the 4-ary heap + fused broadcast work targets;
-// delivery/delay columns double as a sanity check that SSAF still floods
-// correctly at scale.
+// node density fixed while the terrain grows, so per-node neighborhood
+// size — and with it the per-transmission event fan-out — stays constant
+// while total event volume scales linearly. It exists to keep a tracked
+// wall-clock/throughput baseline for the regime the 4-ary heap + fused
+// broadcast work targets; delivery/delay columns double as a sanity check
+// that the protocols still work at scale.
+//
+// Two rows per size: SSAF at the fig1 density (100 nodes per km^2, flood
+// regime) and RR at the fig3 density (125 nodes per km^2, unicast-with-
+// arbiter regime) — the two protocols the paper contributes.
 //
 // Flags: --quick (n = 1000 only), --nodes N (single custom size), --seed,
 // --reps.
@@ -19,12 +23,22 @@
 #include "bench_common.hpp"
 #include "sim/runner.hpp"
 
+namespace {
+
+struct SweepRow {
+  const char* label;
+  rrnet::sim::ProtocolKind protocol;
+  double nodes_per_km2;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace rrnet;
   const util::Flags flags(argc, argv);
 
   bench::print_header(
-      "Ablation — SSAF flood scaling, n = 1000/5000/10000",
+      "Ablation — SSAF + RR scaling, n = 1000/5000/10000",
       "engine scaling toward multi-hop radio-network regimes (Ghaffari & "
       "Haeupler; Czumaj & Davies)");
 
@@ -34,37 +48,48 @@ int main(int argc, char** argv) {
     sizes = {static_cast<std::size_t>(flags.get_int("nodes", 1000))};
   }
 
-  util::Table table({"nodes", "terrain_m", "events", "wall_s", "events_per_s",
-                     "delivery", "delay_s", "mac_pkts"});
-  for (const std::size_t nodes : sizes) {
-    sim::ScenarioConfig config = bench::figure1_setup();
-    std::size_t replications = 1;
-    bench::apply_flags(flags, config, replications);
-    config.nodes = nodes;
-    // Fixed density: 100 nodes per km^2, the fig1 neighborhood size.
-    const double side = std::sqrt(static_cast<double>(nodes) / 100.0) * 1000.0;
-    config.width_m = config.height_m = side;
-    config.protocol = sim::ProtocolKind::Ssaf;
-    config.pairs = 10;
-    config.cbr_interval = 2.0;
-    config.traffic_start = 1.0;
-    config.traffic_stop = 9.0;
-    config.sim_end = 14.0;
+  // fig1: 100 nodes / 1000x1000 m; fig3: 500 nodes / 2000x2000 m.
+  const SweepRow rows[] = {
+      {"ssaf", sim::ProtocolKind::Ssaf, 100.0},
+      {"rr", sim::ProtocolKind::Routeless, 125.0},
+  };
 
-    // run_scenario (not run_replications): the scaling table needs the raw
-    // event count and a wall clock unpolluted by worker-thread setup.
-    const auto t0 = std::chrono::steady_clock::now();
-    const sim::ScenarioResult result = sim::run_scenario(config);
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    const double events = static_cast<double>(result.events_executed);
-    table.add_row({static_cast<double>(nodes), side, events, wall,
-                   wall > 0.0 ? events / wall : 0.0, result.delivery_ratio,
-                   result.mean_delay_s,
-                   static_cast<double>(result.mac_packets)});
-    std::fprintf(stderr, "  [n=%zu] %.1fs wall, %.0f events\n", nodes, wall,
-                 events);
+  util::Table table({"nodes", "proto", "terrain_m", "events", "wall_s",
+                     "events_per_s", "delivery", "delay_s", "mac_pkts"});
+  for (const std::size_t nodes : sizes) {
+    for (const SweepRow& row : rows) {
+      sim::ScenarioConfig config = row.protocol == sim::ProtocolKind::Ssaf
+                                       ? bench::figure1_setup()
+                                       : bench::figure3_setup();
+      std::size_t replications = 1;
+      bench::apply_flags(flags, config, replications);
+      config.nodes = nodes;
+      // Fixed density: terrain grows with n so neighborhood size holds.
+      const double side =
+          std::sqrt(static_cast<double>(nodes) / row.nodes_per_km2) * 1000.0;
+      config.width_m = config.height_m = side;
+      config.protocol = row.protocol;
+      config.pairs = 10;
+      config.cbr_interval = 2.0;
+      config.traffic_start = 1.0;
+      config.traffic_stop = 9.0;
+      config.sim_end = 14.0;
+
+      // run_scenario (not run_replications): the scaling table needs the
+      // raw event count and a wall clock unpolluted by worker-thread setup.
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::ScenarioResult result = sim::run_scenario(config);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double events = static_cast<double>(result.events_executed);
+      table.add_row({static_cast<double>(nodes), std::string(row.label), side,
+                     events, wall, wall > 0.0 ? events / wall : 0.0,
+                     result.delivery_ratio, result.mean_delay_s,
+                     static_cast<double>(result.mac_packets)});
+      std::fprintf(stderr, "  [n=%zu %s] %.1fs wall, %.0f events\n", nodes,
+                   row.label, wall, events);
+    }
   }
   bench::emit(table, "abl_large_n.csv");
   return 0;

@@ -185,7 +185,6 @@ void BM_ChannelBroadcastFanout(benchmark::State& state) {
     frame.id = channel.next_frame_id();
     frame.sender = sender++ % n;
     frame.size_bytes = 128;
-    frame.payload = std::make_shared<int>(0);
     channel.transmit(frame);
     sched.run();  // drain all reception events
   }

@@ -251,20 +251,20 @@ BenchResult bench_quad_heap() {
   });
 }
 
-// Pooled packet boxing round trip: make_pooled + handle drop, the unit of
-// work the fig1/fig3 relay paths pay per boxed payload. Steady state must
-// be allocation-free (the warmup round carves the arena).
+// Pooled packet round trip: make_packet + last-ref drop, the unit of work
+// the fig1/fig3 send paths pay per originated packet. Steady state must be
+// allocation-free (the warmup round carves the arena).
 BenchResult bench_pool_box_release() {
   constexpr std::size_t kBoxes = 1 << 15;
-  net::Packet packet;
-  packet.origin = 1;
-  packet.target = 2;
+  net::PacketInit init;
+  init.origin = 1;
+  init.target = 2;
   std::uint64_t sink = 0;
   return measure("pool_box_release", 1.0, [&]() {
     for (std::size_t i = 0; i < kBoxes; ++i) {
-      packet.sequence = static_cast<std::uint32_t>(i);
-      auto boxed = util::make_pooled<net::Packet>(packet);
-      sink += boxed->sequence;
+      init.sequence = static_cast<std::uint32_t>(i);
+      const net::PacketRef packet = net::make_packet(net::PacketInit(init));
+      sink += packet.sequence();
     }
     return kBoxes;
   });
@@ -308,6 +308,47 @@ BenchResult bench_channel_broadcast(std::size_t nodes) {
       });
   (void)executed0;
   return result;
+}
+
+// Dense concurrent signals: every node in one radio neighborhood, many
+// transmissions in flight at once, so each arrival/expiry linear-scans a
+// Transceiver::signals_ vector holding ~kSenders entries. This is the
+// worst case for the flat-vector signal set (kReservedSignals = 8, denser
+// sets spill to per-instance heap growth); the bench tracks the cost so a
+// future structure change has a before/after number.
+BenchResult bench_dense_signals() {
+  constexpr std::size_t kNodes = 64;
+  constexpr std::size_t kSenders = 32;
+  const geom::Terrain terrain(200.0, 200.0);  // everyone hears everyone
+  des::Rng rng(11);
+  const auto positions = geom::place_uniform(terrain, kNodes, rng);
+  des::Scheduler sched;
+  phy::FreeSpace for_power;
+  phy::RadioParams radio;
+  radio.tx_power_dbm =
+      phy::tx_power_for_range(for_power, 250.0, radio.rx_threshold_dbm);
+  phy::Channel channel(sched, terrain, std::make_unique<phy::FreeSpace>(),
+                       radio, positions, des::Rng(12));
+  std::vector<NullListener> listeners(kNodes);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    channel.transceiver(i).attach(listeners[i]);
+  }
+  return measure("channel_dense_signals", 1.0, [&]() {
+    const std::uint64_t before = sched.executed_count();
+    for (int round = 0; round < 32; ++round) {
+      // Launch all senders before draining: their airtimes overlap, so
+      // every receiver accumulates ~kSenders concurrent ActiveSignals.
+      for (std::uint32_t s = 0; s < kSenders; ++s) {
+        phy::Airframe frame;
+        frame.id = channel.next_frame_id();
+        frame.sender = s;
+        frame.size_bytes = 512;
+        channel.transmit(frame);
+      }
+      sched.run();
+    }
+    return sched.executed_count() - before;
+  });
 }
 
 BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
@@ -368,6 +409,7 @@ int main(int argc, char** argv) {
   results.push_back(bench_pool_box_release());
   results.push_back(bench_channel_broadcast(100));
   results.push_back(bench_channel_broadcast(500));
+  results.push_back(bench_dense_signals());
   results.push_back(bench_scenario("fig1_flooding_wallclock",
                                    sim::ProtocolKind::Counter1Flooding, 80, 1));
   results.push_back(

@@ -42,20 +42,20 @@ class ClusterProtocol final : public net::Protocol {
   std::uint64_t send_data(std::uint32_t, std::uint32_t) override { return 0; }
   const char* name() const noexcept override { return "cluster-election"; }
 
-  void on_packet(const net::Packet& packet, const phy::RxInfo&, bool,
+  void on_packet(const net::PacketRef& packet, const phy::RxInfo&, bool,
                  std::uint32_t) override {
-    if (packet.type != net::PacketType::Data) return;
+    if (packet.type() != net::PacketType::Data) return;
     const std::uint64_t key = packet.flood_key();
-    if (packet.expected_hops == 1) {  // round beacon from the sink
-      if (node().id() == 0) return;   // the sink doesn't run for head
+    if (packet.expected_hops() == 1) {  // round beacon from the sink
+      if (node().id() == 0) return;     // the sink doesn't run for head
       core::ElectionContext ctx;
       ctx.energy_fraction = (*energy_)[node().id()] / kInitialEnergy;
       pending_key_ = key;
-      elections_.arm(key, policy_, ctx, rng_, [this, round = packet.sequence](
-                                                  des::Time) {
+      elections_.arm(key, policy_, ctx, rng_,
+                     [this, round = packet.sequence()](des::Time) {
         become_head(round);
       });
-    } else if (packet.expected_hops == 2) {  // head announcement
+    } else if (packet.expected_hops() == 2) {  // head announcement
       elections_.cancel(pending_key_, core::CancelReason::DuplicateHeard);
       (*energy_)[node().id()] -= kMemberCostPerRound;
     }
@@ -69,7 +69,7 @@ class ClusterProtocol final : public net::Protocol {
                 round, node().id(), 100.0 * e / kInitialEnergy);
     e -= kHeadCostPerRound;
     ++(*head_rounds_)[node().id()];
-    net::Packet announce;
+    net::PacketInit announce;
     announce.type = net::PacketType::Data;
     announce.origin = node().id();
     announce.target = net::kNoNode;
@@ -78,7 +78,8 @@ class ClusterProtocol final : public net::Protocol {
     announce.expected_hops = 2;  // head-announcement marker
     announce.payload_bytes = 8;
     announce.created_at = node().scheduler().now();
-    node().send_packet(announce, mac::kBroadcastAddress, 0.0);
+    node().send_packet(net::make_packet(std::move(announce)),
+                       mac::kBroadcastAddress, 0.0);
   }
 
   core::EnergyAwareBackoff policy_;
@@ -125,7 +126,7 @@ int main() {
   // The sink beacons a new round every 200 ms.
   for (std::uint32_t round = 0; round < 16; ++round) {
     scheduler.schedule_at(0.2 * (round + 1), [&network, &scheduler, round]() {
-      net::Packet beacon;
+      net::PacketInit beacon;
       beacon.type = net::PacketType::Data;
       beacon.origin = 0;
       beacon.target = net::kNoNode;
@@ -134,7 +135,8 @@ int main() {
       beacon.expected_hops = 1;  // round-beacon marker
       beacon.payload_bytes = 8;
       beacon.created_at = scheduler.now();
-      network.node(0).send_packet(beacon, mac::kBroadcastAddress, 0.0);
+      network.node(0).send_packet(net::make_packet(std::move(beacon)),
+                                  mac::kBroadcastAddress, 0.0);
     });
   }
   scheduler.run_until(4.0);

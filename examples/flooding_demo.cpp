@@ -52,14 +52,14 @@ FloodOutcome run_flood(bool ssaf, std::uint64_t seed, bool verbose) {
     FloodOutcome* out;
     net::Network* net_;
     bool verbose;
-    void on_network_tx(std::uint32_t node, const net::Packet& packet) override {
-      if (packet.type != net::PacketType::Data) return;
+    void on_network_tx(std::uint32_t node, const net::PacketRef& packet) override {
+      if (packet.type() != net::PacketType::Data) return;
       ++out->transmissions;
       if (verbose && out->transmissions <= 12) {
         const geom::Vec2 p = net_->channel().position(node);
         std::printf("    t=%6.2f ms  node %-3u relays (hops=%u) at "
                     "(%4.0f, %4.0f)\n",
-                    net_->scheduler().now() * 1e3, node, packet.actual_hops,
+                    net_->scheduler().now() * 1e3, node, packet.actual_hops(),
                     p.x, p.y);
       }
     }
@@ -69,8 +69,8 @@ FloodOutcome run_flood(bool ssaf, std::uint64_t seed, bool verbose) {
   observer.verbose = verbose;
   network.set_observer(&observer);
 
-  network.node(59).set_delivery_handler([&](const net::Packet& packet) {
-    outcome.delivered_hops = packet.actual_hops;
+  network.node(59).set_delivery_handler([&](const net::PacketRef& packet) {
+    outcome.delivered_hops = packet.actual_hops();
     outcome.delivered_at = scheduler.now();
   });
   network.node(0).protocol().send_data(59, 64);

@@ -59,10 +59,10 @@ int main() {
               dst, separation, static_cast<int>(separation / 250.0) + 1);
 
   int delivered = 0;
-  sim.network().node(dst).set_delivery_handler([&](const net::Packet& packet) {
+  sim.network().node(dst).set_delivery_handler([&](const net::PacketRef& packet) {
     ++delivered;
     std::printf("  t=%5.2f s  packet #%-2u delivered after %u hops\n",
-                sim.scheduler().now(), packet.sequence, packet.actual_hops);
+                sim.scheduler().now(), packet.sequence(), packet.actual_hops());
   });
 
   // Phase 1: let the flow establish itself.

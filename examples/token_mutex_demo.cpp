@@ -72,11 +72,11 @@ class TokenProtocol final : public net::Protocol {
   std::uint64_t send_data(std::uint32_t, std::uint32_t) override { return 0; }
   const char* name() const noexcept override { return "token-mutex"; }
 
-  void on_packet(const net::Packet& packet, const phy::RxInfo&, bool,
+  void on_packet(const net::PacketRef& packet, const phy::RxInfo&, bool,
                  std::uint32_t) override {
-    if (packet.type != net::PacketType::Data) return;
+    if (packet.type() != net::PacketType::Data) return;
     const std::uint64_t key = packet.flood_key();
-    if (packet.expected_hops == kRelease) {
+    if (packet.expected_hops() == kRelease) {
       // The release broadcast: the implicit synchronization point. Every
       // node that wants the token competes.
       if (!wants_) return;
@@ -91,7 +91,7 @@ class TokenProtocol final : public net::Protocol {
       elections_.arm(key, policy_, ctx, rng_, [this](des::Time) {
         claim_token();
       });
-    } else if (packet.expected_hops == kClaim) {
+    } else if (packet.expected_hops() == kClaim) {
       rerelease_timer_.cancel();  // arbiter duty done: a successor exists
       // Someone else claimed: concede. The claim packet carries its own
       // flood key, so cancel the election we armed for the release.
@@ -130,7 +130,7 @@ class TokenProtocol final : public net::Protocol {
   }
 
   void broadcast(std::uint16_t kind) {
-    net::Packet packet;
+    net::PacketInit packet;
     packet.type = net::PacketType::Data;
     packet.origin = node().id();
     packet.target = net::kNoNode;
@@ -139,7 +139,8 @@ class TokenProtocol final : public net::Protocol {
     packet.expected_hops = kind;  // Release or Claim marker
     packet.payload_bytes = 8;
     packet.created_at = node().scheduler().now();
-    node().send_packet(packet, mac::kBroadcastAddress, 0.0);
+    node().send_packet(net::make_packet(std::move(packet)),
+                       mac::kBroadcastAddress, 0.0);
   }
 
   WaitTimeBackoff policy_;

@@ -17,6 +17,14 @@ JOBS="$(nproc)"
 WITH_BENCH=0
 [[ "${1:-}" == "--with-bench" ]] && WITH_BENCH=1
 
+echo "== header self-containment =="
+# Every header must compile standalone (no hidden include-order coupling).
+CXX_BIN="${CXX:-c++}"
+find src -name '*.hpp' -print0 | sort -z | \
+  xargs -0 -P "$JOBS" -I{} "$CXX_BIN" -std=c++20 -fsyntax-only -I src \
+    -include {} -x c++ /dev/null || {
+      echo "header self-containment check failed" >&2; exit 1; }
+
 echo "== plain build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"

@@ -36,7 +36,7 @@ void CbrSource::send_one() {
 
 void attach_sink(net::Node& node, FlowStats& stats) {
   net::Node* node_ptr = &node;
-  node.set_delivery_handler([node_ptr, &stats](const net::Packet& packet) {
+  node.set_delivery_handler([node_ptr, &stats](const net::PacketRef& packet) {
     stats.record_delivered(packet, node_ptr->scheduler().now());
   });
 }

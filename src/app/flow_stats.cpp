@@ -7,15 +7,15 @@ void FlowStats::record_sent(std::uint64_t uid, des::Time /*now*/) {
   outstanding_.insert(uid);
 }
 
-void FlowStats::record_delivered(const net::Packet& packet, des::Time now) {
-  if (!seen_uids_.insert(packet.uid).second) return;  // duplicate delivery
+void FlowStats::record_delivered(const net::PacketRef& packet, des::Time now) {
+  if (!seen_uids_.insert(packet.uid()).second) return;  // duplicate delivery
   // Only count deliveries of packets we saw depart; protocols may also
   // deliver control traffic through the same handler in exotic setups.
-  if (outstanding_.erase(packet.uid) == 0) return;
+  if (outstanding_.erase(packet.uid()) == 0) return;
   ++delivered_;
-  delay_.add(now - packet.created_at);
-  hops_.add(static_cast<double>(packet.actual_hops));
-  if (series_.has_value()) series_->add(now, now - packet.created_at);
+  delay_.add(now - packet.created_at());
+  hops_.add(static_cast<double>(packet.actual_hops()));
+  if (series_.has_value()) series_->add(now, now - packet.created_at());
 }
 
 double FlowStats::delivery_ratio() const noexcept {

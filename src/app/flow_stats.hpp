@@ -12,7 +12,7 @@
 #include "util/pooled_containers.hpp"
 
 #include "des/time.hpp"
-#include "net/packet.hpp"
+#include "net/packet_buffer.hpp"
 #include "util/stats.hpp"
 #include "util/timeseries.hpp"
 
@@ -24,7 +24,7 @@ class FlowStats {
   void record_sent(std::uint64_t uid, des::Time now);
   /// A destination's application received a packet (call from the node's
   /// delivery handler). Duplicate uids are counted once.
-  void record_delivered(const net::Packet& packet, des::Time now);
+  void record_delivered(const net::PacketRef& packet, des::Time now);
 
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }

@@ -1,10 +1,9 @@
 #include "mac/csma.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <utility>
 
 #include "util/contracts.hpp"
-#include "util/pool.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +37,7 @@ CsmaMac::CsmaMac(phy::Channel& channel, std::uint32_t node_id,
   channel_->transceiver(node_id_).attach(*this);
 }
 
-void CsmaMac::send(std::uint32_t dst, std::shared_ptr<const void> packet,
+void CsmaMac::send(std::uint32_t dst, net::PacketRef packet,
                    std::uint32_t payload_bytes, double priority) {
   Frame frame;
   frame.kind = FrameKind::Data;
@@ -163,7 +162,7 @@ void CsmaMac::transmit_current() {
   air.id = channel_->next_frame_id();
   air.sender = node_id_;
   air.size_bytes = current_->frame.size_bytes;
-  air.payload = util::make_pooled<Frame>(current_->frame);
+  air.frame = current_->frame;
   if (!channel_->transmit(air)) {
     ++stats_.tx_dropped_radio_off;
     finish_current(false);
@@ -193,7 +192,7 @@ void CsmaMac::send_rts() {
   air.id = channel_->next_frame_id();
   air.sender = node_id_;
   air.size_bytes = rts.size_bytes;
-  air.payload = util::make_pooled<Frame>(rts);
+  air.frame = rts;
   if (!channel_->transmit(air)) {
     ++stats_.tx_dropped_radio_off;
     finish_current(false);
@@ -224,7 +223,7 @@ void CsmaMac::transmit_data_now() {
     air.id = channel_->next_frame_id();
     air.sender = node_id_;
     air.size_bytes = current_->frame.size_bytes;
-    air.payload = util::make_pooled<Frame>(current_->frame);
+    air.frame = current_->frame;
     if (!channel_->transmit(air)) {
       ++stats_.tx_dropped_radio_off;
       finish_current(false);
@@ -263,7 +262,7 @@ void CsmaMac::send_cts(const Frame& rts) {
     air.id = channel_->next_frame_id();
     air.sender = node_id_;
     air.size_bytes = cts.size_bytes;
-    air.payload = util::make_pooled<Frame>(cts);
+    air.frame = std::move(cts);
     if (channel_->transmit(air)) {
       airframe_id_ = air.id;
       tx_is_ack_ = true;  // fire-and-forget, like an ACK
@@ -353,7 +352,7 @@ void CsmaMac::send_ack(const Frame& data_frame) {
     air.id = channel_->next_frame_id();
     air.sender = node_id_;
     air.size_bytes = ack.size_bytes;
-    air.payload = util::make_pooled<Frame>(ack);
+    air.frame = std::move(ack);
     if (channel_->transmit(air)) {
       airframe_id_ = air.id;
       tx_is_ack_ = true;
@@ -363,8 +362,7 @@ void CsmaMac::send_ack(const Frame& data_frame) {
 }
 
 void CsmaMac::on_receive(const phy::Airframe& air, const phy::RxInfo& info) {
-  RRNET_ASSERT(air.payload != nullptr);
-  const Frame& frame = *static_cast<const Frame*>(air.payload.get());
+  const Frame& frame = air.frame;
   if (frame.kind == FrameKind::Rts) {
     MAC_TRACE("%.6f n%u RX RTS from %u->%u\n", scheduler_->now(), node_id_,
               frame.src, frame.dst);

@@ -74,7 +74,7 @@ class CsmaMac final : public phy::RadioListener, public util::PoolAllocated {
   /// Queue a network packet for transmission. `priority`: lower is served
   /// first when the priority queue is enabled (use the election backoff).
   /// `payload_bytes` is the network-layer size; MAC header is added here.
-  void send(std::uint32_t dst, std::shared_ptr<const void> packet,
+  void send(std::uint32_t dst, net::PacketRef packet,
             std::uint32_t payload_bytes, double priority = 0.0);
 
   [[nodiscard]] const MacStats& stats() const noexcept { return stats_; }

@@ -1,10 +1,13 @@
-// MAC frames. The network-layer packet rides inside as a type-erased
-// shared_ptr (the PHY/MAC layers sit below the network layer and must not
-// depend on its types); net::Node casts it back on delivery.
+// MAC frames. The network packet rides inside as a typed net::PacketRef —
+// 24 bytes of buffer pointer + per-hop trailer, no type erasure and no
+// copy of the packet itself. Message *types* (net/packet_buffer.hpp) are
+// foundation vocabulary shared down the stack; behavioral layering still
+// runs strictly upward (PHY -> MAC -> NET) through the listener interfaces.
 #pragma once
 
 #include <cstdint>
-#include <memory>
+
+#include "net/packet_buffer.hpp"
 
 namespace rrnet::mac {
 
@@ -22,7 +25,7 @@ struct Frame {
   /// RTS/CTS: how long the medium stays reserved after this frame ends
   /// (seconds). Overhearers honor it as their NAV (virtual carrier sense).
   double nav_duration = 0.0;
-  std::shared_ptr<const void> payload;  ///< network packet (null for ACKs)
+  net::PacketRef payload;  ///< network packet (empty for control frames)
 };
 
 /// MAC header overhead added to every data frame (bytes).

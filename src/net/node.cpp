@@ -30,16 +30,15 @@ Protocol& Node::protocol() const {
   return *protocol_;
 }
 
-void Node::send_packet(const Packet& packet, std::uint32_t mac_dst,
+void Node::send_packet(const PacketRef& packet, std::uint32_t mac_dst,
                        double priority) {
   if (PacketObserver* obs = network_->observer()) {
     obs->on_network_tx(id_, packet);
   }
-  mac_->send(mac_dst, util::make_pooled<Packet>(packet),
-             packet.size_bytes(), priority);
+  mac_->send(mac_dst, packet, packet.size_bytes(), priority);
 }
 
-void Node::deliver_to_app(const Packet& packet) {
+void Node::deliver_to_app(const PacketRef& packet) {
   if (PacketObserver* obs = network_->observer()) {
     obs->on_delivered(id_, packet);
   }
@@ -48,15 +47,13 @@ void Node::deliver_to_app(const Packet& packet) {
 
 void Node::mac_receive(const mac::Frame& frame, const phy::RxInfo& info,
                        bool for_us) {
-  if (protocol_ == nullptr || frame.payload == nullptr) return;
-  const auto& packet = *static_cast<const Packet*>(frame.payload.get());
-  protocol_->on_packet(packet, info, for_us, frame.src);
+  if (protocol_ == nullptr || !frame.payload) return;
+  protocol_->on_packet(frame.payload, info, for_us, frame.src);
 }
 
 void Node::mac_send_done(const mac::Frame& frame, bool success) {
-  if (protocol_ == nullptr || frame.payload == nullptr) return;
-  const auto& packet = *static_cast<const Packet*>(frame.payload.get());
-  protocol_->on_send_done(packet, success, frame.dst);
+  if (protocol_ == nullptr || !frame.payload) return;
+  protocol_->on_send_done(frame.payload, success, frame.dst);
 }
 
 }  // namespace rrnet::net

@@ -3,13 +3,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
+#include "des/inline_callback.hpp"
 #include "des/rng.hpp"
 #include "geom/vec2.hpp"
 #include "mac/csma.hpp"
-#include "net/packet.hpp"
+#include "net/packet_buffer.hpp"
 #include "net/protocol.hpp"
 #include "util/pool.hpp"
 
@@ -22,11 +22,11 @@ class Network;
 class PacketObserver {
  public:
   virtual ~PacketObserver() = default;
-  virtual void on_network_tx(std::uint32_t node, const Packet& packet) {
+  virtual void on_network_tx(std::uint32_t node, const PacketRef& packet) {
     (void)node;
     (void)packet;
   }
-  virtual void on_delivered(std::uint32_t node, const Packet& packet) {
+  virtual void on_delivered(std::uint32_t node, const PacketRef& packet) {
     (void)node;
     (void)packet;
   }
@@ -52,14 +52,18 @@ class Node final : public mac::MacListener, public util::PoolAllocated {
 
   /// Transmit a network packet via the MAC. `mac_dst` is a neighbor id or
   /// mac::kBroadcastAddress; `priority` feeds the net->MAC priority queue
-  /// (lower = sooner; pass the election backoff delay).
-  void send_packet(const Packet& packet, std::uint32_t mac_dst,
+  /// (lower = sooner; pass the election backoff delay). The packet travels
+  /// by reference: only the 24-byte ref is enqueued, never a packet copy.
+  void send_packet(const PacketRef& packet, std::uint32_t mac_dst,
                    double priority = 0.0);
 
   /// Deliver a packet to the application on this node (destination reached).
-  void deliver_to_app(const Packet& packet);
+  void deliver_to_app(const PacketRef& packet);
 
-  using DeliveryHandler = std::function<void(const Packet&)>;
+  /// Application delivery sink. Inline (64-byte capture budget) — the last
+  /// std::function on the hot path is gone; oversized captures are a
+  /// compile error, not a silent heap allocation.
+  using DeliveryHandler = des::InlineFunction<void(const PacketRef&), 64>;
   void set_delivery_handler(DeliveryHandler handler) {
     delivery_handler_ = std::move(handler);
   }

@@ -1,7 +1,5 @@
 #include "net/packet.hpp"
 
-#include <sstream>
-
 namespace rrnet::net {
 
 const char* to_string(PacketType type) noexcept {
@@ -16,36 +14,6 @@ const char* to_string(PacketType type) noexcept {
     case PacketType::RouteUpdate: return "RouteUpdate";
   }
   return "?";
-}
-
-std::uint32_t Packet::header_bytes() const noexcept {
-  switch (type) {
-    case PacketType::Data: return 20;
-    case PacketType::PathDiscovery: return 24;
-    case PacketType::PathReply: return 24;
-    case PacketType::NetAck: return 16;
-    case PacketType::RouteRequest: return 24;
-    case PacketType::RouteReply: return 20;
-    case PacketType::RouteError: return 12;
-    case PacketType::RouteUpdate: return 8;  // + 10 bytes per entry (payload)
-  }
-  return 20;
-}
-
-std::uint64_t Packet::flood_key() const noexcept {
-  // origin (32) | sequence (24) | type (8); sequences wrap far beyond any
-  // duplicate-cache horizon used here.
-  return (static_cast<std::uint64_t>(origin) << 32) |
-         (static_cast<std::uint64_t>(sequence & 0xFFFFFFu) << 8) |
-         static_cast<std::uint64_t>(type);
-}
-
-std::string Packet::describe() const {
-  std::ostringstream oss;
-  oss << to_string(type) << "(origin=" << origin << " target=" << target
-      << " seq=" << sequence << " hops=" << actual_hops << " uid=" << uid
-      << ")";
-  return oss.str();
 }
 
 }  // namespace rrnet::net

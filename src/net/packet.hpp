@@ -1,17 +1,14 @@
-// The network-layer packet shared by all protocols in this library.
+// Network-layer packet vocabulary: packet types, the "no node" sentinel,
+// the flood key, and the per-hop trailer.
 //
-// One concrete struct (rather than a class hierarchy) keeps packets cheap to
-// copy into MAC frames and trivially inspectable by the promiscuous
-// listeners that Routeless Routing relies on. Fields unused by a given
-// protocol are simply left at their defaults and do not count toward the
-// packet's on-air size (see header_bytes()).
+// The wire format is split in two at origination (see packet_buffer.hpp):
+// the immutable origin header lives once in a pooled, ref-counted
+// net::PacketBuffer shared by every in-flight copy, while the small per-hop
+// trailer (HopState: ttl / hop counts / previous hop) travels by value
+// inside each net::PacketRef.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <string>
-
-#include "des/time.hpp"
 
 namespace rrnet::net {
 
@@ -23,53 +20,34 @@ enum class PacketType : std::uint8_t {
   PathDiscovery,  ///< RR: flooded request carrying actual hop count
   PathReply,      ///< RR: reply forwarded by leader election
   NetAck,         ///< RR: arbiter acknowledgement
-  RouteRequest,   ///< AODV RREQ
-  RouteReply,     ///< AODV RREP
-  RouteError,     ///< AODV RERR
+  RouteRequest,   ///< AODV/DSR RREQ
+  RouteReply,     ///< AODV/DSR RREP
+  RouteError,     ///< AODV/DSR RERR
   RouteUpdate,    ///< DSDV periodic/triggered table dump
 };
 
 [[nodiscard]] const char* to_string(PacketType type) noexcept;
 
-struct Packet {
-  PacketType type = PacketType::Data;
-  std::uint32_t origin = kNoNode;   ///< node that created the packet
-  std::uint32_t target = kNoNode;   ///< final destination (kNoNode = flood)
-  std::uint32_t sequence = 0;       ///< per-origin sequence number
-  std::uint64_t uid = 0;            ///< globally unique (tracing, dedup)
+/// Key identifying a logical packet across relays (origin, sequence, type):
+/// origin (32) | sequence (24) | type (8). Relayed copies keep the key, so
+/// duplicate caches work; sequences wrap far beyond any cache horizon.
+[[nodiscard]] inline std::uint64_t flood_key_of(std::uint32_t origin,
+                                                std::uint32_t sequence,
+                                                PacketType type) noexcept {
+  return (static_cast<std::uint64_t>(origin) << 32) |
+         (static_cast<std::uint64_t>(sequence & 0xFFFFFFu) << 8) |
+         static_cast<std::uint64_t>(type);
+}
+
+/// The mutable per-hop trailer. Each in-flight PacketRef carries its own
+/// copy: concurrent relays of one logical packet legitimately disagree on
+/// hop counts (an armed election holds hops=2 while a downstream node
+/// relays at hops=3), so these fields can never live in the shared buffer.
+struct HopState {
   std::uint16_t actual_hops = 0;    ///< hops traveled so far (RR "actual hop count")
   std::uint16_t expected_hops = 0;  ///< RR path-reply "expected hop count"
   std::uint8_t ttl = 64;            ///< relays remaining
   std::uint32_t prev_hop = kNoNode; ///< node that last transmitted this copy
-  std::uint32_t payload_bytes = 0;  ///< application payload size
-  des::Time created_at = 0.0;       ///< origination time (end-to-end delay)
-
-  // AODV-only fields.
-  std::uint32_t rreq_id = 0;        ///< per-origin route-request id
-  std::uint32_t origin_seqno = 0;   ///< origin's AODV sequence number
-  std::uint32_t target_seqno = 0;   ///< last known target AODV sequence number
-  std::uint32_t unreachable = kNoNode;  ///< RERR: destination that broke
-
-  /// NetAck-only: packet type being acknowledged (the ack references the
-  /// acked packet's (origin, sequence, type) flood key).
-  PacketType acked_type = PacketType::Data;
-
-  /// Protocol-specific extension payload (type-erased; e.g. DSDV carries a
-  /// route-table dump here). Its on-air size must be reflected in
-  /// payload_bytes by the protocol that attaches it.
-  std::shared_ptr<const void> extension;
-
-  /// On-air network header size for this packet type (bytes).
-  [[nodiscard]] std::uint32_t header_bytes() const noexcept;
-  /// Full network-layer size: header + payload.
-  [[nodiscard]] std::uint32_t size_bytes() const noexcept {
-    return header_bytes() + payload_bytes;
-  }
-  /// Key identifying the logical packet across relays (origin, sequence,
-  /// type) — relayed copies keep the key, so duplicate caches work.
-  [[nodiscard]] std::uint64_t flood_key() const noexcept;
-
-  [[nodiscard]] std::string describe() const;
 };
 
 }  // namespace rrnet::net

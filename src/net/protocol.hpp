@@ -5,9 +5,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
-#include "net/packet.hpp"
+#include "net/packet_buffer.hpp"
 #include "util/pool.hpp"
 #include "phy/radio.hpp"
 
@@ -28,13 +27,13 @@ class Protocol : public util::PoolAllocated {
   /// A network packet arrived from the MAC. `for_us` is true when the MAC
   /// destination was this node or broadcast; false for promiscuously
   /// overheard unicast frames. `mac_src` is the transmitting neighbor.
-  virtual void on_packet(const Packet& packet, const phy::RxInfo& info,
+  virtual void on_packet(const PacketRef& packet, const phy::RxInfo& info,
                          bool for_us, std::uint32_t mac_src) = 0;
 
   /// The MAC finished (or gave up on) one of our frames. Unicast protocols
   /// use `success == false` as a link-break signal; `mac_dst` identifies the
   /// neighbor the frame was addressed to (kBroadcastAddress for broadcasts).
-  virtual void on_send_done(const Packet& packet, bool success,
+  virtual void on_send_done(const PacketRef& packet, bool success,
                             std::uint32_t mac_dst) {
     (void)packet;
     (void)success;

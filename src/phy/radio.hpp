@@ -1,11 +1,11 @@
 // Radio parameters shared by transceiver, channel, and MAC, plus the
-// type-erased over-the-air frame.
+// over-the-air frame.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 #include "des/time.hpp"
+#include "mac/frame.hpp"
 
 namespace rrnet::phy {
 
@@ -32,13 +32,15 @@ struct RadioParams {
   }
 };
 
-/// A frame in flight. `payload` is the MAC frame, type-erased so the PHY
-/// layer does not depend on the MAC layer; the MAC casts it back.
+/// A frame in flight: the MAC frame embedded by value (it is small — the
+/// network packet inside it is a 24-byte PacketRef). Message types are
+/// shared vocabulary across layers; the PHY never interprets `frame`
+/// beyond handing it back to the RadioListener on decode.
 struct Airframe {
   std::uint64_t id = 0;          ///< unique per transmission
   std::uint32_t sender = 0;      ///< node id of the transmitter
   std::uint32_t size_bytes = 0;  ///< payload size driving the airtime
-  std::shared_ptr<const void> payload;
+  mac::Frame frame;
 };
 
 /// Reception metadata handed to the MAC with a successfully decoded frame.

@@ -5,14 +5,13 @@
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
-#include "util/pool.hpp"
 
 namespace rrnet::proto {
 
 namespace {
 /// Dedup key for a route request: (origin, rreq_id).
-std::uint64_t rreq_key(const net::Packet& packet) {
-  return (static_cast<std::uint64_t>(packet.origin) << 32) | packet.rreq_id;
+std::uint64_t rreq_key(const net::PacketRef& packet) {
+  return (static_cast<std::uint64_t>(packet.origin()) << 32) | packet.rreq_id();
 }
 }  // namespace
 
@@ -58,58 +57,61 @@ void AodvProtocol::update_route(std::uint32_t target, std::uint32_t via,
 std::uint64_t AodvProtocol::send_data(std::uint32_t target,
                              std::uint32_t payload_bytes) {
   RRNET_EXPECTS(target != node().id());
-  net::Packet packet;
-  packet.type = net::PacketType::Data;
-  packet.origin = node().id();
-  packet.target = target;
-  packet.sequence = next_sequence_++;
-  packet.uid = node().network().next_packet_uid();
-  packet.ttl = config_.ttl;
-  packet.payload_bytes = payload_bytes;
-  packet.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::Data;
+  init.origin = node().id();
+  init.target = target;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.ttl = config_.ttl;
+  init.payload_bytes = payload_bytes;
+  init.created_at = node().scheduler().now();
+  const std::uint64_t uid = init.uid;
+  net::PacketRef packet = net::make_packet(std::move(init));
 
   if (!has_route(target)) {
     auto [it, inserted] = pending_.try_emplace(target, node().scheduler());
     PendingDiscovery& pd = it->second;
     if (pd.queued.size() >= config_.pending_capacity) {
       ++stats_.pending_dropped;
-      return packet.uid;
+      return uid;
     }
-    pd.queued.push_back(packet);
+    pd.queued.push_back(std::move(packet));
     if (inserted) start_discovery(target);
-    return packet.uid;
+    return uid;
   }
   ++stats_.data_originated;
   forward_data(std::move(packet));
-  return packet.uid;
+  return uid;
 }
 
-void AodvProtocol::forward_data(net::Packet packet) {
-  if (packet.ttl == 0) {
+void AodvProtocol::forward_data(net::PacketRef packet) {
+  if (packet.ttl() == 0) {
     ++stats_.drops_no_route;
     return;
   }
-  const auto it = routes_.find(packet.target);
+  const auto it = routes_.find(packet.target());
   if (it == routes_.end() || !it->second.valid) {
-    if (packet.origin == node().id()) {
+    if (packet.origin() == node().id()) {
       // Route vanished between queueing and sending: rediscover.
-      auto [pit, inserted] = pending_.try_emplace(packet.target,
+      auto [pit, inserted] = pending_.try_emplace(packet.target(),
                                                   node().scheduler());
       if (pit->second.queued.size() < config_.pending_capacity) {
-        pit->second.queued.push_back(packet);
-        if (inserted) start_discovery(packet.target);
+        const std::uint32_t target = packet.target();
+        pit->second.queued.push_back(std::move(packet));
+        if (inserted) start_discovery(target);
       } else {
         ++stats_.pending_dropped;
       }
     } else {
       ++stats_.drops_no_route;
-      broadcast_rerr(packet.target);
+      broadcast_rerr(packet.target());
     }
     return;
   }
-  packet.ttl -= 1;
-  packet.prev_hop = node().id();
-  if (packet.origin != node().id()) ++stats_.data_forwarded;
+  packet.hop().ttl -= 1;
+  packet.hop().prev_hop = node().id();
+  if (packet.origin() != node().id()) ++stats_.data_forwarded;
   node().send_packet(packet, it->second.next_hop, 0.0);
 }
 
@@ -125,20 +127,21 @@ void AodvProtocol::start_discovery(std::uint32_t target) {
     ring_ttl = static_cast<std::uint8_t>(
         std::min<std::uint32_t>(widened, config_.ttl));
   }
-  net::Packet rreq;
-  rreq.type = net::PacketType::RouteRequest;
-  rreq.origin = node().id();
-  rreq.target = target;
-  rreq.rreq_id = next_rreq_id_++;
-  rreq.sequence = next_sequence_++;
-  rreq.uid = node().network().next_packet_uid();
-  rreq.origin_seqno = ++my_seqno_;
+  net::PacketInit init;
+  init.type = net::PacketType::RouteRequest;
+  init.origin = node().id();
+  init.target = target;
+  init.rreq_id = next_rreq_id_++;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.origin_seqno = ++my_seqno_;
   const auto rit = routes_.find(target);
-  rreq.target_seqno = rit == routes_.end() ? 0 : rit->second.seqno;
-  rreq.actual_hops = 0;
-  rreq.ttl = ring_ttl;
-  rreq.prev_hop = node().id();
-  rreq.created_at = node().scheduler().now();
+  init.target_seqno = rit == routes_.end() ? 0 : rit->second.seqno;
+  init.actual_hops = 0;
+  init.ttl = ring_ttl;
+  init.prev_hop = node().id();
+  init.created_at = node().scheduler().now();
+  net::PacketRef rreq = net::make_packet(std::move(init));
   rreq_seen_.observe(rreq_key(rreq));
   node().send_packet(rreq, mac::kBroadcastAddress, 0.0);
 
@@ -169,30 +172,30 @@ void AodvProtocol::discovery_timeout(std::uint32_t target) {
 void AodvProtocol::flush_pending(std::uint32_t target) {
   const auto it = pending_.find(target);
   if (it == pending_.end()) return;
-  std::vector<net::Packet> queued = std::move(it->second.queued);
+  std::vector<net::PacketRef> queued = std::move(it->second.queued);
   pending_.erase(it);
-  for (net::Packet& packet : queued) {
+  for (net::PacketRef& packet : queued) {
     ++stats_.data_originated;
     forward_data(std::move(packet));
   }
 }
 
-void AodvProtocol::handle_rreq(const net::Packet& packet,
+void AodvProtocol::handle_rreq(const net::PacketRef& packet,
                                std::uint32_t mac_src) {
-  if (packet.origin == node().id()) return;  // our own flood echoed back
+  if (packet.origin() == node().id()) return;  // our own flood echoed back
   const std::uint16_t hops_to_me =
-      static_cast<std::uint16_t>(packet.actual_hops + 1);
+      static_cast<std::uint16_t>(packet.actual_hops() + 1);
   // Reverse route toward the origin.
-  update_route(packet.origin, mac_src, hops_to_me, packet.origin_seqno);
+  update_route(packet.origin(), mac_src, hops_to_me, packet.origin_seqno());
 
   const std::uint64_t key = rreq_key(packet);
   const bool is_new = rreq_seen_.observe(key);
 
-  if (packet.target == node().id()) {
+  if (packet.target() == node().id()) {
     if (is_new) send_rrep(packet);
     return;
   }
-  if (packet.ttl == 0) return;
+  if (packet.ttl() == 0) return;
 
   switch (config_.discovery) {
     case RreqFlooding::Blind: {
@@ -209,14 +212,12 @@ void AodvProtocol::handle_rreq(const net::Packet& packet,
     case RreqFlooding::Suppress: {
       if (is_new) {
         core::ElectionContext ctx;
-        // Boxed: a Packet exceeds the WinHandler inline capture budget.
-        auto boxed = util::make_pooled<net::Packet>(packet);
         rreq_elections_.arm(key, rreq_policy_, ctx, rng_,
-                            [this, boxed](des::Time delay) {
-                              net::Packet relay = *boxed;
-                              relay.ttl -= 1;
-                              relay.actual_hops += 1;
-                              relay.prev_hop = node().id();
+                            [this, copy = packet](des::Time delay) {
+                              net::PacketRef relay = copy;
+                              relay.hop().ttl -= 1;
+                              relay.hop().actual_hops += 1;
+                              relay.hop().prev_hop = node().id();
                               ++stats_.rreq_relayed;
                               node().send_packet(relay, mac::kBroadcastAddress,
                                                  delay);
@@ -231,107 +232,109 @@ void AodvProtocol::handle_rreq(const net::Packet& packet,
   }
 }
 
-void AodvProtocol::relay_rreq(const net::Packet& packet) {
-  net::Packet copy = packet;
-  copy.ttl -= 1;
-  copy.actual_hops += 1;
-  copy.prev_hop = node().id();
+void AodvProtocol::relay_rreq(const net::PacketRef& packet) {
+  net::PacketRef copy = packet;
+  copy.hop().ttl -= 1;
+  copy.hop().actual_hops += 1;
+  copy.hop().prev_hop = node().id();
   const des::Time delay = rng_.uniform(0.0, config_.rreq_backoff);
-  auto boxed = util::make_pooled<net::Packet>(std::move(copy));
-  node().scheduler().schedule_in(delay, [this, boxed, delay]() {
+  node().scheduler().schedule_in(delay, [this, copy, delay]() {
     ++stats_.rreq_relayed;
-    node().send_packet(*boxed, mac::kBroadcastAddress, delay);
+    node().send_packet(copy, mac::kBroadcastAddress, delay);
   });
 }
 
-void AodvProtocol::send_rrep(const net::Packet& rreq) {
-  const auto it = routes_.find(rreq.origin);
+void AodvProtocol::send_rrep(const net::PacketRef& rreq) {
+  const auto it = routes_.find(rreq.origin());
   RRNET_ASSERT(it != routes_.end() && it->second.valid);
-  net::Packet rrep;
-  rrep.type = net::PacketType::RouteReply;
-  rrep.origin = node().id();      // the destination of the data flow
-  rrep.target = rreq.origin;      // the RREQ originator
-  rrep.rreq_id = rreq.rreq_id;
-  rrep.sequence = next_sequence_++;
-  rrep.uid = node().network().next_packet_uid();
-  rrep.target_seqno = std::max(my_seqno_ + 1, rreq.target_seqno);
-  my_seqno_ = rrep.target_seqno;
-  rrep.actual_hops = 0;
-  rrep.ttl = config_.ttl;
-  rrep.prev_hop = node().id();
-  rrep.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::RouteReply;
+  init.origin = node().id();      // the destination of the data flow
+  init.target = rreq.origin();    // the RREQ originator
+  init.rreq_id = rreq.rreq_id();
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.target_seqno = std::max(my_seqno_ + 1, rreq.target_seqno());
+  my_seqno_ = init.target_seqno;
+  init.actual_hops = 0;
+  init.ttl = config_.ttl;
+  init.prev_hop = node().id();
+  init.created_at = node().scheduler().now();
   ++stats_.rrep_sent;
-  node().send_packet(rrep, it->second.next_hop, 0.0);
+  node().send_packet(net::make_packet(std::move(init)), it->second.next_hop,
+                     0.0);
 }
 
-void AodvProtocol::handle_rrep(const net::Packet& packet,
+void AodvProtocol::handle_rrep(const net::PacketRef& packet,
                                std::uint32_t mac_src) {
   const std::uint16_t hops_to_me =
-      static_cast<std::uint16_t>(packet.actual_hops + 1);
+      static_cast<std::uint16_t>(packet.actual_hops() + 1);
   // Forward route toward the destination (the RREP's origin).
-  update_route(packet.origin, mac_src, hops_to_me, packet.target_seqno);
+  update_route(packet.origin(), mac_src, hops_to_me, packet.target_seqno());
 
-  if (packet.target == node().id()) {
-    flush_pending(packet.origin);
+  if (packet.target() == node().id()) {
+    flush_pending(packet.origin());
     return;
   }
-  const auto it = routes_.find(packet.target);
+  const auto it = routes_.find(packet.target());
   if (it == routes_.end() || !it->second.valid) {
     ++stats_.drops_no_route;
     return;
   }
-  if (packet.ttl == 0) return;
-  net::Packet copy = packet;
-  copy.ttl -= 1;
-  copy.actual_hops += 1;
-  copy.prev_hop = node().id();
+  if (packet.ttl() == 0) return;
+  net::PacketRef copy = packet;
+  copy.hop().ttl -= 1;
+  copy.hop().actual_hops += 1;
+  copy.hop().prev_hop = node().id();
   ++stats_.rrep_forwarded;
   node().send_packet(copy, it->second.next_hop, 0.0);
 }
 
 void AodvProtocol::broadcast_rerr(std::uint32_t unreachable) {
-  net::Packet rerr;
-  rerr.type = net::PacketType::RouteError;
-  rerr.origin = node().id();
-  rerr.unreachable = unreachable;
-  rerr.sequence = next_sequence_++;
-  rerr.uid = node().network().next_packet_uid();
-  rerr.ttl = 1;  // propagated hop-by-hop by affected nodes only
-  rerr.prev_hop = node().id();
-  rerr.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::RouteError;
+  init.origin = node().id();
+  init.unreachable = unreachable;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.ttl = 1;  // propagated hop-by-hop by affected nodes only
+  init.prev_hop = node().id();
+  init.created_at = node().scheduler().now();
+  net::PacketRef rerr = net::make_packet(std::move(init));
   rerr_seen_.observe(rerr.flood_key());
   ++stats_.rerr_sent;
   node().send_packet(rerr, mac::kBroadcastAddress, 0.0);
 }
 
-void AodvProtocol::handle_rerr(const net::Packet& packet,
+void AodvProtocol::handle_rerr(const net::PacketRef& packet,
                                std::uint32_t mac_src) {
   if (!rerr_seen_.observe(packet.flood_key())) return;
-  const auto it = routes_.find(packet.unreachable);
+  const auto it = routes_.find(packet.unreachable());
   if (it != routes_.end() && it->second.valid &&
       it->second.next_hop == mac_src) {
     it->second.valid = false;
-    broadcast_rerr(packet.unreachable);
+    broadcast_rerr(packet.unreachable());
   }
 }
 
-void AodvProtocol::handle_data(const net::Packet& packet) {
-  if (packet.target == node().id()) {
+void AodvProtocol::handle_data(const net::PacketRef& packet) {
+  if (packet.target() == node().id()) {
     if (delivered_.observe(packet.flood_key())) {
-      net::Packet delivered = packet;
-      delivered.actual_hops = static_cast<std::uint16_t>(packet.actual_hops + 1);
+      net::PacketRef delivered = packet;
+      delivered.hop().actual_hops =
+          static_cast<std::uint16_t>(packet.actual_hops() + 1);
       ++stats_.data_delivered;
       node().deliver_to_app(delivered);
     }
     return;
   }
-  net::Packet copy = packet;
-  copy.actual_hops += 1;
+  net::PacketRef copy = packet;
+  copy.hop().actual_hops += 1;
   forward_data(std::move(copy));
 }
 
 void AodvProtocol::handle_link_break(std::uint32_t neighbor,
-                                     const net::Packet& packet) {
+                                     const net::PacketRef& packet) {
   ++stats_.link_breaks;
   for (auto& [dest, route] : routes_) {
     if (route.valid && route.next_hop == neighbor) {
@@ -339,15 +342,14 @@ void AodvProtocol::handle_link_break(std::uint32_t neighbor,
       broadcast_rerr(dest);
     }
   }
-  if (packet.type == net::PacketType::Data) {
-    if (packet.origin == node().id()) {
+  if (packet.type() == net::PacketType::Data) {
+    if (packet.origin() == node().id()) {
       // Re-queue and rediscover; the packet keeps its original timestamp.
-      auto [it, inserted] = pending_.try_emplace(packet.target,
+      auto [it, inserted] = pending_.try_emplace(packet.target(),
                                                  node().scheduler());
       if (it->second.queued.size() < config_.pending_capacity) {
-        net::Packet requeued = packet;
-        it->second.queued.push_back(requeued);
-        if (inserted) start_discovery(packet.target);
+        it->second.queued.push_back(packet);
+        if (inserted) start_discovery(packet.target());
       } else {
         ++stats_.pending_dropped;
       }
@@ -357,17 +359,17 @@ void AodvProtocol::handle_link_break(std::uint32_t neighbor,
   }
 }
 
-void AodvProtocol::on_send_done(const net::Packet& packet, bool success,
+void AodvProtocol::on_send_done(const net::PacketRef& packet, bool success,
                                 std::uint32_t mac_dst) {
   if (success || mac_dst == mac::kBroadcastAddress) return;
   handle_link_break(mac_dst, packet);
 }
 
-void AodvProtocol::on_packet(const net::Packet& packet,
+void AodvProtocol::on_packet(const net::PacketRef& packet,
                              const phy::RxInfo& /*info*/, bool for_us,
                              std::uint32_t mac_src) {
   if (!for_us) return;  // AODV does not listen promiscuously
-  switch (packet.type) {
+  switch (packet.type()) {
     case net::PacketType::RouteRequest:
       handle_rreq(packet, mac_src);
       return;

@@ -69,9 +69,9 @@ class AodvProtocol final : public net::Protocol {
  public:
   AodvProtocol(net::Node& node, AodvConfig config = {});
 
-  void on_packet(const net::Packet& packet, const phy::RxInfo& info,
+  void on_packet(const net::PacketRef& packet, const phy::RxInfo& info,
                  bool for_us, std::uint32_t mac_src) override;
-  void on_send_done(const net::Packet& packet, bool success,
+  void on_send_done(const net::PacketRef& packet, bool success,
                     std::uint32_t mac_dst) override;
   std::uint64_t send_data(std::uint32_t target,
                           std::uint32_t payload_bytes) override;
@@ -95,20 +95,20 @@ class AodvProtocol final : public net::Protocol {
     explicit PendingDiscovery(des::Scheduler& scheduler) : timer(scheduler) {}
     des::Timer timer;
     std::uint32_t retries = 0;
-    std::vector<net::Packet> queued;
+    std::vector<net::PacketRef> queued;
   };
 
-  void handle_rreq(const net::Packet& packet, std::uint32_t mac_src);
-  void handle_rrep(const net::Packet& packet, std::uint32_t mac_src);
-  void handle_rerr(const net::Packet& packet, std::uint32_t mac_src);
-  void handle_data(const net::Packet& packet);
-  void relay_rreq(const net::Packet& packet);
-  void send_rrep(const net::Packet& rreq);
-  void forward_data(net::Packet packet);
+  void handle_rreq(const net::PacketRef& packet, std::uint32_t mac_src);
+  void handle_rrep(const net::PacketRef& packet, std::uint32_t mac_src);
+  void handle_rerr(const net::PacketRef& packet, std::uint32_t mac_src);
+  void handle_data(const net::PacketRef& packet);
+  void relay_rreq(const net::PacketRef& packet);
+  void send_rrep(const net::PacketRef& rreq);
+  void forward_data(net::PacketRef packet);
   void start_discovery(std::uint32_t target);
   void discovery_timeout(std::uint32_t target);
   void flush_pending(std::uint32_t target);
-  void handle_link_break(std::uint32_t neighbor, const net::Packet& packet);
+  void handle_link_break(std::uint32_t neighbor, const net::PacketRef& packet);
   void broadcast_rerr(std::uint32_t unreachable);
   /// Install/refresh a route if fresher (seqno) or equally fresh & shorter.
   void update_route(std::uint32_t target, std::uint32_t via,

@@ -1,7 +1,8 @@
 #include "proto/dsdv.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <utility>
+#include <vector>
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
@@ -42,8 +43,8 @@ void DsdvProtocol::broadcast_update(bool triggered) {
   triggered_pending_ = false;
   my_seqno_ += 2;  // stays even: this node is alive
 
-  auto entries = std::make_shared<std::vector<DsdvEntry>>();
-  entries->push_back(DsdvEntry{node().id(), 0, my_seqno_});
+  std::vector<DsdvEntry> entries;
+  entries.push_back(DsdvEntry{node().id(), 0, my_seqno_});
   for (auto it = routes_.begin(); it != routes_.end();) {
     Route& route = it->second;
     if (now - route.refreshed > config_.route_expiry &&
@@ -52,24 +53,25 @@ void DsdvProtocol::broadcast_update(bool triggered) {
       route.metric = config_.infinity_metric;
       route.seqno += 1;
     }
-    entries->push_back(DsdvEntry{it->first, route.metric, route.seqno});
+    entries.push_back(DsdvEntry{it->first, route.metric, route.seqno});
     ++it;
   }
 
-  net::Packet packet;
-  packet.type = net::PacketType::RouteUpdate;
-  packet.origin = node().id();
-  packet.sequence = next_sequence_++;
-  packet.uid = node().network().next_packet_uid();
-  packet.payload_bytes =
-      static_cast<std::uint32_t>(entries->size()) * kEntryBytes;
-  packet.created_at = now;
-  packet.prev_hop = node().id();
-  packet.extension = entries;
+  net::PacketInit init;
+  init.type = net::PacketType::RouteUpdate;
+  init.origin = node().id();
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.payload_bytes =
+      static_cast<std::uint32_t>(entries.size()) * kEntryBytes;
+  init.created_at = now;
+  init.prev_hop = node().id();
   ++stats_.updates_sent;
   if (triggered) ++stats_.triggered_updates;
-  stats_.entries_advertised += entries->size();
-  node().send_packet(packet, mac::kBroadcastAddress, 0.0);
+  stats_.entries_advertised += entries.size();
+  init.extension = net::make_extension<RouteTableExtension>(std::move(entries));
+  node().send_packet(net::make_packet(std::move(init)),
+                     mac::kBroadcastAddress, 0.0);
 }
 
 void DsdvProtocol::request_triggered_update() {
@@ -104,11 +106,11 @@ std::uint16_t DsdvProtocol::route_metric(std::uint32_t target) const {
   return it->second.metric;
 }
 
-void DsdvProtocol::handle_update(const net::Packet& packet,
+void DsdvProtocol::handle_update(const net::PacketRef& packet,
                                  std::uint32_t mac_src) {
-  RRNET_ASSERT(packet.extension != nullptr);
-  const auto& entries =
-      *static_cast<const std::vector<DsdvEntry>*>(packet.extension.get());
+  const auto* ext = packet.extension_as<RouteTableExtension>();
+  RRNET_ASSERT(ext != nullptr);
+  const std::vector<DsdvEntry>& entries = ext->entries;
   const des::Time now = node().scheduler().now();
   bool significant_change = false;
   for (const DsdvEntry& entry : entries) {
@@ -147,63 +149,66 @@ void DsdvProtocol::handle_update(const net::Packet& packet,
 std::uint64_t DsdvProtocol::send_data(std::uint32_t target,
                                       std::uint32_t payload_bytes) {
   RRNET_EXPECTS(target != node().id());
-  net::Packet packet;
-  packet.type = net::PacketType::Data;
-  packet.origin = node().id();
-  packet.target = target;
-  packet.sequence = next_sequence_++;
-  packet.uid = node().network().next_packet_uid();
-  packet.ttl = config_.ttl;
-  packet.payload_bytes = payload_bytes;
-  packet.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::Data;
+  init.origin = node().id();
+  init.target = target;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.ttl = config_.ttl;
+  init.payload_bytes = payload_bytes;
+  init.created_at = node().scheduler().now();
+  const std::uint64_t uid = init.uid;
+  net::PacketRef packet = net::make_packet(std::move(init));
   if (!has_route(target)) {
     // Proactive protocol: no discovery to trigger. Buffer briefly — the
     // next periodic update may bring the route.
     auto& queue = pending_[target];
     if (queue.size() >= config_.pending_capacity) {
       ++stats_.pending_dropped;
-      return packet.uid;
+      return uid;
     }
-    queue.push_back(packet);
-    return packet.uid;
+    queue.push_back(std::move(packet));
+    return uid;
   }
   ++stats_.data_originated;
   forward_data(std::move(packet));
-  return packet.uid;
+  return uid;
 }
 
 void DsdvProtocol::flush_pending(std::uint32_t target) {
   const auto it = pending_.find(target);
   if (it == pending_.end()) return;
-  std::vector<net::Packet> queued = std::move(it->second);
+  std::vector<net::PacketRef> queued = std::move(it->second);
   pending_.erase(it);
-  for (net::Packet& packet : queued) {
+  for (net::PacketRef& packet : queued) {
     ++stats_.data_originated;
     forward_data(std::move(packet));
   }
 }
 
-void DsdvProtocol::forward_data(net::Packet packet) {
-  if (packet.ttl == 0 || !has_route(packet.target)) {
+void DsdvProtocol::forward_data(net::PacketRef packet) {
+  if (packet.ttl() == 0 || !has_route(packet.target())) {
     ++stats_.drops_no_route;
     return;
   }
-  packet.ttl -= 1;
-  packet.prev_hop = node().id();
-  if (packet.origin != node().id()) ++stats_.data_forwarded;
-  node().send_packet(packet, next_hop(packet.target), 0.0);
+  packet.hop().ttl -= 1;
+  packet.hop().prev_hop = node().id();
+  if (packet.origin() != node().id()) ++stats_.data_forwarded;
+  node().send_packet(packet, next_hop(packet.target()), 0.0);
 }
 
-void DsdvProtocol::handle_data(const net::Packet& packet) {
-  if (packet.target == node().id()) {
+void DsdvProtocol::handle_data(const net::PacketRef& packet) {
+  if (packet.target() == node().id()) {
     ++stats_.data_delivered;
-    net::Packet delivered = packet;
-    delivered.actual_hops = static_cast<std::uint16_t>(packet.actual_hops + 1);
+    net::PacketRef delivered = packet;
+    delivered.hop().actual_hops =
+        static_cast<std::uint16_t>(packet.actual_hops() + 1);
     node().deliver_to_app(delivered);
     return;
   }
-  net::Packet copy = packet;
-  copy.actual_hops += 1;
+  net::PacketRef copy = packet;
+  copy.hop().actual_hops += 1;
   forward_data(std::move(copy));
 }
 
@@ -220,18 +225,18 @@ void DsdvProtocol::handle_link_break(std::uint32_t neighbor) {
   if (changed) request_triggered_update();
 }
 
-void DsdvProtocol::on_send_done(const net::Packet& packet, bool success,
+void DsdvProtocol::on_send_done(const net::PacketRef& packet, bool success,
                                 std::uint32_t mac_dst) {
   (void)packet;
   if (success || mac_dst == mac::kBroadcastAddress) return;
   handle_link_break(mac_dst);
 }
 
-void DsdvProtocol::on_packet(const net::Packet& packet,
+void DsdvProtocol::on_packet(const net::PacketRef& packet,
                              const phy::RxInfo& /*info*/, bool for_us,
                              std::uint32_t mac_src) {
   if (!for_us) return;
-  switch (packet.type) {
+  switch (packet.type()) {
     case net::PacketType::RouteUpdate:
       handle_update(packet, mac_src);
       return;

@@ -53,14 +53,23 @@ struct DsdvEntry {
   std::uint32_t seqno = 0;
 };
 
+/// Typed packet extension carrying a full table dump.
+class RouteTableExtension final : public net::PacketExtension {
+ public:
+  static constexpr net::ExtensionKind kKind = net::ExtensionKind::RouteTable;
+  explicit RouteTableExtension(std::vector<DsdvEntry> entries_in)
+      : net::PacketExtension(kKind), entries(std::move(entries_in)) {}
+  const std::vector<DsdvEntry> entries;
+};
+
 class DsdvProtocol final : public net::Protocol {
  public:
   DsdvProtocol(net::Node& node, DsdvConfig config = {});
 
   void start() override;
-  void on_packet(const net::Packet& packet, const phy::RxInfo& info,
+  void on_packet(const net::PacketRef& packet, const phy::RxInfo& info,
                  bool for_us, std::uint32_t mac_src) override;
-  void on_send_done(const net::Packet& packet, bool success,
+  void on_send_done(const net::PacketRef& packet, bool success,
                     std::uint32_t mac_dst) override;
   std::uint64_t send_data(std::uint32_t target,
                           std::uint32_t payload_bytes) override;
@@ -82,9 +91,9 @@ class DsdvProtocol final : public net::Protocol {
 
   void broadcast_update(bool triggered);
   void schedule_periodic();
-  void handle_update(const net::Packet& packet, std::uint32_t mac_src);
-  void handle_data(const net::Packet& packet);
-  void forward_data(net::Packet packet);
+  void handle_update(const net::PacketRef& packet, std::uint32_t mac_src);
+  void handle_data(const net::PacketRef& packet);
+  void forward_data(net::PacketRef packet);
   void handle_link_break(std::uint32_t neighbor);
   void request_triggered_update();
   void flush_pending(std::uint32_t target);
@@ -95,7 +104,7 @@ class DsdvProtocol final : public net::Protocol {
   des::Timer periodic_timer_;
   des::Timer triggered_timer_;
   util::PooledUnorderedMap<std::uint32_t, Route> routes_;
-  util::PooledUnorderedMap<std::uint32_t, std::vector<net::Packet>> pending_;
+  util::PooledUnorderedMap<std::uint32_t, std::vector<net::PacketRef>> pending_;
   std::uint32_t my_seqno_ = 0;  ///< kept even while reachable
   std::uint32_t next_sequence_ = 0;
   des::Time last_update_ = -1e9;

@@ -1,11 +1,10 @@
 #include "proto/dsr.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <utility>
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
-#include "util/pool.hpp"
 
 namespace rrnet::proto {
 
@@ -13,8 +12,8 @@ namespace {
 /// Per-entry on-air bytes of a source route.
 constexpr std::uint32_t kRouteEntryBytes = 4;
 
-std::uint64_t rreq_key(const net::Packet& packet) {
-  return (static_cast<std::uint64_t>(packet.origin) << 32) | packet.rreq_id;
+std::uint64_t rreq_key(const net::PacketRef& packet) {
+  return (static_cast<std::uint64_t>(packet.origin()) << 32) | packet.rreq_id();
 }
 
 }  // namespace
@@ -24,9 +23,10 @@ DsrProtocol::DsrProtocol(net::Node& node, DsrConfig config)
   RRNET_EXPECTS(config.cache_capacity > 0);
 }
 
-const SourceRoute& DsrProtocol::route_of(const net::Packet& packet) {
-  RRNET_ASSERT(packet.extension != nullptr);
-  return *static_cast<const SourceRoute*>(packet.extension.get());
+const SourceRoute& DsrProtocol::route_of(const net::PacketRef& packet) {
+  const auto* ext = packet.extension_as<SourceRouteExtension>();
+  RRNET_ASSERT(ext != nullptr);
+  return ext->route;
 }
 
 bool DsrProtocol::has_cached_route(std::uint32_t target) const {
@@ -67,15 +67,16 @@ void DsrProtocol::cache_route(const SourceRoute& route) {
 std::uint64_t DsrProtocol::send_data(std::uint32_t target,
                                      std::uint32_t payload_bytes) {
   RRNET_EXPECTS(target != node().id());
-  net::Packet packet;
-  packet.type = net::PacketType::Data;
-  packet.origin = node().id();
-  packet.target = target;
-  packet.sequence = next_sequence_++;
-  packet.uid = node().network().next_packet_uid();
-  packet.ttl = config_.ttl;
-  packet.payload_bytes = payload_bytes;
-  packet.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::Data;
+  init.origin = node().id();
+  init.target = target;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.ttl = config_.ttl;
+  init.payload_bytes = payload_bytes;
+  init.created_at = node().scheduler().now();
+  const std::uint64_t uid = init.uid;
 
   const auto it = cache_.find(target);
   if (it == cache_.end()) {
@@ -83,32 +84,32 @@ std::uint64_t DsrProtocol::send_data(std::uint32_t target,
     PendingDiscovery& pd = pit->second;
     if (pd.queued.size() >= config_.pending_capacity) {
       ++stats_.pending_dropped;
-      return packet.uid;
+      return uid;
     }
-    pd.queued.push_back(packet);
+    pd.queued.push_back(net::make_packet(std::move(init)));
     if (inserted) start_discovery(target);
-    return packet.uid;
+    return uid;
   }
   ++stats_.cache_hits;
   ++stats_.data_originated;
-  packet.extension = std::make_shared<const SourceRoute>(it->second);
-  packet.payload_bytes +=
+  init.extension = net::make_extension<SourceRouteExtension>(it->second);
+  init.payload_bytes +=
       static_cast<std::uint32_t>(it->second.size()) * kRouteEntryBytes;
-  packet.actual_hops = 0;  // index of the current holder on the route
-  forward_on_route(std::move(packet));
-  return packet.uid;
+  init.actual_hops = 0;  // index of the current holder on the route
+  forward_on_route(net::make_packet(std::move(init)));
+  return uid;
 }
 
-void DsrProtocol::forward_on_route(net::Packet packet) {
+void DsrProtocol::forward_on_route(net::PacketRef packet) {
   const SourceRoute& route = route_of(packet);
-  const std::size_t index = packet.actual_hops;
+  const std::size_t index = packet.actual_hops();
   if (index + 1 >= route.size() || route[index] != node().id()) {
     ++stats_.drops_bad_route;
     return;
   }
-  packet.prev_hop = node().id();
-  if (packet.origin != node().id() &&
-      packet.type == net::PacketType::Data) {
+  packet.hop().prev_hop = node().id();
+  if (packet.origin() != node().id() &&
+      packet.type() == net::PacketType::Data) {
     ++stats_.data_forwarded;
   }
   node().send_packet(packet, route[index + 1], 0.0);
@@ -116,19 +117,20 @@ void DsrProtocol::forward_on_route(net::Packet packet) {
 
 void DsrProtocol::start_discovery(std::uint32_t target) {
   ++stats_.rreq_originated;
-  net::Packet rreq;
-  rreq.type = net::PacketType::RouteRequest;
-  rreq.origin = node().id();
-  rreq.target = target;
-  rreq.rreq_id = next_rreq_id_++;
-  rreq.sequence = next_sequence_++;
-  rreq.uid = node().network().next_packet_uid();
-  rreq.ttl = config_.ttl;
-  rreq.prev_hop = node().id();
-  rreq.created_at = node().scheduler().now();
-  rreq.extension = std::make_shared<const SourceRoute>(
-      SourceRoute{node().id()});
-  rreq.payload_bytes = kRouteEntryBytes;
+  net::PacketInit init;
+  init.type = net::PacketType::RouteRequest;
+  init.origin = node().id();
+  init.target = target;
+  init.rreq_id = next_rreq_id_++;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.ttl = config_.ttl;
+  init.prev_hop = node().id();
+  init.created_at = node().scheduler().now();
+  init.extension =
+      net::make_extension<SourceRouteExtension>(SourceRoute{node().id()});
+  init.payload_bytes = kRouteEntryBytes;
+  net::PacketRef rreq = net::make_packet(std::move(init));
   rreq_seen_.observe(rreq_key(rreq));
   node().send_packet(rreq, mac::kBroadcastAddress, 0.0);
 
@@ -160,22 +162,24 @@ void DsrProtocol::discovery_timeout(std::uint32_t target) {
 void DsrProtocol::flush_pending(std::uint32_t target) {
   const auto it = pending_.find(target);
   if (it == pending_.end()) return;
-  std::vector<net::Packet> queued = std::move(it->second.queued);
+  std::vector<net::PacketRef> queued = std::move(it->second.queued);
   pending_.erase(it);
   const auto route_it = cache_.find(target);
   RRNET_ASSERT(route_it != cache_.end());
-  for (net::Packet& packet : queued) {
+  for (net::PacketRef& packet : queued) {
     ++stats_.data_originated;
-    packet.extension = std::make_shared<const SourceRoute>(route_it->second);
-    packet.payload_bytes +=
+    // Attaching the discovered route changes the immutable header: rebuild.
+    net::PacketInit init = packet.to_init();
+    init.extension = net::make_extension<SourceRouteExtension>(route_it->second);
+    init.payload_bytes +=
         static_cast<std::uint32_t>(route_it->second.size()) * kRouteEntryBytes;
-    packet.actual_hops = 0;
-    forward_on_route(std::move(packet));
+    init.actual_hops = 0;
+    forward_on_route(net::make_packet(std::move(init)));
   }
 }
 
-void DsrProtocol::handle_rreq(const net::Packet& packet) {
-  if (packet.origin == node().id()) return;
+void DsrProtocol::handle_rreq(const net::PacketRef& packet) {
+  if (packet.origin() == node().id()) return;
   const SourceRoute& accumulated = route_of(packet);
   if (std::find(accumulated.begin(), accumulated.end(), node().id()) !=
       accumulated.end()) {
@@ -187,70 +191,73 @@ void DsrProtocol::handle_rreq(const net::Packet& packet) {
   extended.push_back(node().id());
   cache_route(extended);
 
-  if (packet.target == node().id()) {
+  if (packet.target() == node().id()) {
     // Full route discovered: reply along the reversed route.
     ++stats_.rrep_sent;
-    net::Packet rrep;
-    rrep.type = net::PacketType::RouteReply;
-    rrep.origin = node().id();
-    rrep.target = packet.origin;
-    rrep.sequence = next_sequence_++;
-    rrep.uid = node().network().next_packet_uid();
-    rrep.ttl = config_.ttl;
-    rrep.created_at = node().scheduler().now();
+    net::PacketInit init;
+    init.type = net::PacketType::RouteReply;
+    init.origin = node().id();
+    init.target = packet.origin();
+    init.sequence = next_sequence_++;
+    init.uid = node().network().next_packet_uid();
+    init.ttl = config_.ttl;
+    init.created_at = node().scheduler().now();
     SourceRoute reversed = extended;
     std::reverse(reversed.begin(), reversed.end());
-    rrep.extension = std::make_shared<const SourceRoute>(std::move(reversed));
-    rrep.payload_bytes =
+    init.extension =
+        net::make_extension<SourceRouteExtension>(std::move(reversed));
+    init.payload_bytes =
         static_cast<std::uint32_t>(extended.size()) * kRouteEntryBytes;
-    rrep.actual_hops = 0;
-    forward_on_route(std::move(rrep));
+    init.actual_hops = 0;
+    forward_on_route(net::make_packet(std::move(init)));
     return;
   }
-  if (packet.ttl == 0) return;
-  net::Packet copy = packet;
-  copy.ttl -= 1;
-  copy.prev_hop = node().id();
-  copy.extension = std::make_shared<const SourceRoute>(std::move(extended));
-  copy.payload_bytes += kRouteEntryBytes;
+  if (packet.ttl() == 0) return;
+  // The accumulated route is part of the immutable header: the relayed
+  // packet semantically IS a new packet — rebuild it.
+  net::PacketInit init = packet.to_init();
+  init.ttl = static_cast<std::uint8_t>(packet.ttl() - 1);
+  init.prev_hop = node().id();
+  init.extension = net::make_extension<SourceRouteExtension>(std::move(extended));
+  init.payload_bytes += kRouteEntryBytes;
+  net::PacketRef copy = net::make_packet(std::move(init));
   const des::Time delay = rng_.uniform(0.0, config_.rreq_jitter);
-  auto boxed = util::make_pooled<net::Packet>(std::move(copy));
-  node().scheduler().schedule_in(delay, [this, boxed, delay]() {
+  node().scheduler().schedule_in(delay, [this, copy, delay]() {
     ++stats_.rreq_relayed;
-    node().send_packet(*boxed, mac::kBroadcastAddress, delay);
+    node().send_packet(copy, mac::kBroadcastAddress, delay);
   });
 }
 
-void DsrProtocol::handle_rrep(const net::Packet& packet) {
+void DsrProtocol::handle_rrep(const net::PacketRef& packet) {
   cache_route(route_of(packet));
-  if (packet.target == node().id()) {
+  if (packet.target() == node().id()) {
     // The reply's route is [destination ... us]; the forward route to the
     // destination was cached by cache_route above. Release waiting data.
-    if (pending_.count(packet.origin) > 0) flush_pending(packet.origin);
+    if (pending_.count(packet.origin()) > 0) flush_pending(packet.origin());
     return;
   }
-  net::Packet copy = packet;
-  copy.actual_hops += 1;
+  net::PacketRef copy = packet;
+  copy.hop().actual_hops += 1;
   ++stats_.rrep_forwarded;
   forward_on_route(std::move(copy));
 }
 
-void DsrProtocol::handle_data(const net::Packet& packet) {
+void DsrProtocol::handle_data(const net::PacketRef& packet) {
   cache_route(route_of(packet));
-  if (packet.target == node().id()) {
+  if (packet.target() == node().id()) {
     if (delivered_.observe(packet.flood_key())) {
       ++stats_.data_delivered;
-      net::Packet delivered = packet;
+      net::PacketRef delivered = packet;
       // actual_hops held the route index; at the destination that index is
       // the number of hops traveled.
-      delivered.actual_hops =
+      delivered.hop().actual_hops =
           static_cast<std::uint16_t>(route_of(packet).size() - 1);
       node().deliver_to_app(delivered);
     }
     return;
   }
-  net::Packet copy = packet;
-  copy.actual_hops += 1;
+  net::PacketRef copy = packet;
+  copy.hop().actual_hops += 1;
   forward_on_route(std::move(copy));
 }
 
@@ -275,54 +282,58 @@ void DsrProtocol::purge_link(std::uint32_t from, std::uint32_t to) {
   }
 }
 
-void DsrProtocol::handle_rerr(const net::Packet& packet) {
+void DsrProtocol::handle_rerr(const net::PacketRef& packet) {
   if (!rerr_seen_.observe(packet.flood_key())) return;
-  purge_link(packet.prev_hop, packet.unreachable);
+  purge_link(packet.prev_hop(), packet.unreachable());
 }
 
-void DsrProtocol::on_send_done(const net::Packet& packet, bool success,
+void DsrProtocol::on_send_done(const net::PacketRef& packet, bool success,
                                std::uint32_t mac_dst) {
   if (success || mac_dst == mac::kBroadcastAddress) return;
   ++stats_.link_breaks;
   purge_link(node().id(), mac_dst);
   // Tell the neighborhood which link died; everyone drops routes using it.
-  net::Packet rerr;
-  rerr.type = net::PacketType::RouteError;
-  rerr.origin = node().id();
-  rerr.sequence = next_sequence_++;
-  rerr.uid = node().network().next_packet_uid();
-  rerr.prev_hop = node().id();  // the broken link is (prev_hop, unreachable)
-  rerr.unreachable = mac_dst;
-  rerr.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::RouteError;
+  init.origin = node().id();
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.prev_hop = node().id();  // the broken link is (prev_hop, unreachable)
+  init.unreachable = mac_dst;
+  init.created_at = node().scheduler().now();
+  net::PacketRef rerr = net::make_packet(std::move(init));
   rerr_seen_.observe(rerr.flood_key());
   ++stats_.rerr_sent;
   node().send_packet(rerr, mac::kBroadcastAddress, 0.0);
   // Our own packet: requeue and rediscover; a forwarded one is dropped
   // (no salvaging in this implementation).
-  if (packet.type == net::PacketType::Data && packet.origin == node().id()) {
-    auto [it, inserted] = pending_.try_emplace(packet.target,
+  if (packet.type() == net::PacketType::Data &&
+      packet.origin() == node().id()) {
+    auto [it, inserted] = pending_.try_emplace(packet.target(),
                                                node().scheduler());
     if (it->second.queued.size() < config_.pending_capacity) {
-      net::Packet requeued = packet;
+      // Dropping the stale route changes the immutable header: rebuild the
+      // packet without the extension (it keeps its original timestamp).
+      net::PacketInit requeued = packet.to_init();
       requeued.payload_bytes -= static_cast<std::uint32_t>(
           route_of(packet).size() * kRouteEntryBytes);
       requeued.extension.reset();
       requeued.actual_hops = 0;
-      it->second.queued.push_back(requeued);
-      if (inserted) start_discovery(packet.target);
+      it->second.queued.push_back(net::make_packet(std::move(requeued)));
+      if (inserted) start_discovery(packet.target());
     } else {
       ++stats_.pending_dropped;
     }
-  } else if (packet.type == net::PacketType::Data) {
+  } else if (packet.type() == net::PacketType::Data) {
     ++stats_.drops_bad_route;
   }
 }
 
-void DsrProtocol::on_packet(const net::Packet& packet,
+void DsrProtocol::on_packet(const net::PacketRef& packet,
                             const phy::RxInfo& /*info*/, bool for_us,
                             std::uint32_t /*mac_src*/) {
   if (!for_us) return;
-  switch (packet.type) {
+  switch (packet.type()) {
     case net::PacketType::RouteRequest:
       handle_rreq(packet);
       return;

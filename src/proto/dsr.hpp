@@ -55,13 +55,23 @@ struct DsrStats {
 /// A complete node list from source to destination (inclusive).
 using SourceRoute = std::vector<std::uint32_t>;
 
+/// Typed packet extension carrying a source route (immutable once attached;
+/// per-hop route growth rebuilds the packet via to_init + make_packet).
+class SourceRouteExtension final : public net::PacketExtension {
+ public:
+  static constexpr net::ExtensionKind kKind = net::ExtensionKind::SourceRoute;
+  explicit SourceRouteExtension(SourceRoute route_in)
+      : net::PacketExtension(kKind), route(std::move(route_in)) {}
+  const SourceRoute route;
+};
+
 class DsrProtocol final : public net::Protocol {
  public:
   DsrProtocol(net::Node& node, DsrConfig config = {});
 
-  void on_packet(const net::Packet& packet, const phy::RxInfo& info,
+  void on_packet(const net::PacketRef& packet, const phy::RxInfo& info,
                  bool for_us, std::uint32_t mac_src) override;
-  void on_send_done(const net::Packet& packet, bool success,
+  void on_send_done(const net::PacketRef& packet, bool success,
                     std::uint32_t mac_dst) override;
   std::uint64_t send_data(std::uint32_t target,
                           std::uint32_t payload_bytes) override;
@@ -78,21 +88,21 @@ class DsrProtocol final : public net::Protocol {
     explicit PendingDiscovery(des::Scheduler& scheduler) : timer(scheduler) {}
     des::Timer timer;
     std::uint32_t retries = 0;
-    std::vector<net::Packet> queued;
+    std::vector<net::PacketRef> queued;
   };
 
-  void handle_rreq(const net::Packet& packet);
-  void handle_rrep(const net::Packet& packet);
-  void handle_rerr(const net::Packet& packet);
-  void handle_data(const net::Packet& packet);
+  void handle_rreq(const net::PacketRef& packet);
+  void handle_rrep(const net::PacketRef& packet);
+  void handle_rerr(const net::PacketRef& packet);
+  void handle_data(const net::PacketRef& packet);
   void start_discovery(std::uint32_t target);
   void discovery_timeout(std::uint32_t target);
   void flush_pending(std::uint32_t target);
   /// Send a source-routed packet to the next hop on its route.
-  void forward_on_route(net::Packet packet);
+  void forward_on_route(net::PacketRef packet);
   void cache_route(const SourceRoute& route);
   void purge_link(std::uint32_t from, std::uint32_t to);
-  [[nodiscard]] static const SourceRoute& route_of(const net::Packet& packet);
+  [[nodiscard]] static const SourceRoute& route_of(const net::PacketRef& packet);
 
   DsrConfig config_;
   des::Rng rng_;

@@ -4,7 +4,6 @@
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
-#include "util/pool.hpp"
 
 namespace rrnet::proto {
 
@@ -39,50 +38,51 @@ core::ElectionContext FloodingProtocol::make_context(
 
 std::uint64_t FloodingProtocol::send_data(std::uint32_t target,
                                  std::uint32_t payload_bytes) {
-  net::Packet packet;
-  packet.type = net::PacketType::Data;
-  packet.origin = node().id();
-  packet.target = target;
-  packet.sequence = next_sequence_++;
-  packet.uid = node().network().next_packet_uid();
-  packet.actual_hops = 0;
-  packet.ttl = config_.ttl;
-  packet.prev_hop = node().id();
-  packet.payload_bytes = payload_bytes;
-  packet.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::Data;
+  init.origin = node().id();
+  init.target = target;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.actual_hops = 0;
+  init.ttl = config_.ttl;
+  init.prev_hop = node().id();
+  init.payload_bytes = payload_bytes;
+  init.created_at = node().scheduler().now();
+  net::PacketRef packet = net::make_packet(std::move(init));
   ++stats_.originated;
   seen_.observe(packet.flood_key());  // never relay our own packet
   node().send_packet(packet, mac::kBroadcastAddress, /*priority=*/0.0);
-  return packet.uid;
+  return packet.uid();
 }
 
-void FloodingProtocol::relay(net::Packet packet, des::Time priority_delay) {
-  if (packet.ttl == 0) {
+void FloodingProtocol::relay(net::PacketRef packet, des::Time priority_delay) {
+  if (packet.ttl() == 0) {
     ++stats_.ttl_expired;
     return;
   }
-  packet.ttl -= 1;
-  packet.actual_hops += 1;
-  packet.prev_hop = node().id();
+  packet.hop().ttl -= 1;
+  packet.hop().actual_hops += 1;
+  packet.hop().prev_hop = node().id();
   ++stats_.relayed;
   node().send_packet(packet, mac::kBroadcastAddress, priority_delay);
 }
 
-void FloodingProtocol::on_packet(const net::Packet& packet,
+void FloodingProtocol::on_packet(const net::PacketRef& packet,
                                  const phy::RxInfo& info, bool /*for_us*/,
                                  std::uint32_t mac_src) {
-  if (packet.type != net::PacketType::Data) return;
+  if (packet.type() != net::PacketType::Data) return;
   const std::uint64_t key = packet.flood_key();
   const bool is_new = seen_.observe(key);
 
-  if (is_new && packet.target == node().id()) {
-    net::Packet delivered = packet;
-    delivered.actual_hops += 1;  // hops traveled to reach this node
+  if (is_new && packet.target() == node().id()) {
+    net::PacketRef delivered = packet;
+    delivered.hop().actual_hops += 1;  // hops traveled to reach this node
     ++stats_.delivered;
     node().deliver_to_app(delivered);
     if (!config_.forward_at_target) return;
   }
-  if (packet.target == node().id() && !config_.forward_at_target) return;
+  if (packet.target() == node().id() && !config_.forward_at_target) return;
 
   if (config_.blind) {
     // Original flooding: rebroadcast once per (packet, transmitting
@@ -92,10 +92,10 @@ void FloodingProtocol::on_packet(const net::Packet& packet,
                                           (static_cast<std::uint64_t>(mac_src) + 1));
     if (!copy_seen_.insert(copy_key).second) return;
     const des::Time delay = rng_.uniform(0.0, config_.lambda);
-    // Boxed: a Packet is too large for the scheduler's inline capture budget.
-    auto copy = util::make_pooled<net::Packet>(packet);
-    node().scheduler().schedule_in(delay, [this, copy, delay]() {
-      relay(*copy, delay);
+    // The ref shares the buffer: scheduling a relay copies 24 bytes, never
+    // the packet.
+    node().scheduler().schedule_in(delay, [this, copy = packet, delay]() {
+      relay(copy, delay);
     });
     return;
   }
@@ -103,10 +103,8 @@ void FloodingProtocol::on_packet(const net::Packet& packet,
   if (is_new) {
     // First sight: compete in the local leader election to relay it.
     core::ElectionContext ctx = make_context(info);
-    // Boxed: a Packet exceeds the WinHandler inline capture budget.
-    auto boxed = util::make_pooled<net::Packet>(packet);
     elections_.arm(key, *policy_, ctx, rng_,
-                   [this, boxed](des::Time delay) { relay(*boxed, delay); });
+                   [this, copy = packet](des::Time delay) { relay(copy, delay); });
     return;
   }
 

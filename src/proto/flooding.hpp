@@ -51,7 +51,7 @@ class FloodingProtocol : public net::Protocol {
                    std::unique_ptr<core::BackoffPolicy> policy);
 
   void start() override;
-  void on_packet(const net::Packet& packet, const phy::RxInfo& info,
+  void on_packet(const net::PacketRef& packet, const phy::RxInfo& info,
                  bool for_us, std::uint32_t mac_src) override;
   std::uint64_t send_data(std::uint32_t target,
                           std::uint32_t payload_bytes) override;
@@ -71,7 +71,7 @@ class FloodingProtocol : public net::Protocol {
       const phy::RxInfo& info) const noexcept;
 
  private:
-  void relay(net::Packet packet, des::Time priority_delay);
+  void relay(net::PacketRef packet, des::Time priority_delay);
 
   FloodingConfig config_;
   std::unique_ptr<core::BackoffPolicy> policy_;

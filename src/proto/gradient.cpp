@@ -5,7 +5,6 @@
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
-#include "util/pool.hpp"
 
 namespace rrnet::proto {
 
@@ -33,15 +32,15 @@ void GradientProtocol::update_table(std::uint32_t origin,
 std::uint64_t GradientProtocol::send_data(std::uint32_t target,
                                  std::uint32_t payload_bytes) {
   RRNET_EXPECTS(target != node().id());
-  net::Packet packet;
-  packet.type = net::PacketType::Data;
-  packet.origin = node().id();
-  packet.target = target;
-  packet.sequence = next_sequence_++;
-  packet.uid = node().network().next_packet_uid();
-  packet.ttl = config_.ttl;
-  packet.payload_bytes = payload_bytes;
-  packet.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::Data;
+  init.origin = node().id();
+  init.target = target;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.ttl = config_.ttl;
+  init.payload_bytes = payload_bytes;
+  init.created_at = node().scheduler().now();
 
   const auto it = table_.find(target);
   if (it == table_.end()) {
@@ -49,21 +48,23 @@ std::uint64_t GradientProtocol::send_data(std::uint32_t target,
     PendingDiscovery& pd = pit->second;
     if (pd.queued.size() >= config_.pending_capacity) {
       ++stats_.pending_dropped;
-      return packet.uid;
+      return init.uid;
     }
-    pd.queued.push_back(packet);
+    const std::uint64_t uid = init.uid;
+    pd.queued.push_back(net::make_packet(std::move(init)));
     if (inserted) start_discovery(target);
-    return packet.uid;
+    return uid;
   }
-  packet.expected_hops = it->second.first;  // my height on the gradient
+  init.expected_hops = it->second.first;  // my height on the gradient
   ++stats_.data_originated;
-  originate(packet);
-  return packet.uid;
+  const std::uint64_t uid = init.uid;
+  originate(net::make_packet(std::move(init)));
+  return uid;
 }
 
-void GradientProtocol::originate(net::Packet packet) {
-  packet.actual_hops = 0;
-  packet.prev_hop = node().id();
+void GradientProtocol::originate(net::PacketRef packet) {
+  packet.hop().actual_hops = 0;
+  packet.hop().prev_hop = node().id();
   seen_.observe(packet.flood_key());
   relayed_.observe(packet.flood_key());
   node().send_packet(packet, mac::kBroadcastAddress, 0.0);
@@ -71,15 +72,16 @@ void GradientProtocol::originate(net::Packet packet) {
 
 void GradientProtocol::start_discovery(std::uint32_t target) {
   ++stats_.discoveries_started;
-  net::Packet packet;
-  packet.type = net::PacketType::PathDiscovery;
-  packet.origin = node().id();
-  packet.target = target;
-  packet.sequence = next_sequence_++;
-  packet.uid = node().network().next_packet_uid();
-  packet.ttl = config_.ttl;
-  packet.prev_hop = node().id();
-  packet.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::PathDiscovery;
+  init.origin = node().id();
+  init.target = target;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.ttl = config_.ttl;
+  init.prev_hop = node().id();
+  init.created_at = node().scheduler().now();
+  net::PacketRef packet = net::make_packet(std::move(init));
   seen_.observe(packet.flood_key());
   node().send_packet(packet, mac::kBroadcastAddress, 0.0);
 
@@ -110,72 +112,70 @@ void GradientProtocol::discovery_timeout(std::uint32_t target) {
 void GradientProtocol::flush_pending(std::uint32_t target) {
   const auto it = pending_.find(target);
   if (it == pending_.end()) return;
-  std::vector<net::Packet> queued = std::move(it->second.queued);
+  std::vector<net::PacketRef> queued = std::move(it->second.queued);
   pending_.erase(it);
   const auto entry = table_.find(target);
   RRNET_ASSERT(entry != table_.end());
-  for (net::Packet& packet : queued) {
-    packet.expected_hops = entry->second.first;
+  for (net::PacketRef& packet : queued) {
+    packet.hop().expected_hops = entry->second.first;
     ++stats_.data_originated;
-    originate(packet);
+    originate(std::move(packet));
   }
 }
 
-void GradientProtocol::handle_discovery(const net::Packet& packet) {
-  update_table(packet.origin, packet.sequence,
-               static_cast<std::uint16_t>(packet.actual_hops + 1));
+void GradientProtocol::handle_discovery(const net::PacketRef& packet) {
+  update_table(packet.origin(), packet.sequence(),
+               static_cast<std::uint16_t>(packet.actual_hops() + 1));
   const bool is_new = seen_.observe(packet.flood_key());
-  if (packet.target == node().id()) {
-    if (is_new && pending_.count(packet.origin) == 0) {
+  if (packet.target() == node().id()) {
+    if (is_new && pending_.count(packet.origin()) == 0) {
       // Answer with a gradient-forwarded reply so the requester learns its
       // distance to us (symmetric to RR's path reply).
-      const auto it = table_.find(packet.origin);
+      const auto it = table_.find(packet.origin());
       RRNET_ASSERT(it != table_.end());
-      net::Packet reply;
+      net::PacketInit reply;
       reply.type = net::PacketType::PathReply;
       reply.origin = node().id();
-      reply.target = packet.origin;
+      reply.target = packet.origin();
       reply.sequence = next_sequence_++;
       reply.uid = node().network().next_packet_uid();
       reply.ttl = config_.ttl;
-      reply.expected_hops = 0;  // our own height toward ourselves
       reply.created_at = node().scheduler().now();
       ++stats_.replies_sent;
       // Height toward the requester is what gates forwarding.
       reply.expected_hops = it->second.first;
-      originate(reply);
+      originate(net::make_packet(std::move(reply)));
     }
     return;
   }
-  if (!is_new || packet.ttl == 0) return;
-  net::Packet copy = packet;
-  copy.ttl -= 1;
-  copy.actual_hops += 1;
-  copy.prev_hop = node().id();
+  if (!is_new || packet.ttl() == 0) return;
+  net::PacketRef copy = packet;
+  copy.hop().ttl -= 1;
+  copy.hop().actual_hops += 1;
+  copy.hop().prev_hop = node().id();
   const des::Time delay = rng_.uniform(0.0, config_.discovery_lambda);
-  auto boxed = util::make_pooled<net::Packet>(std::move(copy));
-  node().scheduler().schedule_in(delay, [this, boxed, delay]() {
+  node().scheduler().schedule_in(delay, [this, copy, delay]() {
     ++stats_.discovery_relays;
-    node().send_packet(*boxed, mac::kBroadcastAddress, delay);
+    node().send_packet(copy, mac::kBroadcastAddress, delay);
   });
 }
 
-void GradientProtocol::handle_forwarded(const net::Packet& packet) {
-  update_table(packet.origin, packet.sequence,
-               static_cast<std::uint16_t>(packet.actual_hops + 1));
+void GradientProtocol::handle_forwarded(const net::PacketRef& packet) {
+  update_table(packet.origin(), packet.sequence(),
+               static_cast<std::uint16_t>(packet.actual_hops() + 1));
   const std::uint64_t key = packet.flood_key();
   seen_.observe(key);
 
-  if (packet.target == node().id()) {
+  if (packet.target() == node().id()) {
     if (delivered_.observe(key)) {
-      net::Packet delivered = packet;
-      delivered.actual_hops =
-          static_cast<std::uint16_t>(packet.actual_hops + 1);
-      if (packet.type == net::PacketType::Data) {
+      net::PacketRef delivered = packet;
+      delivered.hop().actual_hops =
+          static_cast<std::uint16_t>(packet.actual_hops() + 1);
+      if (packet.type() == net::PacketType::Data) {
         ++stats_.data_delivered;
         node().deliver_to_app(delivered);
-      } else if (pending_.count(packet.origin) > 0) {
-        flush_pending(packet.origin);
+      } else if (pending_.count(packet.origin()) > 0) {
+        flush_pending(packet.origin());
       }
     }
     return;
@@ -183,30 +183,29 @@ void GradientProtocol::handle_forwarded(const net::Packet& packet) {
 
   // Gradient rule: forward iff strictly closer to the target than the node
   // we heard it from — and only once per packet.
-  const auto it = table_.find(packet.target);
-  if (it == table_.end() || it->second.first >= packet.expected_hops) {
+  const auto it = table_.find(packet.target());
+  if (it == table_.end() || it->second.first >= packet.expected_hops()) {
     ++stats_.not_on_gradient;
     return;
   }
-  if (packet.ttl == 0) return;
+  if (packet.ttl() == 0) return;
   if (!relayed_.observe(key)) return;  // already relayed this packet
-  net::Packet copy = packet;
-  copy.ttl -= 1;
-  copy.actual_hops += 1;
-  copy.prev_hop = node().id();
-  copy.expected_hops = it->second.first;  // my own height gates the next ring
+  net::PacketRef copy = packet;
+  copy.hop().ttl -= 1;
+  copy.hop().actual_hops += 1;
+  copy.hop().prev_hop = node().id();
+  copy.hop().expected_hops = it->second.first;  // my height gates the next ring
   const des::Time delay = rng_.uniform(0.0, config_.jitter);
-  auto boxed = util::make_pooled<net::Packet>(std::move(copy));
-  node().scheduler().schedule_in(delay, [this, boxed, delay]() {
+  node().scheduler().schedule_in(delay, [this, copy, delay]() {
     ++stats_.relays;
-    node().send_packet(*boxed, mac::kBroadcastAddress, delay);
+    node().send_packet(copy, mac::kBroadcastAddress, delay);
   });
 }
 
-void GradientProtocol::on_packet(const net::Packet& packet,
+void GradientProtocol::on_packet(const net::PacketRef& packet,
                                  const phy::RxInfo& /*info*/, bool /*for_us*/,
                                  std::uint32_t /*mac_src*/) {
-  switch (packet.type) {
+  switch (packet.type()) {
     case net::PacketType::PathDiscovery:
       handle_discovery(packet);
       return;

@@ -45,7 +45,7 @@ class GradientProtocol final : public net::Protocol {
  public:
   GradientProtocol(net::Node& node, GradientConfig config = {});
 
-  void on_packet(const net::Packet& packet, const phy::RxInfo& info,
+  void on_packet(const net::PacketRef& packet, const phy::RxInfo& info,
                  bool for_us, std::uint32_t mac_src) override;
   std::uint64_t send_data(std::uint32_t target,
                           std::uint32_t payload_bytes) override;
@@ -60,17 +60,17 @@ class GradientProtocol final : public net::Protocol {
     explicit PendingDiscovery(des::Scheduler& scheduler) : timer(scheduler) {}
     des::Timer timer;
     std::uint32_t retries = 0;
-    std::vector<net::Packet> queued;
+    std::vector<net::PacketRef> queued;
   };
 
   void update_table(std::uint32_t origin, std::uint32_t sequence,
                     std::uint16_t hops_to_me);
-  void handle_discovery(const net::Packet& packet);
-  void handle_forwarded(const net::Packet& packet);
+  void handle_discovery(const net::PacketRef& packet);
+  void handle_forwarded(const net::PacketRef& packet);
   void start_discovery(std::uint32_t target);
   void discovery_timeout(std::uint32_t target);
   void flush_pending(std::uint32_t target);
-  void originate(net::Packet packet);
+  void originate(net::PacketRef packet);
 
   GradientConfig config_;
   des::Rng rng_;

@@ -5,18 +5,14 @@
 
 #include "net/network.hpp"
 #include "util/contracts.hpp"
-#include "util/pool.hpp"
 
 namespace rrnet::proto {
 
 namespace {
 /// Flood key of the packet a NetAck refers to.
-std::uint64_t acked_key(const net::Packet& netack) {
-  net::Packet proto;
-  proto.origin = netack.origin;
-  proto.sequence = netack.sequence;
-  proto.type = netack.acked_type;
-  return proto.flood_key();
+std::uint64_t acked_key(const net::PacketRef& netack) {
+  return net::flood_key_of(netack.origin(), netack.sequence(),
+                           netack.acked_type());
 }
 
 constexpr std::size_t kRelayStateCapacity = 8192;
@@ -81,30 +77,31 @@ RoutelessProtocol::RelayState& RoutelessProtocol::relay_state(
 }
 
 core::ElectionContext RoutelessProtocol::gradient_context(
-    const net::Packet& packet) const {
+    const net::PacketRef& packet) const {
   core::ElectionContext ctx;
-  const auto it = table_.find(packet.target);
+  const auto it = table_.find(packet.target());
   if (it == table_.end()) {
     ctx.hops_unknown = true;
   } else {
     ctx.hops_table = it->second.hops;
   }
-  ctx.hops_expected = packet.expected_hops;
+  ctx.hops_expected = packet.expected_hops();
   return ctx;
 }
 
 std::uint64_t RoutelessProtocol::send_data(std::uint32_t target,
                                   std::uint32_t payload_bytes) {
   RRNET_EXPECTS(target != node().id());
-  net::Packet packet;
-  packet.type = net::PacketType::Data;
-  packet.origin = node().id();
-  packet.target = target;
-  packet.sequence = next_sequence_++;
-  packet.uid = node().network().next_packet_uid();
-  packet.ttl = config_.ttl;
-  packet.payload_bytes = payload_bytes;
-  packet.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::Data;
+  init.origin = node().id();
+  init.target = target;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.ttl = config_.ttl;
+  init.payload_bytes = payload_bytes;
+  init.created_at = node().scheduler().now();
+  const std::uint64_t uid = init.uid;
 
   const auto it = table_.find(target);
   if (it == table_.end()) {
@@ -113,31 +110,32 @@ std::uint64_t RoutelessProtocol::send_data(std::uint32_t target,
     PendingDiscovery& pd = pit->second;
     if (pd.queued.size() >= config_.pending_capacity) {
       ++stats_.pending_dropped;
-      return packet.uid;
+      return uid;
     }
-    pd.queued.push_back(packet);
+    pd.queued.push_back(net::make_packet(std::move(init)));
     if (inserted) start_discovery(target);
-    return packet.uid;
+    return uid;
   }
-  packet.expected_hops =
+  init.expected_hops =
       it->second.hops > 0 ? static_cast<std::uint16_t>(it->second.hops - 1) : 0;
   ++stats_.data_originated;
-  originate_forwarded(packet);
-  return packet.uid;
+  originate_forwarded(net::make_packet(std::move(init)));
+  return uid;
 }
 
 void RoutelessProtocol::start_discovery(std::uint32_t target) {
   ++stats_.discoveries_started;
-  net::Packet packet;
-  packet.type = net::PacketType::PathDiscovery;
-  packet.origin = node().id();
-  packet.target = target;
-  packet.sequence = next_sequence_++;
-  packet.uid = node().network().next_packet_uid();
-  packet.actual_hops = 0;
-  packet.ttl = config_.ttl;
-  packet.prev_hop = node().id();
-  packet.created_at = node().scheduler().now();
+  net::PacketInit init;
+  init.type = net::PacketType::PathDiscovery;
+  init.origin = node().id();
+  init.target = target;
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.actual_hops = 0;
+  init.ttl = config_.ttl;
+  init.prev_hop = node().id();
+  init.created_at = node().scheduler().now();
+  net::PacketRef packet = net::make_packet(std::move(init));
   seen_.observe(packet.flood_key());
   node().send_packet(packet, mac::kBroadcastAddress, 0.0);
 
@@ -171,7 +169,7 @@ void RoutelessProtocol::discovery_timeout(std::uint32_t target) {
 void RoutelessProtocol::flush_pending(std::uint32_t target) {
   const auto it = pending_.find(target);
   if (it == pending_.end()) return;
-  std::vector<net::Packet> queued = std::move(it->second.queued);
+  std::vector<net::PacketRef> queued = std::move(it->second.queued);
   pending_.erase(it);
   const auto entry = table_.find(target);
   RRNET_ASSERT(entry != table_.end());
@@ -179,16 +177,16 @@ void RoutelessProtocol::flush_pending(std::uint32_t target) {
       entry->second.hops > 0
           ? static_cast<std::uint16_t>(entry->second.hops - 1)
           : 0;
-  for (net::Packet& packet : queued) {
-    packet.expected_hops = expected;
+  for (net::PacketRef& packet : queued) {
+    packet.hop().expected_hops = expected;
     ++stats_.data_originated;
-    originate_forwarded(packet);
+    originate_forwarded(std::move(packet));
   }
 }
 
-void RoutelessProtocol::originate_forwarded(net::Packet packet) {
-  packet.actual_hops = 0;
-  packet.prev_hop = node().id();
+void RoutelessProtocol::originate_forwarded(net::PacketRef packet) {
+  packet.hop().actual_hops = 0;
+  packet.hop().prev_hop = node().id();
   const std::uint64_t key = packet.flood_key();
   seen_.observe(key);
   RelayState& st = relay_state(key);
@@ -200,65 +198,65 @@ void RoutelessProtocol::originate_forwarded(net::Packet packet) {
 }
 
 void RoutelessProtocol::watch_as_arbiter(std::uint64_t key,
-                                         const net::Packet& sent_copy) {
-  // One boxed copy shared by both callbacks: a Packet exceeds the inline
-  // capture budget, and the retransmit path may fire several times.
-  auto boxed = util::make_pooled<net::Packet>(sent_copy);
+                                         const net::PacketRef& sent_copy) {
+  // Each callback captures its own 24-byte ref to the shared buffer; the
+  // retransmit path may fire several times and resends the same copy.
   arbiter_.watch(key, core::Arbiter::Callbacks{
-      /*retransmit=*/[this, boxed]() {
-        node().send_packet(*boxed, mac::kBroadcastAddress, 0.0);
+      /*retransmit=*/[this, copy = sent_copy]() {
+        node().send_packet(copy, mac::kBroadcastAddress, 0.0);
       },
-      /*send_ack=*/[this, boxed]() { send_netack(*boxed); }});
+      /*send_ack=*/[this, copy = sent_copy]() { send_netack(copy); }});
 }
 
-void RoutelessProtocol::send_netack(const net::Packet& acked) {
-  net::Packet ack;
-  ack.type = net::PacketType::NetAck;
-  ack.origin = acked.origin;
-  ack.target = acked.target;
-  ack.sequence = acked.sequence;
-  ack.acked_type = acked.type;
-  ack.uid = node().network().next_packet_uid();
-  ack.prev_hop = node().id();
-  ack.created_at = node().scheduler().now();
+void RoutelessProtocol::send_netack(const net::PacketRef& acked) {
+  net::PacketInit init;
+  init.type = net::PacketType::NetAck;
+  init.origin = acked.origin();
+  init.target = acked.target();
+  init.sequence = acked.sequence();
+  init.acked_type = acked.type();
+  init.uid = node().network().next_packet_uid();
+  init.prev_hop = node().id();
+  init.created_at = node().scheduler().now();
   ++stats_.netacks_sent;
-  node().send_packet(ack, mac::kBroadcastAddress, 0.0);
+  node().send_packet(net::make_packet(std::move(init)),
+                     mac::kBroadcastAddress, 0.0);
 }
 
-void RoutelessProtocol::do_relay(std::uint64_t key, net::Packet copy,
+void RoutelessProtocol::do_relay(std::uint64_t key, net::PacketRef copy,
                                  des::Time delay) {
-  if (copy.ttl == 0) {
+  if (copy.ttl() == 0) {
     ++stats_.ttl_expired;
     return;
   }
-  copy.ttl -= 1;
-  copy.actual_hops += 1;
-  copy.prev_hop = node().id();
-  const auto it = table_.find(copy.target);
+  copy.hop().ttl -= 1;
+  copy.hop().actual_hops += 1;
+  copy.hop().prev_hop = node().id();
+  const auto it = table_.find(copy.target());
   if (it != table_.end()) {
-    copy.expected_hops =
+    copy.hop().expected_hops =
         it->second.hops > 0 ? static_cast<std::uint16_t>(it->second.hops - 1)
                             : 0;
-  } else if (copy.expected_hops > 0) {
-    copy.expected_hops -= 1;
+  } else if (copy.expected_hops() > 0) {
+    copy.hop().expected_hops -= 1;
   }
   RelayState& st = relay_state(key);
   st.relayed = true;
-  st.relayed_hops = copy.actual_hops;
+  st.relayed_hops = copy.actual_hops();
   st.relayed_copy = copy;
   ++stats_.relays;
   node().send_packet(copy, mac::kBroadcastAddress, delay);
   watch_as_arbiter(key, copy);
 }
 
-void RoutelessProtocol::handle_discovery(const net::Packet& packet,
+void RoutelessProtocol::handle_discovery(const net::PacketRef& packet,
                                          const phy::RxInfo& info) {
   const std::uint16_t hops_to_me =
-      static_cast<std::uint16_t>(packet.actual_hops + 1);
-  update_table(packet.origin, packet.sequence, hops_to_me);
+      static_cast<std::uint16_t>(packet.actual_hops() + 1);
+  update_table(packet.origin(), packet.sequence(), hops_to_me);
   const std::uint64_t key = packet.flood_key();
   const bool is_new = seen_.observe(key);
-  if (packet.target == node().id()) {
+  if (packet.target() == node().id()) {
     if (is_new) send_reply(packet);
     return;
   }
@@ -271,7 +269,7 @@ void RoutelessProtocol::handle_discovery(const net::Packet& packet,
     }
     return;
   }
-  if (packet.ttl == 0) {
+  if (packet.ttl() == 0) {
     ++stats_.ttl_expired;
     return;
   }
@@ -283,60 +281,58 @@ void RoutelessProtocol::handle_discovery(const net::Packet& packet,
       config_.ssaf_discovery
           ? static_cast<const core::BackoffPolicy&>(ssaf_policy_)
           : static_cast<const core::BackoffPolicy&>(discovery_policy_);
-  // Boxed: a Packet exceeds the WinHandler inline capture budget.
-  auto boxed = util::make_pooled<net::Packet>(packet);
   elections_.arm(key, policy, ctx, rng_,
-                 [this, boxed](des::Time delay) {
-                   net::Packet relay = *boxed;
-                   relay.ttl -= 1;
-                   relay.actual_hops += 1;
-                   relay.prev_hop = node().id();
+                 [this, copy = packet](des::Time delay) {
+                   net::PacketRef relay = copy;
+                   relay.hop().ttl -= 1;
+                   relay.hop().actual_hops += 1;
+                   relay.hop().prev_hop = node().id();
                    ++stats_.discovery_relays;
                    node().send_packet(relay, mac::kBroadcastAddress, delay);
                  });
 }
 
-void RoutelessProtocol::send_reply(const net::Packet& discovery) {
-  const auto it = table_.find(discovery.origin);
+void RoutelessProtocol::send_reply(const net::PacketRef& discovery) {
+  const auto it = table_.find(discovery.origin());
   RRNET_ASSERT(it != table_.end());
-  net::Packet reply;
-  reply.type = net::PacketType::PathReply;
-  reply.origin = node().id();
-  reply.target = discovery.origin;
-  reply.sequence = next_sequence_++;
-  reply.uid = node().network().next_packet_uid();
-  reply.ttl = config_.ttl;
-  reply.expected_hops =
+  net::PacketInit init;
+  init.type = net::PacketType::PathReply;
+  init.origin = node().id();
+  init.target = discovery.origin();
+  init.sequence = next_sequence_++;
+  init.uid = node().network().next_packet_uid();
+  init.ttl = config_.ttl;
+  init.expected_hops =
       it->second.hops > 0 ? static_cast<std::uint16_t>(it->second.hops - 1)
                           : 0;
-  reply.created_at = node().scheduler().now();
+  init.created_at = node().scheduler().now();
   ++stats_.replies_sent;
-  originate_forwarded(reply);
+  originate_forwarded(net::make_packet(std::move(init)));
 }
 
-void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
+void RoutelessProtocol::handle_forwarded(const net::PacketRef& packet,
                                          std::uint32_t mac_src) {
   const std::uint16_t hops_to_me =
-      static_cast<std::uint16_t>(packet.actual_hops + 1);
-  update_table(packet.origin, packet.sequence, hops_to_me);
+      static_cast<std::uint16_t>(packet.actual_hops() + 1);
+  update_table(packet.origin(), packet.sequence(), hops_to_me);
   const std::uint64_t key = packet.flood_key();
   const bool is_new = seen_.observe(key);
 
-  if (packet.target == node().id()) {
+  if (packet.target() == node().id()) {
     // Destination reached. Acknowledge every copy (the upstream arbiter may
     // have missed our earlier ack), deliver once.
     send_netack(packet);
     if (delivered_.observe(key)) {
-      net::Packet delivered = packet;
-      delivered.actual_hops = hops_to_me;
-      if (packet.type == net::PacketType::Data) {
+      net::PacketRef delivered = packet;
+      delivered.hop().actual_hops = hops_to_me;
+      if (packet.type() == net::PacketType::Data) {
         ++stats_.data_delivered;
         node().deliver_to_app(delivered);
       } else {
         ++stats_.replies_delivered;
         // Path discovery complete: the table entry for the reply's origin
         // (the destination we were looking for) was just updated.
-        if (pending_.count(packet.origin) > 0) flush_pending(packet.origin);
+        if (pending_.count(packet.origin()) > 0) flush_pending(packet.origin());
       }
     }
     return;
@@ -344,7 +340,7 @@ void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
 
   RelayState& st = relay_state(key);
   if (is_new) {
-    st.armed_hops = packet.actual_hops;
+    st.armed_hops = packet.actual_hops();
     st.armed_from = mac_src;
     // First-round eligibility: only nodes at or inside the expected
     // distance compete ("the node closer to the target node should be given
@@ -353,14 +349,13 @@ void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
     // retransmission re-runs the election below with everyone included,
     // which is what bounds the relay set to the downhill cone while still
     // guaranteeing progress around dead ends.
-    const auto entry = table_.find(packet.target);
+    const auto entry = table_.find(packet.target());
     const bool eligible = entry != table_.end() &&
-                          entry->second.hops <= packet.expected_hops;
+                          entry->second.hops <= packet.expected_hops();
     if (eligible) {
-      auto boxed = util::make_pooled<net::Packet>(packet);
       elections_.arm(key, gradient_policy_, gradient_context(packet), rng_,
-                     [this, key, boxed](des::Time delay) {
-                       do_relay(key, *boxed, delay);
+                     [this, key, copy = packet](des::Time delay) {
+                       do_relay(key, copy, delay);
                      });
     }
     return;
@@ -372,9 +367,9 @@ void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
   // retransmissions and must not re-trigger anything, or congestion feeds
   // on itself.
   const bool is_retransmission =
-      mac_src == st.armed_from && packet.actual_hops == st.armed_hops;
+      mac_src == st.armed_from && packet.actual_hops() == st.armed_hops;
   if (st.relayed) {
-    if (packet.actual_hops > st.relayed_hops) {
+    if (packet.actual_hops() > st.relayed_hops) {
       // Someone downstream relayed our copy: as arbiter, acknowledge.
       arbiter_.relay_heard(key);
     } else if (is_retransmission &&
@@ -383,11 +378,11 @@ void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
       ++st.re_relays_used;
       ++stats_.re_relays;
       const des::Time delay = rng_.uniform(0.0, config_.lambda);
-      auto copy = util::make_pooled<net::Packet>(st.relayed_copy);
-      node().scheduler().schedule_in(delay, [this, key, copy, delay]() {
-        node().send_packet(*copy, mac::kBroadcastAddress, delay);
-        watch_as_arbiter(key, *copy);
-      });
+      node().scheduler().schedule_in(
+          delay, [this, key, copy = st.relayed_copy, delay]() {
+            node().send_packet(copy, mac::kBroadcastAddress, delay);
+            watch_as_arbiter(key, copy);
+          });
     }
     return;
   }
@@ -402,7 +397,7 @@ void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
     if (!is_retransmission) {
       elections_.cancel(key, core::CancelReason::DuplicateHeard);
       st.cancelled_from = mac_src;
-      st.cancelled_hops = packet.actual_hops;
+      st.cancelled_hops = packet.actual_hops();
     }
     return;
   }
@@ -410,19 +405,18 @@ void RoutelessProtocol::handle_forwarded(const net::Packet& packet,
   // the neighbor that first triggered us, or from the relayer that
   // cancelled us — re-runs the election (the arbiter found no successor).
   const bool cancelled_retransmission =
-      mac_src == st.cancelled_from && packet.actual_hops == st.cancelled_hops;
+      mac_src == st.cancelled_from && packet.actual_hops() == st.cancelled_hops;
   if (is_retransmission || cancelled_retransmission) {
     st.armed_from = mac_src;
-    st.armed_hops = packet.actual_hops;
-    auto boxed = util::make_pooled<net::Packet>(packet);
+    st.armed_hops = packet.actual_hops();
     elections_.arm(key, gradient_policy_, gradient_context(packet), rng_,
-                   [this, key, boxed](des::Time delay) {
-                     do_relay(key, *boxed, delay);
+                   [this, key, copy = packet](des::Time delay) {
+                     do_relay(key, copy, delay);
                    });
   }
 }
 
-void RoutelessProtocol::handle_netack(const net::Packet& packet) {
+void RoutelessProtocol::handle_netack(const net::PacketRef& packet) {
   const std::uint64_t key = acked_key(packet);
   RelayState& st = relay_state(key);
   // Cancellation rule (ii), precisely as stated: concede only on an
@@ -432,23 +426,23 @@ void RoutelessProtocol::handle_netack(const net::Packet& packet) {
   // other cohorts (e.g. the previous hop's) and must not cancel us, or the
   // ack cascade would suppress the very elections that keep the packet
   // moving.
-  if (packet.prev_hop == st.armed_from) {
+  if (packet.prev_hop() == st.armed_from) {
     elections_.cancel(key, core::CancelReason::ArbiterAck);
   }
   // The target's own ack ("the packet has reached the target, stop other
   // nodes from trying to retransmit") ends our arbitration for this packet.
   // An intermediate ack does not: it acknowledges the PREVIOUS hop's relay,
   // while we are still responsible for finding our successor.
-  if (packet.prev_hop == packet.target) {
+  if (packet.prev_hop() == packet.target()) {
     arbiter_.stop(key);
     elections_.cancel(key, core::CancelReason::ArbiterAck);
   }
 }
 
-void RoutelessProtocol::on_packet(const net::Packet& packet,
+void RoutelessProtocol::on_packet(const net::PacketRef& packet,
                                   const phy::RxInfo& info, bool /*for_us*/,
                                   std::uint32_t mac_src) {
-  switch (packet.type) {
+  switch (packet.type()) {
     case net::PacketType::PathDiscovery:
       handle_discovery(packet, info);
       return;

@@ -74,7 +74,7 @@ class RoutelessProtocol final : public net::Protocol {
   RoutelessProtocol(net::Node& node, RoutelessConfig config = {});
 
   void start() override;
-  void on_packet(const net::Packet& packet, const phy::RxInfo& info,
+  void on_packet(const net::PacketRef& packet, const phy::RxInfo& info,
                  bool for_us, std::uint32_t mac_src) override;
   std::uint64_t send_data(std::uint32_t target,
                           std::uint32_t payload_bytes) override;
@@ -105,31 +105,31 @@ class RoutelessProtocol final : public net::Protocol {
     std::uint32_t cancelled_from = net::kNoNode;  ///< relay that cancelled us
     std::uint16_t cancelled_hops = 0;
     std::uint8_t re_relays_used = 0;          ///< bounded resend budget
-    net::Packet relayed_copy;        ///< for re-relay on retransmission
+    net::PacketRef relayed_copy;     ///< for re-relay on retransmission
   };
   struct PendingDiscovery {
     explicit PendingDiscovery(des::Scheduler& scheduler) : timer(scheduler) {}
     des::Timer timer;
     std::uint32_t retries = 0;
-    std::vector<net::Packet> queued;
+    std::vector<net::PacketRef> queued;
   };
 
   void update_table(std::uint32_t origin, std::uint32_t sequence,
                     std::uint16_t hops_to_me);
-  void handle_discovery(const net::Packet& packet, const phy::RxInfo& info);
-  void handle_forwarded(const net::Packet& packet, std::uint32_t mac_src);
-  void handle_netack(const net::Packet& packet);
-  void send_reply(const net::Packet& discovery);
+  void handle_discovery(const net::PacketRef& packet, const phy::RxInfo& info);
+  void handle_forwarded(const net::PacketRef& packet, std::uint32_t mac_src);
+  void handle_netack(const net::PacketRef& packet);
+  void send_reply(const net::PacketRef& discovery);
   void start_discovery(std::uint32_t target);
   void discovery_timeout(std::uint32_t target);
   void flush_pending(std::uint32_t target);
   /// Originate a PathReply/Data packet: broadcast it and become its arbiter.
-  void originate_forwarded(net::Packet packet);
-  void do_relay(std::uint64_t key, net::Packet copy, des::Time delay);
-  void watch_as_arbiter(std::uint64_t key, const net::Packet& sent_copy);
-  void send_netack(const net::Packet& acked);
+  void originate_forwarded(net::PacketRef packet);
+  void do_relay(std::uint64_t key, net::PacketRef copy, des::Time delay);
+  void watch_as_arbiter(std::uint64_t key, const net::PacketRef& sent_copy);
+  void send_netack(const net::PacketRef& acked);
   [[nodiscard]] core::ElectionContext gradient_context(
-      const net::Packet& packet) const;
+      const net::PacketRef& packet) const;
   RelayState& relay_state(std::uint64_t key);
 
   RoutelessConfig config_;

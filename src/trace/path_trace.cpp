@@ -13,23 +13,25 @@ PathTrace::~PathTrace() {
   if (network_->observer() == this) network_->set_observer(nullptr);
 }
 
-void PathTrace::on_network_tx(std::uint32_t node, const net::Packet& packet) {
-  if (packet.type != net::PacketType::Data) return;
-  PacketPath& path = paths_[packet.uid];
+void PathTrace::on_network_tx(std::uint32_t node,
+                              const net::PacketRef& packet) {
+  if (packet.type() != net::PacketType::Data) return;
+  PacketPath& path = paths_[packet.uid()];
   if (path.hops.empty()) {
-    path.origin = packet.origin;
-    path.target = packet.target;
+    path.origin = packet.origin();
+    path.target = packet.target();
   }
   path.hops.push_back(Hop{node, network_->channel().position(node),
                           network_->scheduler().now()});
 }
 
-void PathTrace::on_delivered(std::uint32_t node, const net::Packet& packet) {
-  if (packet.type != net::PacketType::Data) return;
-  PacketPath& path = paths_[packet.uid];
+void PathTrace::on_delivered(std::uint32_t node,
+                             const net::PacketRef& packet) {
+  if (packet.type() != net::PacketType::Data) return;
+  PacketPath& path = paths_[packet.uid()];
   if (path.hops.empty()) {
-    path.origin = packet.origin;
-    path.target = packet.target;
+    path.origin = packet.origin();
+    path.target = packet.target();
   }
   path.delivered = true;
   path.delivered_at = network_->scheduler().now();

@@ -34,8 +34,10 @@ class PathTrace final : public net::PacketObserver {
   PathTrace(const PathTrace&) = delete;
   PathTrace& operator=(const PathTrace&) = delete;
 
-  void on_network_tx(std::uint32_t node, const net::Packet& packet) override;
-  void on_delivered(std::uint32_t node, const net::Packet& packet) override;
+  void on_network_tx(std::uint32_t node,
+                     const net::PacketRef& packet) override;
+  void on_delivered(std::uint32_t node,
+                    const net::PacketRef& packet) override;
 
   [[nodiscard]] const std::unordered_map<std::uint64_t, PacketPath>& paths()
       const noexcept {

@@ -25,9 +25,9 @@
 //    size (e.g. a different T rebound through the same allocator) take
 //    the heap path.
 //
-// The handle type stays `std::shared_ptr<const T>`, so downstream fields
-// that erase to `shared_ptr<const void>` (mac::Frame::payload,
-// phy::Airframe::payload) are untouched.
+// make_pooled keeps the `std::shared_ptr<const T>` handle type for callers
+// that want shared immutable state without intrusive refcounts; the packet
+// path itself uses the intrusive net::PacketBuffer on a raw PayloadPool.
 #pragma once
 
 #include <cstddef>
@@ -45,9 +45,21 @@ struct PoolStats {
   std::uint64_t releases = 0;     ///< chunks returned (either kind)
 };
 
+// Default arena capacity (chunks per pool), overridable per build:
+//   cmake -DCMAKE_CXX_FLAGS=-DRRNET_POOL_ARENA_CAPACITY=1024
+// Every thread-local pool (size classes, payload pools, the PacketBuffer
+// pool) carves kDefaultCapacity chunks on first use, so this knob bounds
+// the per-worker arena footprint of parallel replication (the audit table
+// lives in DESIGN.md, "Memory footprint").
+#ifndef RRNET_POOL_ARENA_CAPACITY
+#define RRNET_POOL_ARENA_CAPACITY 4096
+#endif
+
 class PayloadPool {
  public:
-  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::size_t kDefaultCapacity = RRNET_POOL_ARENA_CAPACITY;
+  static_assert(kDefaultCapacity > 0,
+                "RRNET_POOL_ARENA_CAPACITY must be positive");
 
   /// Chunk payload size is fixed on the first allocate() call.
   explicit PayloadPool(std::size_t capacity = kDefaultCapacity)

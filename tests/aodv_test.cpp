@@ -24,15 +24,15 @@ TEST(Aodv, EstablishesRouteAndDelivers) {
   auto tn = rrnet::testing::make_line_net(5);
   attach_aodv(tn);
   int deliveries = 0;
-  net::Packet delivered;
-  tn.node(4).set_delivery_handler([&](const net::Packet& p) {
+  net::PacketRef delivered;
+  tn.node(4).set_delivery_handler([&](const net::PacketRef& p) {
     ++deliveries;
     delivered = p;
   });
   tn.node(0).protocol().send_data(4, 128);
   tn.scheduler.run_until(20.0);
   ASSERT_EQ(deliveries, 1);
-  EXPECT_EQ(delivered.actual_hops, 4u);
+  EXPECT_EQ(delivered.actual_hops(), 4u);
   ASSERT_TRUE(aodv_of(tn.node(0)).has_route(4));
   EXPECT_EQ(aodv_of(tn.node(0)).route_hops(4), 4u);
   EXPECT_EQ(aodv_of(tn.node(0)).next_hop(4), 1u);
@@ -54,7 +54,7 @@ TEST(Aodv, SecondPacketUsesCachedRoute) {
   auto tn = rrnet::testing::make_line_net(4);
   attach_aodv(tn);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(3, 64);
   tn.scheduler.run_until(20.0);
   const std::uint64_t rreqs = aodv_of(tn.node(0)).aodv_stats().rreq_originated;
@@ -70,7 +70,7 @@ TEST(Aodv, LinkBreakTriggersRerrAndRediscovery) {
   config.discovery_timeout = 1.0;
   attach_aodv(tn, config);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(3, 64);
   tn.scheduler.run_until(20.0);
   ASSERT_EQ(deliveries, 1);
@@ -92,7 +92,7 @@ TEST(Aodv, ReroutesAroundFailedRelayWhenAlternativeExists) {
   TestNet tn(positions, 250.0, geom::Terrain(800, 1000));
   attach_aodv(tn, config);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(3, 64);
   tn.scheduler.run_until(10.0);
   ASSERT_EQ(deliveries, 1);
@@ -122,7 +122,7 @@ TEST(Aodv, BlindDiscoveryCostsMoreThanDedup) {
     config.discovery = mode;
     attach_aodv(tn, config);
     int deliveries = 0;
-    tn.node(15).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+    tn.node(15).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
     tn.node(0).protocol().send_data(15, 64);
     tn.scheduler.run_until(30.0);
     EXPECT_GE(deliveries, 1) << "mode " << static_cast<int>(mode);
@@ -174,7 +174,7 @@ TEST(Aodv, DeliversEachPacketOnce) {
   auto tn = rrnet::testing::make_line_net(3);
   attach_aodv(tn);
   int deliveries = 0;
-  tn.node(2).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(2).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   for (int i = 0; i < 6; ++i) {
     tn.scheduler.schedule_at(0.3 * i + 0.1, [&tn]() {
       tn.node(0).protocol().send_data(2, 32);
@@ -206,7 +206,7 @@ TEST(AodvExpandingRing, FirstRreqUsesSmallTtl) {
   config.ring_start_ttl = 2;
   attach_aodv(tn, config);
   int deliveries = 0;
-  tn.node(2).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(2).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(2, 64);
   tn.scheduler.run_until(20.0);
   EXPECT_EQ(deliveries, 1);
@@ -225,7 +225,7 @@ TEST(AodvExpandingRing, RetriesWidenTheRing) {
   config.discovery_timeout = 1.0;
   attach_aodv(tn, config);
   int deliveries = 0;
-  tn.node(5).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(5).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(5, 64);
   tn.scheduler.run_until(30.0);
   EXPECT_EQ(deliveries, 1);
@@ -245,7 +245,7 @@ TEST(AodvExpandingRing, CheaperThanFullFloodForNearbyTargets) {
     config.expanding_ring = ring;
     attach_aodv(tn, config);
     int deliveries = 0;
-    tn.node(6).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+    tn.node(6).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
     tn.node(0).protocol().send_data(6, 64);  // an adjacent-ish target
     tn.scheduler.run_until(20.0);
     EXPECT_EQ(deliveries, 1) << "ring=" << ring;

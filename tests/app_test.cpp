@@ -1,3 +1,5 @@
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "util/contracts.hpp"
@@ -16,11 +18,11 @@ TEST(FlowStats, DeliveryRatioAndDelay) {
   stats.record_sent(1, 0.0);
   stats.record_sent(2, 0.0);
   stats.record_sent(3, 0.0);
-  net::Packet p;
-  p.uid = 1;
-  p.created_at = 0.0;
-  p.actual_hops = 4;
-  stats.record_delivered(p, 0.5);
+  net::PacketInit init;
+  init.uid = 1;
+  init.created_at = 0.0;
+  init.actual_hops = 4;
+  stats.record_delivered(net::make_packet(std::move(init)), 0.5);
   EXPECT_EQ(stats.sent(), 3u);
   EXPECT_EQ(stats.delivered(), 1u);
   EXPECT_NEAR(stats.delivery_ratio(), 1.0 / 3.0, 1e-12);
@@ -31,8 +33,9 @@ TEST(FlowStats, DeliveryRatioAndDelay) {
 TEST(FlowStats, DuplicateDeliveryCountedOnce) {
   FlowStats stats;
   stats.record_sent(7, 0.0);
-  net::Packet p;
-  p.uid = 7;
+  net::PacketInit init;
+  init.uid = 7;
+  const net::PacketRef p = net::make_packet(std::move(init));
   stats.record_delivered(p, 0.1);
   stats.record_delivered(p, 0.2);
   EXPECT_EQ(stats.delivered(), 1u);
@@ -41,9 +44,9 @@ TEST(FlowStats, DuplicateDeliveryCountedOnce) {
 
 TEST(FlowStats, UnknownUidIgnored) {
   FlowStats stats;
-  net::Packet p;
-  p.uid = 99;
-  stats.record_delivered(p, 0.1);
+  net::PacketInit init;
+  init.uid = 99;
+  stats.record_delivered(net::make_packet(std::move(init)), 0.1);
   EXPECT_EQ(stats.delivered(), 0u);
 }
 

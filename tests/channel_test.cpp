@@ -49,7 +49,6 @@ class ChannelTest : public ::testing::Test {
     f.id = channel_->next_frame_id();
     f.sender = sender;
     f.size_bytes = bytes;
-    f.payload = std::make_shared<int>(0);
     return f;
   }
 

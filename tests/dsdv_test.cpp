@@ -49,8 +49,8 @@ TEST(Dsdv, DeliversDataAfterConvergence) {
   config.update_interval = 1.0;
   attach_dsdv(tn, config);
   int deliveries = 0;
-  net::Packet delivered;
-  tn.node(4).set_delivery_handler([&](const net::Packet& p) {
+  net::PacketRef delivered;
+  tn.node(4).set_delivery_handler([&](const net::PacketRef& p) {
     ++deliveries;
     delivered = p;
   });
@@ -59,7 +59,7 @@ TEST(Dsdv, DeliversDataAfterConvergence) {
   });
   tn.scheduler.run_until(12.0);
   ASSERT_EQ(deliveries, 1);
-  EXPECT_EQ(delivered.actual_hops, 4u);
+  EXPECT_EQ(delivered.actual_hops(), 4u);
 }
 
 TEST(Dsdv, BuffersDataUntilRoutesArrive) {
@@ -68,7 +68,7 @@ TEST(Dsdv, BuffersDataUntilRoutesArrive) {
   config.update_interval = 1.0;
   attach_dsdv(tn, config);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   // Send immediately, before any update has been exchanged.
   tn.node(0).protocol().send_data(3, 64);
   tn.scheduler.run_until(15.0);

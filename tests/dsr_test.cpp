@@ -25,15 +25,15 @@ TEST(Dsr, DiscoversSourceRouteAndDelivers) {
   auto tn = rrnet::testing::make_line_net(5);
   attach_dsr(tn);
   int deliveries = 0;
-  net::Packet delivered;
-  tn.node(4).set_delivery_handler([&](const net::Packet& p) {
+  net::PacketRef delivered;
+  tn.node(4).set_delivery_handler([&](const net::PacketRef& p) {
     ++deliveries;
     delivered = p;
   });
   tn.node(0).protocol().send_data(4, 128);
   tn.scheduler.run_until(20.0);
   ASSERT_EQ(deliveries, 1);
-  EXPECT_EQ(delivered.actual_hops, 4u);
+  EXPECT_EQ(delivered.actual_hops(), 4u);
   ASSERT_TRUE(dsr_of(tn.node(0)).has_cached_route(4));
   const SourceRoute& route = dsr_of(tn.node(0)).cached_route(4);
   EXPECT_EQ(route, (SourceRoute{0, 1, 2, 3, 4}));
@@ -55,7 +55,7 @@ TEST(Dsr, SecondPacketUsesCache) {
   auto tn = rrnet::testing::make_line_net(4);
   attach_dsr(tn);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(3, 64);
   tn.scheduler.run_until(20.0);
   const std::uint64_t rreqs = dsr_of(tn.node(0)).dsr_stats().rreq_originated;
@@ -74,7 +74,7 @@ TEST(Dsr, LinkBreakPurgesCachesAndRecovers) {
   TestNet tn(positions, 250.0, geom::Terrain(800, 1000));
   attach_dsr(tn, config);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(3, 64);
   tn.scheduler.run_until(10.0);
   ASSERT_EQ(deliveries, 1);
@@ -118,7 +118,7 @@ TEST(Dsr, RouteRequestLoopsAreDropped) {
   TestNet tn(positions, 250.0, geom::Terrain(600, 600));
   attach_dsr(tn);
   int deliveries = 0;
-  tn.node(8).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(8).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(8, 64);
   tn.scheduler.run_until(20.0);
   EXPECT_EQ(deliveries, 1);

@@ -26,18 +26,18 @@ void attach_counter1(TestNet& tn, des::Time lambda = 5e-3,
 TEST(Counter1, DeliversAcrossMultipleHops) {
   auto tn = make_line_net(6);
   attach_counter1(tn);
-  net::Packet delivered;
+  net::PacketRef delivered;
   int deliveries = 0;
-  tn.node(5).set_delivery_handler([&](const net::Packet& p) {
+  tn.node(5).set_delivery_handler([&](const net::PacketRef& p) {
     delivered = p;
     ++deliveries;
   });
   tn.node(0).protocol().send_data(5, 64);
   tn.scheduler.run();
   ASSERT_EQ(deliveries, 1);
-  EXPECT_EQ(delivered.origin, 0u);
-  EXPECT_EQ(delivered.actual_hops, 5u);  // line topology: exactly 5 hops
-  EXPECT_EQ(delivered.payload_bytes, 64u);
+  EXPECT_EQ(delivered.origin(), 0u);
+  EXPECT_EQ(delivered.actual_hops(), 5u);  // line topology: exactly 5 hops
+  EXPECT_EQ(delivered.payload_bytes(), 64u);
 }
 
 TEST(Counter1, EveryNodeRelaysAtMostOncePerPacket) {
@@ -65,7 +65,7 @@ TEST(Counter1, TtlLimitsPropagation) {
   auto tn = make_line_net(8);
   attach_counter1(tn, 5e-3, /*ttl=*/3);
   int deliveries = 0;
-  tn.node(7).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(7).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(7, 10);
   tn.scheduler.run();
   EXPECT_EQ(deliveries, 0);  // 7 hops needed, ttl 3
@@ -80,7 +80,7 @@ TEST(Counter1, SequenceNumbersKeepPacketsDistinct) {
   auto tn = make_line_net(3);
   attach_counter1(tn);
   int deliveries = 0;
-  tn.node(2).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(2).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(2, 10);
   tn.scheduler.schedule_at(0.5, [&]() { tn.node(0).protocol().send_data(2, 10); });
   tn.scheduler.schedule_at(1.0, [&]() { tn.node(0).protocol().send_data(2, 10); });
@@ -139,7 +139,7 @@ TEST(CounterThreshold, SuppressionReducesTransmissions) {
     }
     tn.network->start_protocols();
     int deliveries = 0;
-    tn.node(15).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+    tn.node(15).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
     tn.node(0).protocol().send_data(15, 32);
     tn.scheduler.run();
     EXPECT_EQ(deliveries, 1) << "threshold " << k;
@@ -221,7 +221,7 @@ TEST(Flooding, BroadcastToUnreachableTargetDeliversNothing) {
   TestNet tn(positions, 250.0, geom::Terrain(4000, 1000));
   attach_counter1(tn);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(3, 10);
   tn.scheduler.run();
   EXPECT_EQ(deliveries, 0);

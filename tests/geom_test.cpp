@@ -136,6 +136,44 @@ TEST(SpatialGrid, UpdatePositionMovesAcrossCells) {
   EXPECT_EQ(grid.position(0), (Vec2{95, 95}));
 }
 
+// Query order is a determinism contract, not a convenience: the channel
+// iterates the query result and draws one fade/jitter sample per receiver,
+// so the id order pins the per-receiver RNG draw order (and with it
+// serial == parallel replication bit-identity). The order must be sorted
+// ascending by id and survive arbitrary update_position churn, which
+// reorders the grid's internal cell vectors via swap-and-pop.
+TEST(SpatialGrid, QueryOrderSortedAndStableUnderChurn) {
+  const Terrain t(200.0, 200.0);
+  des::Rng rng(42);
+  std::vector<Vec2> pts;
+  pts.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    pts.push_back({rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)});
+  }
+  SpatialGrid grid(t, 50.0, pts);
+  // Churn: bounce nodes between cells in an id order chosen to shuffle
+  // every cell's vector, then move them back to their original position.
+  for (std::uint32_t pass = 0; pass < 3; ++pass) {
+    for (std::uint32_t id = 63; id < 64; --id) {
+      grid.update_position(id, {rng.uniform(0.0, 200.0),
+                                rng.uniform(0.0, 200.0)});
+    }
+  }
+  for (std::uint32_t id = 0; id < 64; ++id) {
+    grid.update_position(id, pts[id]);
+  }
+  std::vector<std::uint32_t> out;
+  std::vector<std::uint32_t> again;
+  for (int q = 0; q < 16; ++q) {
+    const Vec2 center{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+    grid.query(center, 75.0, out);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()))
+        << "query " << q << " not sorted by id";
+    grid.query(center, 75.0, again);
+    EXPECT_EQ(out, again) << "query " << q << " not repeatable";
+  }
+}
+
 // Property: grid query equals brute force for random layouts / radii / cell
 // sizes.
 struct GridCase {

@@ -25,15 +25,15 @@ TEST(Gradient, DeliversOnLineTopology) {
   auto tn = rrnet::testing::make_line_net(5);
   attach_gradient(tn);
   int deliveries = 0;
-  net::Packet delivered;
-  tn.node(4).set_delivery_handler([&](const net::Packet& p) {
+  net::PacketRef delivered;
+  tn.node(4).set_delivery_handler([&](const net::PacketRef& p) {
     ++deliveries;
     delivered = p;
   });
   tn.node(0).protocol().send_data(4, 64);
   tn.scheduler.run_until(30.0);
   ASSERT_EQ(deliveries, 1);
-  EXPECT_EQ(delivered.actual_hops, 4u);
+  EXPECT_EQ(delivered.actual_hops(), 4u);
 }
 
 TEST(Gradient, OnlyDownhillNodesForward) {
@@ -67,7 +67,7 @@ TEST(Gradient, MoreDataRelaysThanRoutelessOnDenseNet) {
   auto drive = [&](auto& tn) {
     int deliveries = 0;
     tn.node(target).set_delivery_handler(
-        [&](const net::Packet&) { ++deliveries; });
+        [&](const net::PacketRef&) { ++deliveries; });
     for (int i = 0; i < 5; ++i) {
       tn.scheduler.schedule_at(0.5 * i + 0.1, [&tn, target]() {
         tn.node(0).protocol().send_data(target, 64);
@@ -119,7 +119,7 @@ TEST(Gradient, DeliversOncePerPacket) {
   auto tn = rrnet::testing::make_line_net(4);
   attach_gradient(tn);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   for (int i = 0; i < 4; ++i) {
     tn.scheduler.schedule_at(0.6 * i + 0.1, [&tn]() {
       tn.node(0).protocol().send_data(3, 32);

@@ -103,7 +103,7 @@ class CsmaTest : public ::testing::Test {
     }
   }
 
-  std::shared_ptr<const int> payload() { return std::make_shared<int>(7); }
+  net::PacketRef payload() { return net::make_packet(net::PacketInit{}); }
 
   des::Scheduler scheduler_;
   std::unique_ptr<phy::Channel> channel_;

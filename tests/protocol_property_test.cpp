@@ -167,7 +167,7 @@ TEST(RoutelessSuppression, LateralNodesDoNotRelayData) {
   }
   tn.network->start_protocols();
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   for (int i = 0; i < 6; ++i) {
     tn.scheduler.schedule_at(0.5 + i, [&tn]() {
       tn.node(0).protocol().send_data(3, 64);
@@ -195,7 +195,7 @@ TEST(RoutelessSuppression, PerPacketCostStaysNearPathLength) {
   }
   tn.network->start_protocols();
   int deliveries = 0;
-  tn.node(5).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(5).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   // Warm up tables with one packet, then measure 5 packets.
   tn.node(0).protocol().send_data(5, 64);
   tn.scheduler.run_until(10.0);

@@ -24,17 +24,17 @@ TEST(Routeless, DiscoveryAndDataDeliveryOnLine) {
   auto tn = rrnet::testing::make_line_net(5);
   attach_rr(tn);
   int deliveries = 0;
-  net::Packet delivered;
-  tn.node(4).set_delivery_handler([&](const net::Packet& p) {
+  net::PacketRef delivered;
+  tn.node(4).set_delivery_handler([&](const net::PacketRef& p) {
     ++deliveries;
     delivered = p;
   });
   tn.node(0).protocol().send_data(4, 128);
   tn.scheduler.run_until(20.0);
   ASSERT_EQ(deliveries, 1);
-  EXPECT_EQ(delivered.origin, 0u);
-  EXPECT_EQ(delivered.actual_hops, 4u);  // shortest path on a line
-  EXPECT_EQ(delivered.payload_bytes, 128u);
+  EXPECT_EQ(delivered.origin(), 0u);
+  EXPECT_EQ(delivered.actual_hops(), 4u);  // shortest path on a line
+  EXPECT_EQ(delivered.payload_bytes(), 128u);
 }
 
 TEST(Routeless, ActiveTableLearnsHopDistances) {
@@ -56,7 +56,7 @@ TEST(Routeless, SecondPacketSkipsDiscovery) {
   auto tn = rrnet::testing::make_line_net(4);
   attach_rr(tn);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(3, 64);
   tn.scheduler.run_until(20.0);
   const std::uint64_t discoveries_before =
@@ -92,7 +92,7 @@ TEST(Routeless, SurvivesRelayNodeFailureMidFlow) {
   TestNet tn(positions, 250.0, geom::Terrain(800, 1000));
   attach_rr(tn);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   // Send one packet per second; kill one relay (whichever) at t = 5.5 s.
   for (int i = 0; i < 12; ++i) {
     tn.scheduler.schedule_at(0.5 + i, [&tn]() {
@@ -140,8 +140,8 @@ TEST(Routeless, BidirectionalTrafficBothDirectionsDeliver) {
   auto tn = rrnet::testing::make_line_net(4);
   attach_rr(tn);
   int fwd = 0, rev = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++fwd; });
-  tn.node(0).set_delivery_handler([&](const net::Packet&) { ++rev; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++fwd; });
+  tn.node(0).set_delivery_handler([&](const net::PacketRef&) { ++rev; });
   tn.node(0).protocol().send_data(3, 64);
   tn.scheduler.schedule_at(5.0, [&tn]() {
     tn.node(3).protocol().send_data(0, 64);
@@ -175,7 +175,7 @@ TEST(Routeless, ArbiterRetransmitsWhenRelayUnheard) {
   TestNet tn(positions, 250.0, geom::Terrain(1000, 1000));
   attach_rr(tn, config);
   int deliveries = 0;
-  tn.node(1).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(1).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(1, 64);
   tn.scheduler.run_until(10.0);
   // Adjacent nodes: reply goes straight to the source, data straight to the
@@ -205,7 +205,7 @@ TEST(Routeless, DeliversExactlyOncePerDataPacket) {
   auto tn = rrnet::testing::make_line_net(4);
   attach_rr(tn);
   int deliveries = 0;
-  tn.node(3).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(3).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   for (int i = 0; i < 5; ++i) {
     tn.scheduler.schedule_at(0.5 * i + 0.1, [&tn]() {
       tn.node(0).protocol().send_data(3, 32);
@@ -221,7 +221,7 @@ TEST(Routeless, SsafDiscoveryDelivers) {
   config.ssaf_discovery = true;
   attach_rr(tn, config);
   int deliveries = 0;
-  tn.node(4).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+  tn.node(4).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
   tn.node(0).protocol().send_data(4, 64);
   tn.scheduler.run_until(20.0);
   EXPECT_EQ(deliveries, 1);
@@ -240,7 +240,7 @@ TEST(Routeless, SsafDiscoveryUsesFewerRelaysOnDenseNet) {
     config.ssaf_discovery = ssaf;
     attach_rr(tn, config);
     int deliveries = 0;
-    tn.node(24).set_delivery_handler([&](const net::Packet&) { ++deliveries; });
+    tn.node(24).set_delivery_handler([&](const net::PacketRef&) { ++deliveries; });
     tn.node(0).protocol().send_data(24, 64);
     tn.scheduler.run_until(20.0);
     EXPECT_EQ(deliveries, 1) << "ssaf=" << ssaf;

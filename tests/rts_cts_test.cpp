@@ -58,7 +58,7 @@ class RtsCtsTest : public ::testing::Test {
     }
   }
 
-  std::shared_ptr<const int> payload() { return std::make_shared<int>(1); }
+  net::PacketRef payload() { return net::make_packet(net::PacketInit{}); }
 
   std::unique_ptr<des::Scheduler> scheduler_;
   std::unique_ptr<phy::Channel> channel_;

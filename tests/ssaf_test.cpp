@@ -27,15 +27,15 @@ TEST(Ssaf, DeliversOnLineTopology) {
   auto tn = rrnet::testing::make_line_net(5);
   attach_ssaf(tn);
   int deliveries = 0;
-  net::Packet delivered;
-  tn.node(4).set_delivery_handler([&](const net::Packet& p) {
+  net::PacketRef delivered;
+  tn.node(4).set_delivery_handler([&](const net::PacketRef& p) {
     ++deliveries;
     delivered = p;
   });
   tn.node(0).protocol().send_data(4, 64);
   tn.scheduler.run();
   ASSERT_EQ(deliveries, 1);
-  EXPECT_EQ(delivered.actual_hops, 4u);
+  EXPECT_EQ(delivered.actual_hops(), 4u);
 }
 
 TEST(Ssaf, FartherReceiverRelaysFirst) {
@@ -49,8 +49,8 @@ TEST(Ssaf, FartherReceiverRelaysFirst) {
   config.jitter_fraction = 0.0;
   attach_ssaf(tn, config);
   int probe_deliveries = 0;
-  net::Packet probe_packet;
-  tn.node(3).set_delivery_handler([&](const net::Packet& p) {
+  net::PacketRef probe_packet;
+  tn.node(3).set_delivery_handler([&](const net::PacketRef& p) {
     ++probe_deliveries;
     probe_packet = p;
   });
@@ -58,7 +58,7 @@ TEST(Ssaf, FartherReceiverRelaysFirst) {
   tn.scheduler.run();
   ASSERT_EQ(probe_deliveries, 1);
   // Via the far candidate: exactly 2 hops (0 -> 240 -> 460).
-  EXPECT_EQ(probe_packet.actual_hops, 2u);
+  EXPECT_EQ(probe_packet.actual_hops(), 2u);
 }
 
 TEST(Ssaf, HopCountNoWorseThanCounter1OnAverage) {
@@ -79,8 +79,8 @@ TEST(Ssaf, HopCountNoWorseThanCounter1OnAverage) {
     double hops_sum = 0.0;
     int deliveries = 0;
     for (std::uint32_t sink : {35u, 36u, 37u, 38u, 39u}) {
-      tn.node(sink).set_delivery_handler([&](const net::Packet& p) {
-        hops_sum += p.actual_hops;
+      tn.node(sink).set_delivery_handler([&](const net::PacketRef& p) {
+        hops_sum += p.actual_hops();
         ++deliveries;
       });
     }
