@@ -98,7 +98,7 @@ ElectionOutcome run_election(bool ssaf, std::size_t candidates, double lambda,
   observer.net_ = &network;
   observer.sender_pos = positions[0];
   observer.max_dist = max_dist;
-  network.set_observer(&observer);
+  network.add_observer(&observer);
 
   // Target nobody (kNoNode) so that every candidate treats itself as a
   // potential forwarder and the relay race is a pure leader election.

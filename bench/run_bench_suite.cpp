@@ -18,6 +18,8 @@
 #include <limits>
 #include <new>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "des/quad_heap.hpp"
@@ -26,6 +28,7 @@
 #include "des/timer.hpp"
 #include "geom/placement.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "phy/channel.hpp"
 #include "phy/propagation.hpp"
 #include "sim/runner.hpp"
@@ -82,6 +85,10 @@ struct BenchResult {
   double best_round_ns = 0.0;  ///< fastest round's ns/event (noise floor)
   std::uint64_t allocations = 0;
   std::uint64_t alloc_bytes = 0;
+  /// Deterministic per-layer counters (scenario benches only): lets
+  /// check_bench.py flag behaviour drift (e.g. a retry storm) that does not
+  /// show up as a timing regression.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 
   [[nodiscard]] double events_per_sec() const {
     return best_round_ns > 0.0 ? 1e9 / best_round_ns : 0.0;
@@ -362,10 +369,24 @@ BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
   config.traffic_stop = 6.0;
   config.sim_end = 10.0;
   config.seed = 42;
-  return measure(name, 1.0, [&]() {
-    const sim::ScenarioResult r = sim::run_scenario(config);
-    return r.events_executed;
+  sim::ScenarioResult last;
+  BenchResult bench = measure(name, 1.0, [&]() {
+    last = sim::run_scenario(config);
+    return last.events_executed;
   });
+  // Counters are deterministic per seed, so the last round's snapshot is
+  // representative. Pool counters are excluded: they depend on how many
+  // rounds ran on this thread before (warm arenas), not on the scenario.
+  namespace m = rrnet::obs::metric;
+  for (const std::string_view key :
+       {m::kPhyDropCollision, m::kPhyDropBelowSensitivity, m::kMacRetries,
+        m::kMacBackoffs, m::kNetTxControl, m::kNetDupCacheHits,
+        m::kElectionWon, m::kDesEventsExecuted}) {
+    if (last.metrics.contains(key)) {
+      bench.counters.emplace_back(std::string(key), last.metrics.value(key));
+    }
+  }
+  return bench;
 }
 
 void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
@@ -383,15 +404,25 @@ void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
                   "    {\"name\": \"%s\", \"events\": %llu, \"seconds\": "
                   "%.6f, \"events_per_sec\": %.1f, \"ns_per_event\": %.2f, "
                   "\"allocations\": %llu, \"allocs_per_event\": %.4f, "
-                  "\"alloc_bytes\": %llu}%s\n",
+                  "\"alloc_bytes\": %llu",
                   r.name.c_str(),
                   static_cast<unsigned long long>(r.events), r.seconds,
                   r.events_per_sec(), r.ns_per_event(),
                   static_cast<unsigned long long>(r.allocations),
                   r.allocs_per_event(),
-                  static_cast<unsigned long long>(r.alloc_bytes),
-                  i + 1 < rs.size() ? "," : "");
+                  static_cast<unsigned long long>(r.alloc_bytes));
     os << buf;
+    if (!r.counters.empty()) {
+      os << ", \"counters\": {";
+      for (std::size_t c = 0; c < r.counters.size(); ++c) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu",
+                      c > 0 ? ", " : "", r.counters[c].first.c_str(),
+                      static_cast<unsigned long long>(r.counters[c].second));
+        os << buf;
+      }
+      os << "}";
+    }
+    os << "}" << (i + 1 < rs.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }

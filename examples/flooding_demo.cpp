@@ -67,7 +67,7 @@ FloodOutcome run_flood(bool ssaf, std::uint64_t seed, bool verbose) {
   observer.out = &outcome;
   observer.net_ = &network;
   observer.verbose = verbose;
-  network.set_observer(&observer);
+  network.add_observer(&observer);
 
   network.node(59).set_delivery_handler([&](const net::PacketRef& packet) {
     outcome.delivered_hops = packet.actual_hops();

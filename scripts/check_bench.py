@@ -13,6 +13,13 @@ benchmark regresses beyond the tolerance band:
   * allocs_per_event may grow at most ALLOC_TOLERANCE (absolute) — alloc
     counts are deterministic, so the band only absorbs warmup rounding.
 
+Scenario benchmarks additionally carry a "counters" object of deterministic
+per-layer counters (drops, retries, control tx, ...). Counters present on
+BOTH sides must agree within COUNTER_TOLERANCE (relative): a behaviour
+change — say a retry storm from a broken backoff — is a regression even if
+the run is not slower. Counters on only one side are ignored, so older
+baselines without counters still gate on time/allocations alone.
+
 Benchmarks present on only one side are reported but never fail the gate,
 so adding a benchmark does not require lockstep baseline updates.
 """
@@ -21,8 +28,9 @@ import json
 import sys
 from pathlib import Path
 
-TIME_TOLERANCE = 0.35   # +35% ns/event before we call it a regression
-ALLOC_TOLERANCE = 0.02  # +0.02 allocs/event absolute
+TIME_TOLERANCE = 0.35     # +35% ns/event before we call it a regression
+ALLOC_TOLERANCE = 0.02    # +0.02 allocs/event absolute
+COUNTER_TOLERANCE = 0.10  # +/-10% relative drift per behaviour counter
 
 
 def load(path):
@@ -72,6 +80,17 @@ def main(argv):
                 f"{name}: {got_allocs:.4f} allocs/ev exceeds "
                 f"{base_allocs:.4f} +{ALLOC_TOLERANCE} = {alloc_limit:.4f}"
             )
+        base_counters = base.get("counters", {})
+        got_counters = got.get("counters", {})
+        for key in sorted(set(base_counters) & set(got_counters)):
+            b, g = base_counters[key], got_counters[key]
+            band = max(abs(b) * COUNTER_TOLERANCE, 1.0)
+            if abs(g - b) > band:
+                verdict = "REGRESSION(counter)"
+                failures.append(
+                    f"{name}: counter {key} = {g} drifted from baseline "
+                    f"{b} (band +/-{band:.1f})"
+                )
         print(
             f"  [{verdict:>17}] {name}: {got_ns:8.1f} ns/ev "
             f"(base {base_ns:8.1f}), {got_allocs:.4f} allocs/ev "

@@ -4,14 +4,14 @@ namespace rrnet::app {
 
 void FlowStats::record_sent(std::uint64_t uid, des::Time /*now*/) {
   ++sent_;
-  outstanding_.insert(uid);
+  outstanding_.observe(uid);
 }
 
 void FlowStats::record_delivered(const net::PacketRef& packet, des::Time now) {
-  if (!seen_uids_.insert(packet.uid()).second) return;  // duplicate delivery
+  if (!seen_uids_.observe(packet.uid())) return;  // duplicate delivery
   // Only count deliveries of packets we saw depart; protocols may also
   // deliver control traffic through the same handler in exotic setups.
-  if (outstanding_.erase(packet.uid()) == 0) return;
+  if (!outstanding_.erase(packet.uid())) return;
   ++delivered_;
   delay_.add(now - packet.created_at());
   hops_.add(static_cast<double>(packet.actual_hops()));

@@ -2,9 +2,18 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace rrnet::core {
+
+void snapshot_metrics(const ArbiterStats& stats, obs::MetricRegistry& reg) {
+  namespace m = obs::metric;
+  reg.add(m::kArbiterWatches, stats.watches);
+  reg.add(m::kArbiterRelaysHeard, stats.relays_heard);
+  reg.add(m::kArbiterRetransmits, stats.retransmits);
+  reg.add(m::kArbiterGaveUp, stats.gave_up);
+}
 
 void Arbiter::watch(std::uint64_t key, Callbacks callbacks) {
   RRNET_EXPECTS(callbacks.retransmit != nullptr);
@@ -28,6 +37,8 @@ void Arbiter::arm_timer(std::uint64_t key, Watch& watch) {
     }
     ++w.retransmits_used;
     ++stats_.retransmits;
+    RRNET_TRACE_EVENT(obs::EventKind::ArbiterRetransmit, scheduler_->now(),
+                      obs::kNoTraceNode, key, w.retransmits_used);
     // Move the callback out: retransmit() may synchronously re-enter
     // watch() and invalidate `w`. If the watch survives with its slot
     // still empty (no re-entrant watch() replaced it), move it back so
@@ -47,6 +58,8 @@ bool Arbiter::relay_heard(std::uint64_t key) {
   const auto it = watches_.find(key);
   if (it == watches_.end()) return false;
   ++stats_.relays_heard;
+  RRNET_TRACE_EVENT(obs::EventKind::ArbiterAck, scheduler_->now(),
+                    obs::kNoTraceNode, key, 0);
   auto send_ack = std::move(it->second.callbacks.send_ack);
   watches_.erase(it);
   send_ack();

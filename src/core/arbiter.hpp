@@ -15,6 +15,7 @@
 
 #include "des/inline_callback.hpp"
 #include "des/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace rrnet::core {
 
@@ -29,6 +30,10 @@ struct ArbiterStats {
   std::uint64_t retransmits = 0;
   std::uint64_t gave_up = 0;
 };
+
+/// Accumulate arbiter counters into a registry under the obs::metric
+/// arbiter.* names (protocols call this from their snapshot_metrics).
+void snapshot_metrics(const ArbiterStats& stats, obs::MetricRegistry& reg);
 
 class Arbiter {
  public:

@@ -2,9 +2,19 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace rrnet::core {
+
+void snapshot_metrics(const ElectionStats& stats, obs::MetricRegistry& reg) {
+  namespace m = obs::metric;
+  reg.add(m::kElectionArmed, stats.armed);
+  reg.add(m::kElectionWon, stats.won);
+  reg.add(m::kElectionCancelledDuplicate, stats.cancelled_duplicate);
+  reg.add(m::kElectionCancelledAck, stats.cancelled_ack);
+  reg.add(m::kElectionCancelledSuperseded, stats.cancelled_superseded);
+}
 
 void ElectionSession::arm_impl(const BackoffPolicy& policy,
                                const ElectionContext& context, des::Rng& rng,
@@ -35,11 +45,15 @@ void ElectionTable::arm(std::uint64_t key, const BackoffPolicy& policy,
                         ElectionSession::WinHandler on_win) {
   auto [it, inserted] = sessions_.try_emplace(key, *scheduler_);
   ++stats_.armed;
+  RRNET_TRACE_EVENT(obs::EventKind::ElectionArm, scheduler_->now(),
+                    obs::kNoTraceNode, key, 0);
   it->second.arm_impl(policy, context, rng, std::move(on_win), this, key);
 }
 
 void ElectionTable::session_won(std::uint64_t key) {
   ++stats_.won;
+  RRNET_TRACE_EVENT(obs::EventKind::ElectionWin, scheduler_->now(),
+                    obs::kNoTraceNode, key, 0);
   // Erase before the handler runs: the handler may re-arm the key.
   sessions_.erase(key);
 }
@@ -50,6 +64,9 @@ bool ElectionTable::cancel(std::uint64_t key, CancelReason reason) {
   const bool was_pending = it->second.cancel();
   sessions_.erase(it);
   if (was_pending) {
+    RRNET_TRACE_EVENT(obs::EventKind::ElectionCancel, scheduler_->now(),
+                      obs::kNoTraceNode, key,
+                      static_cast<std::uint16_t>(reason));
     switch (reason) {
       case CancelReason::DuplicateHeard: ++stats_.cancelled_duplicate; break;
       case CancelReason::ArbiterAck: ++stats_.cancelled_ack; break;

@@ -19,6 +19,7 @@
 #include "core/backoff_policy.hpp"
 #include "des/inline_callback.hpp"
 #include "des/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace rrnet::core {
 
@@ -38,6 +39,10 @@ struct ElectionStats {
   std::uint64_t cancelled_ack = 0;
   std::uint64_t cancelled_superseded = 0;
 };
+
+/// Accumulate election counters into a registry under the obs::metric
+/// election.* names (protocols call this from their snapshot_metrics).
+void snapshot_metrics(const ElectionStats& stats, obs::MetricRegistry& reg);
 
 class ElectionSession {
  public:

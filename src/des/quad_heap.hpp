@@ -38,6 +38,9 @@ class QuadHeap {
 
   [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  /// Deepest the heap has ever been — queue-pressure introspection for the
+  /// scheduler and MAC queues (obs::MetricRegistry gauges).
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
   void reserve(std::size_t n) { items_.reserve(n); }
   void clear() noexcept { items_.clear(); }
 
@@ -46,6 +49,7 @@ class QuadHeap {
 
   void push(T item) {
     items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
     sift_up(items_.size() - 1);
   }
 
@@ -99,6 +103,7 @@ class QuadHeap {
   }
 
   std::vector<T> items_;
+  std::size_t high_water_ = 0;
   [[no_unique_address]] Before before_{};
 };
 

@@ -2,7 +2,12 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
+
+#ifdef RRNET_TRACE
+#include <chrono>
+#endif
 
 namespace rrnet::des {
 
@@ -72,6 +77,22 @@ bool Scheduler::step() {
   free_slots_.push_back(top.slot);
   --live_;
   ++executed_;
+#ifdef RRNET_TRACE
+  // Handler spans: simulated timestamp + wall-clock cost of one callback.
+  // Only measured while a tracer is installed and enabled, so the
+  // steady-state cost of a traced build without capture is one TLS load.
+  if (obs::EventTracer* tracer = obs::thread_tracer();
+      tracer != nullptr && tracer->enabled()) {
+    const auto wall0 = std::chrono::steady_clock::now();
+    cb();
+    const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - wall0)
+                             .count();
+    tracer->record(obs::EventKind::HandlerSpan, now_, obs::kNoTraceNode,
+                   static_cast<std::uint64_t>(wall_ns));
+    return true;
+  }
+#endif
   cb();
   return true;
 }

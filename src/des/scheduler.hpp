@@ -62,6 +62,10 @@ class Scheduler {
   [[nodiscard]] std::uint64_t executed_count() const noexcept {
     return executed_;
   }
+  /// Deepest the event heap has ever been (queue-pressure gauge).
+  [[nodiscard]] std::size_t heap_high_water() const noexcept {
+    return heap_.high_water();
+  }
 
  private:
   struct HeapEntry {

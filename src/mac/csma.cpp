@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 #include <cstdio>
@@ -48,6 +49,9 @@ void CsmaMac::send(std::uint32_t dst, net::PacketRef packet,
   frame.payload = std::move(packet);
   if (!queue_.push(QueuedFrame{frame, priority})) {
     ++stats_.queue_drops;
+    RRNET_TRACE_EVENT(obs::EventKind::MacDrop, scheduler_->now(), node_id_,
+                      frame.payload ? frame.payload.uid() : 0u,
+                      obs::DropReason::QueueOverflow);
     listener_->mac_send_done(frame, false);
     return;
   }
@@ -90,6 +94,8 @@ void CsmaMac::start_backoff() {
   if (slots_left_ == 0) {
     slots_left_ = static_cast<std::uint32_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(cw_) - 1));
+    ++stats_.backoffs;
+    stats_.backoff_slots.observe(slots_left_);
   }
   state_ = TxState::Backoff;
   if (slots_left_ == 0) {
@@ -314,6 +320,10 @@ void CsmaMac::handle_ack_timeout() {
   ++attempt_;
   if (attempt_ > params_.max_retries) {
     ++stats_.unicast_failures;
+    RRNET_TRACE_EVENT(obs::EventKind::MacDrop, scheduler_->now(), node_id_,
+                      current_->frame.payload ? current_->frame.payload.uid()
+                                              : 0u,
+                      obs::DropReason::RetriesExhausted);
     finish_current(false);
     return;
   }

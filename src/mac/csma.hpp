@@ -10,6 +10,7 @@
 #include "des/timer.hpp"
 #include "mac/frame.hpp"
 #include "mac/priority_queue.hpp"
+#include "obs/metrics.hpp"
 #include "phy/channel.hpp"
 #include "util/pool.hpp"
 
@@ -39,10 +40,12 @@ struct MacStats {
   std::uint64_t cts_tx = 0;
   std::uint64_t cts_timeouts = 0;
   std::uint64_t nav_deferrals = 0;  ///< attempts deferred by a foreign NAV
+  std::uint64_t backoffs = 0;       ///< fresh backoff draws (not resumptions)
   std::uint64_t retries = 0;
   std::uint64_t unicast_failures = 0;  ///< retries exhausted
   std::uint64_t queue_drops = 0;
   std::uint64_t tx_dropped_radio_off = 0;
+  obs::Histogram backoff_slots;  ///< distribution of drawn backoff slots
   [[nodiscard]] std::uint64_t total_tx() const noexcept {
     return data_tx + ack_tx + rts_tx + cts_tx;
   }
@@ -81,6 +84,10 @@ class CsmaMac final : public phy::RadioListener, public util::PoolAllocated {
   [[nodiscard]] std::uint32_t node_id() const noexcept { return node_id_; }
   [[nodiscard]] std::size_t queue_length() const noexcept {
     return queue_.size();
+  }
+  /// Deepest the net->MAC queue has ever been (congestion gauge).
+  [[nodiscard]] std::size_t queue_high_water() const noexcept {
+    return queue_.high_water();
   }
   [[nodiscard]] const MacParams& params() const noexcept { return params_; }
 

@@ -41,6 +41,10 @@ class TxQueue {
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  /// Deepest the queue has ever been (congestion gauge).
+  [[nodiscard]] std::size_t high_water() const noexcept {
+    return entries_.high_water();
+  }
   [[nodiscard]] bool prioritized() const noexcept { return prioritized_; }
 
  private:

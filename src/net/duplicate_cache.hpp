@@ -13,9 +13,16 @@
 #pragma once
 
 #include <cstdint>
+#include "obs/metrics.hpp"
 #include "util/pooled_containers.hpp"
 
 namespace rrnet::net {
+
+/// Lifetime counters for one cache (suppression pressure + window misses).
+struct DuplicateCacheStats {
+  std::uint64_t hits = 0;       ///< observations of already-known keys
+  std::uint64_t evictions = 0;  ///< keys pushed out by the capacity bound
+};
 
 class DuplicateCache {
  public:
@@ -29,9 +36,14 @@ class DuplicateCache {
   [[nodiscard]] bool seen(std::uint64_t key) const;
   /// Number of observations of `key` still in the cache (0 if unknown).
   [[nodiscard]] std::uint32_t count(std::uint64_t key) const;
+  /// Drop `key` outright (no eviction counted). Returns true iff present.
+  bool erase(std::uint64_t key);
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const DuplicateCacheStats& stats() const noexcept {
+    return stats_;
+  }
 
  private:
   struct Entry {
@@ -42,6 +54,11 @@ class DuplicateCache {
   std::size_t capacity_;
   util::PooledUnorderedMap<std::uint64_t, Entry> entries_;
   util::PooledList<std::uint64_t> order_;  ///< front = least recently observed
+  DuplicateCacheStats stats_;
 };
+
+/// Accumulate one cache's counters into a registry under the obs::metric
+/// net.dup_cache_* names (protocols call this per cache they own).
+void snapshot_metrics(const DuplicateCache& cache, obs::MetricRegistry& reg);
 
 }  // namespace rrnet::net

@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace rrnet::net {
@@ -41,6 +43,67 @@ std::uint64_t Network::total_mac_tx() const noexcept {
   std::uint64_t total = 0;
   for (const auto& node : nodes_) total += node->mac().stats().total_tx();
   return total;
+}
+
+void Network::add_observer(PacketObserver* observer) {
+  RRNET_EXPECTS(observer != nullptr);
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    return;  // already registered; keep notification order stable
+  }
+  observers_.push_back(observer);
+}
+
+void Network::remove_observer(PacketObserver* observer) noexcept {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+void Network::snapshot_metrics(obs::MetricRegistry& reg) const {
+  namespace m = obs::metric;
+  const phy::ChannelStats& ch = channel_->stats();
+  reg.add(m::kPhyTransmissions, ch.transmissions);
+  reg.add(m::kPhyDeliveries, ch.deliveries);
+
+  obs::Histogram backoff_slots;
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    const Node& node = *nodes_[id];
+    const phy::TransceiverStats& phy = channel_->transceiver(id).stats();
+    reg.add(m::kPhyTxFrames, phy.frames_sent);
+    reg.add(m::kPhySignalsArrived, phy.signals_arrived);
+    reg.add(m::kPhyRxDecoded, phy.frames_decoded);
+    reg.add(m::kPhyDropCollision, phy.frames_collided);
+    reg.add(m::kPhyDropRxWhileBusy, phy.frames_missed_busy);
+    reg.add(m::kPhyDropBelowSensitivity, phy.frames_below_threshold);
+    reg.add(m::kPhyDropWhileOff, phy.frames_while_off);
+    reg.add(m::kPhyTxDroppedOff, phy.tx_dropped_off);
+
+    const mac::MacStats& mac = node.mac().stats();
+    reg.add(m::kMacDataTx, mac.data_tx);
+    reg.add(m::kMacAckTx, mac.ack_tx);
+    reg.add(m::kMacRtsTx, mac.rts_tx);
+    reg.add(m::kMacCtsTx, mac.cts_tx);
+    reg.add(m::kMacBackoffs, mac.backoffs);
+    reg.add(m::kMacRetries, mac.retries);
+    reg.add(m::kMacCtsTimeouts, mac.cts_timeouts);
+    reg.add(m::kMacNavDeferrals, mac.nav_deferrals);
+    reg.add(m::kMacUnicastFailures, mac.unicast_failures);
+    reg.add(m::kMacQueueDrops, mac.queue_drops);
+    reg.add(m::kMacTxDroppedRadioOff, mac.tx_dropped_radio_off);
+    reg.set_max(m::kMacQueueHighWater, node.mac().queue_high_water());
+    backoff_slots.merge(mac.backoff_slots);
+
+    const NodeStats& net = node.stats();
+    reg.add(m::kNetTxData, net.data_tx);
+    reg.add(m::kNetTxControl, net.control_tx);
+    reg.add(m::kNetDelivered, net.delivered);
+
+    if (node.has_protocol()) node.protocol().snapshot_metrics(reg);
+  }
+  if (!backoff_slots.empty()) {
+    backoff_slots.snapshot_into(reg, m::kMacBackoffSlots);
+  }
 }
 
 }  // namespace rrnet::net

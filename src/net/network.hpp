@@ -10,6 +10,7 @@
 #include "geom/terrain.hpp"
 #include "mac/csma.hpp"
 #include "net/node.hpp"
+#include "obs/metrics.hpp"
 #include "phy/channel.hpp"
 
 namespace rrnet::net {
@@ -39,19 +40,28 @@ class Network {
   /// Fresh globally unique packet uid.
   [[nodiscard]] std::uint64_t next_packet_uid() noexcept { return ++last_uid_; }
 
-  /// Observer for tracing (may be null). Not owned.
-  void set_observer(PacketObserver* observer) noexcept { observer_ = observer; }
-  [[nodiscard]] PacketObserver* observer() const noexcept { return observer_; }
+  /// Observers for tracing (not owned). Multiple observers may watch the
+  /// same network — e.g. a PathTrace plus an ad-hoc counter in a test; all
+  /// are notified in registration order on every tx/delivery.
+  void add_observer(PacketObserver* observer);
+  void remove_observer(PacketObserver* observer) noexcept;
+  [[nodiscard]] const std::vector<PacketObserver*>& observers() const noexcept {
+    return observers_;
+  }
 
   /// Total MAC transmissions (data + ACK) across all nodes — the paper's
   /// "Number of MAC Packets" metric.
   [[nodiscard]] std::uint64_t total_mac_tx() const noexcept;
 
+  /// Dump every layer's counters (PHY, MAC, net, per-protocol) into `reg`.
+  /// Pure observation: never mutates simulation state.
+  void snapshot_metrics(obs::MetricRegistry& reg) const;
+
  private:
   des::Scheduler* scheduler_;
   std::unique_ptr<phy::Channel> channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  PacketObserver* observer_ = nullptr;
+  std::vector<PacketObserver*> observers_;
   std::uint64_t last_uid_ = 0;
 };
 

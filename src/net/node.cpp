@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/pool.hpp"
 
@@ -32,14 +33,24 @@ Protocol& Node::protocol() const {
 
 void Node::send_packet(const PacketRef& packet, std::uint32_t mac_dst,
                        double priority) {
-  if (PacketObserver* obs = network_->observer()) {
+  if (packet.type() == PacketType::Data) {
+    ++stats_.data_tx;
+  } else {
+    ++stats_.control_tx;
+  }
+  RRNET_TRACE_EVENT(obs::EventKind::NetSend, scheduler().now(), id_,
+                    packet.uid(), static_cast<std::uint16_t>(packet.type()));
+  for (PacketObserver* obs : network_->observers()) {
     obs->on_network_tx(id_, packet);
   }
   mac_->send(mac_dst, packet, packet.size_bytes(), priority);
 }
 
 void Node::deliver_to_app(const PacketRef& packet) {
-  if (PacketObserver* obs = network_->observer()) {
+  ++stats_.delivered;
+  RRNET_TRACE_EVENT(obs::EventKind::NetDeliver, scheduler().now(), id_,
+                    packet.uid(), static_cast<std::uint16_t>(packet.type()));
+  for (PacketObserver* obs : network_->observers()) {
     obs->on_delivered(id_, packet);
   }
   if (delivery_handler_) delivery_handler_(packet);

@@ -32,6 +32,15 @@ class PacketObserver {
   }
 };
 
+/// Per-node network-layer counters. Control = every non-Data packet type
+/// (discovery floods, replies, net-acks, route maintenance) — the overhead
+/// side of the paper's control-vs-data split.
+struct NodeStats {
+  std::uint64_t data_tx = 0;
+  std::uint64_t control_tx = 0;
+  std::uint64_t delivered = 0;
+};
+
 class Node final : public mac::MacListener, public util::PoolAllocated {
  public:
   Node(Network& network, std::uint32_t id, const mac::MacParams& mac_params,
@@ -68,6 +77,8 @@ class Node final : public mac::MacListener, public util::PoolAllocated {
     delivery_handler_ = std::move(handler);
   }
 
+  [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
+
   // mac::MacListener
   void mac_receive(const mac::Frame& frame, const phy::RxInfo& info,
                    bool for_us) override;
@@ -80,6 +91,7 @@ class Node final : public mac::MacListener, public util::PoolAllocated {
   std::unique_ptr<mac::CsmaMac> mac_;
   std::unique_ptr<Protocol> protocol_;
   DeliveryHandler delivery_handler_;
+  NodeStats stats_;
 };
 
 }  // namespace rrnet::net

@@ -4,18 +4,17 @@
 
 namespace rrnet::net {
 
-namespace {
 /// The calling thread's PacketBuffer arena. A dedicated pool (rather than
 /// the size-class pools) keeps buffer churn — the single hottest
 /// allocation in a flood — a branch-free pop/push on a uniform free list.
-util::PayloadPool& buffer_pool() {
+/// Exposed (read-mostly) so the sim layer can report occupancy metrics.
+util::PayloadPool& packet_buffer_pool() noexcept {
   thread_local util::PayloadPool pool;
   return pool;
 }
-}  // namespace
 
 PacketBuffer* PacketBuffer::create(PacketInit&& init) {
-  void* slot = buffer_pool().allocate(sizeof(PacketBuffer));
+  void* slot = packet_buffer_pool().allocate(sizeof(PacketBuffer));
   return ::new (slot) PacketBuffer(std::move(init));
 }
 

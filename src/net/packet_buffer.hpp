@@ -385,6 +385,10 @@ class PacketRef {
 /// of the returned ref for the packet's whole network lifetime.
 [[nodiscard]] PacketRef make_packet(PacketInit init);
 
+/// The calling thread's dedicated PacketBuffer arena (introspection: the
+/// sim layer snapshots its occupancy/alloc counters into run metrics).
+[[nodiscard]] util::PayloadPool& packet_buffer_pool() noexcept;
+
 static_assert(sizeof(PacketRef) <= 24,
               "PacketRef must stay small enough for InlineFunction captures");
 static_assert(std::is_nothrow_move_constructible_v<PacketRef>);

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "net/packet_buffer.hpp"
+#include "obs/metrics.hpp"
 #include "util/pool.hpp"
 #include "phy/radio.hpp"
 
@@ -47,6 +48,11 @@ class Protocol : public util::PoolAllocated {
 
   /// Human-readable protocol name for reports.
   [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Dump protocol-level counters (elections, duplicate caches, ...) into
+  /// `reg` using the obs::metric vocabulary. Called once at end-of-run by
+  /// Network::snapshot_metrics; must not mutate protocol state.
+  virtual void snapshot_metrics(obs::MetricRegistry& reg) const { (void)reg; }
 
   [[nodiscard]] Node& node() const noexcept { return *node_; }
 

@@ -1,0 +1,80 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace rrnet::obs {
+
+void MetricRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{MetricKind::Counter, 0})
+             .first;
+  }
+  it->second.value += delta;
+}
+
+void MetricRegistry::set_max(std::string_view name, std::uint64_t value) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    entries_.emplace(std::string(name), Entry{MetricKind::Gauge, value});
+    return;
+  }
+  it->second.kind = MetricKind::Gauge;
+  it->second.value = std::max(it->second.value, value);
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [name, entry] : other.entries_) {
+    if (entry.kind == MetricKind::Gauge) {
+      set_max(name, entry.value);
+    } else {
+      add(name, entry.value);
+    }
+  }
+}
+
+std::uint64_t MetricRegistry::value(std::string_view name) const noexcept {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0u : it->second.value;
+}
+
+bool MetricRegistry::contains(std::string_view name) const noexcept {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<Metric> MetricRegistry::snapshot() const {
+  std::vector<Metric> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(Metric{name, entry.kind, entry.value});
+  }
+  return out;
+}
+
+std::uint64_t Histogram::quantile_bound(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      // Exclusive upper bound of bucket b: bucket 0 holds {0, 1}, bucket
+      // b >= 1 holds [2^b, 2^(b+1)).
+      return b == 0 ? 1u : (std::uint64_t{1} << (b + 1));
+    }
+  }
+  return std::uint64_t{1} << kBuckets;
+}
+
+void Histogram::snapshot_into(MetricRegistry& registry,
+                              std::string_view prefix) const {
+  const std::string base(prefix);
+  registry.add(base + ".count", count_);
+  registry.add(base + ".sum", sum_);
+  registry.set_max(base + ".p50", quantile_bound(0.50));
+  registry.set_max(base + ".p99", quantile_bound(0.99));
+}
+
+}  // namespace rrnet::obs

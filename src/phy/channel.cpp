@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace rrnet::phy {
@@ -64,7 +65,10 @@ bool Channel::transmit(const Airframe& frame) {
   const geom::Vec2 origin = grid_.position(frame.sender);
   sender.begin_transmit(frame.id);
   ++stats_.transmissions;
+  RRNET_TRACE_EVENT(obs::EventKind::PhyTxStart, scheduler_->now(),
+                    frame.sender, frame.id, 0);
   scheduler_->schedule_in(duration, [this, id = frame.id, s = frame.sender]() {
+    RRNET_TRACE_EVENT(obs::EventKind::PhyTxEnd, scheduler_->now(), s, id, 0);
     transceivers_[s]->end_transmit(id, scheduler_->now());
   });
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "phy/units.hpp"
 #include "util/contracts.hpp"
 
@@ -63,8 +64,11 @@ void Transceiver::end_transmit(std::uint64_t frame_id, des::Time /*now*/) {
 
 void Transceiver::signal_arrives(const Airframe& frame, double power_dbm,
                                  des::Time now, des::Time end_time) {
+  ++stats_.signals_arrived;
   if (state_ == RadioState::Off) {
     ++stats_.frames_while_off;
+    RRNET_TRACE_EVENT(obs::EventKind::PhyDrop, now, node_id_, frame.id,
+                      obs::DropReason::RadioOff);
     return;
   }
   const double power_mw = dbm_to_mw(power_dbm);
@@ -83,11 +87,17 @@ void Transceiver::signal_arrives(const Airframe& frame, double power_dbm,
       locked_start_ = now;
     } else {
       ++stats_.frames_collided;
+      RRNET_TRACE_EVENT(obs::EventKind::PhyDrop, now, node_id_, frame.id,
+                        obs::DropReason::Collision);
     }
   } else if (decodable) {
     ++stats_.frames_missed_busy;
+    RRNET_TRACE_EVENT(obs::EventKind::PhyDrop, now, node_id_, frame.id,
+                      obs::DropReason::RxWhileBusy);
   } else {
     ++stats_.frames_below_threshold;
+    RRNET_TRACE_EVENT(obs::EventKind::PhyDrop, now, node_id_, frame.id,
+                      obs::DropReason::BelowSensitivity);
   }
 
   // New interference may corrupt the frame currently being decoded.
@@ -116,12 +126,16 @@ void Transceiver::signal_ends(const Airframe& frame, des::Time now) {
     if (state_ == RadioState::Rx) set_state(RadioState::Idle);
     if (ok) {
       ++stats_.frames_decoded;
+      RRNET_TRACE_EVENT(obs::EventKind::PhyRxDecoded, now, node_id_, frame.id,
+                        0);
       if (listener_ != nullptr) {
         listener_->on_receive(frame,
                               RxInfo{locked_power_dbm_, locked_start_, now});
       }
     } else {
       ++stats_.frames_collided;
+      RRNET_TRACE_EVENT(obs::EventKind::PhyDrop, now, node_id_, frame.id,
+                        obs::DropReason::Collision);
     }
   }
   recompute_busy();

@@ -16,9 +16,17 @@
 
 namespace rrnet::phy {
 
-/// Per-transceiver reception counters.
+/// Per-transceiver reception counters. Every arrival bumps
+/// `signals_arrived` and resolves into exactly one terminal outcome
+/// (decoded / collided / missed_busy / below_threshold / while_off) — or
+/// none when the radio is switched off mid-reception — so
+///   decoded + collided + missed_busy + below_threshold + while_off
+///     <= signals_arrived
+/// holds by construction (the rx + drops <= potential-receptions
+/// consistency invariant checked in tests/obs_test.cpp).
 struct TransceiverStats {
   std::uint64_t frames_sent = 0;
+  std::uint64_t signals_arrived = 0;    ///< all arrivals, however they end
   std::uint64_t frames_decoded = 0;
   std::uint64_t frames_collided = 0;    ///< locked but SINR dropped
   std::uint64_t frames_missed_busy = 0; ///< arrived while Tx/Rx-locked

@@ -387,4 +387,12 @@ void AodvProtocol::on_packet(const net::PacketRef& packet,
   }
 }
 
+
+void AodvProtocol::snapshot_metrics(obs::MetricRegistry& reg) const {
+  core::snapshot_metrics(rreq_elections_.stats(), reg);
+  net::snapshot_metrics(rreq_seen_, reg);
+  net::snapshot_metrics(rerr_seen_, reg);
+  net::snapshot_metrics(delivered_, reg);
+}
+
 }  // namespace rrnet::proto

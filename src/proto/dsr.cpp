@@ -351,4 +351,11 @@ void DsrProtocol::on_packet(const net::PacketRef& packet,
   }
 }
 
+
+void DsrProtocol::snapshot_metrics(obs::MetricRegistry& reg) const {
+  net::snapshot_metrics(rreq_seen_, reg);
+  net::snapshot_metrics(rerr_seen_, reg);
+  net::snapshot_metrics(delivered_, reg);
+}
+
 }  // namespace rrnet::proto

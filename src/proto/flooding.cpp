@@ -119,4 +119,10 @@ void FloodingProtocol::on_packet(const net::PacketRef& packet,
   }
 }
 
+
+void FloodingProtocol::snapshot_metrics(obs::MetricRegistry& reg) const {
+  core::snapshot_metrics(elections_.stats(), reg);
+  net::snapshot_metrics(seen_, reg);
+}
+
 }  // namespace rrnet::proto

@@ -56,6 +56,7 @@ class FloodingProtocol : public net::Protocol {
   std::uint64_t send_data(std::uint32_t target,
                           std::uint32_t payload_bytes) override;
   const char* name() const noexcept override { return "flooding"; }
+  void snapshot_metrics(obs::MetricRegistry& reg) const override;
 
   [[nodiscard]] const FloodingStats& flood_stats() const noexcept {
     return stats_;

@@ -218,4 +218,11 @@ void GradientProtocol::on_packet(const net::PacketRef& packet,
   }
 }
 
+
+void GradientProtocol::snapshot_metrics(obs::MetricRegistry& reg) const {
+  net::snapshot_metrics(seen_, reg);
+  net::snapshot_metrics(relayed_, reg);
+  net::snapshot_metrics(delivered_, reg);
+}
+
 }  // namespace rrnet::proto

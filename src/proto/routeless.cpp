@@ -458,4 +458,12 @@ void RoutelessProtocol::on_packet(const net::PacketRef& packet,
   }
 }
 
+
+void RoutelessProtocol::snapshot_metrics(obs::MetricRegistry& reg) const {
+  core::snapshot_metrics(elections_.stats(), reg);
+  core::snapshot_metrics(arbiter_.stats(), reg);
+  net::snapshot_metrics(seen_, reg);
+  net::snapshot_metrics(delivered_, reg);
+}
+
 }  // namespace rrnet::proto

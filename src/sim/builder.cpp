@@ -6,8 +6,22 @@
 #include "sim/topology.hpp"
 #include "proto/flooding.hpp"
 #include "util/contracts.hpp"
+#include "util/pool.hpp"
 
 namespace rrnet::sim {
+
+namespace {
+
+/// Walk the calling thread's object size-class pools.
+template <typename Fn>
+void for_each_object_pool(Fn&& fn) {
+  for (std::size_t bytes = util::kSizeClassStep; bytes <= util::kSizeClassMax;
+       bytes += util::kSizeClassStep) {
+    fn(util::sized_pool(bytes));
+  }
+}
+
+}  // namespace
 
 std::unique_ptr<phy::PropagationModel> SimInstance::make_propagation(
     const ScenarioConfig& config) {
@@ -78,6 +92,32 @@ void SimInstance::attach_protocol(const ScenarioConfig& config,
 SimInstance::SimInstance(const ScenarioConfig& config)
     : config_(config), terrain_(config.width_m, config.height_m) {
   RRNET_EXPECTS(config.nodes >= 2);
+
+  // Pool metrics are per-run deltas: the thread-local arenas accumulate
+  // counters across every run on this worker thread, so capture baselines
+  // (and restart the occupancy high-waters) before building anything. A run
+  // starts with all prior buffers released, so deltas are deterministic per
+  // seed regardless of how many runs this thread served before.
+  {
+    util::PayloadPool& pkt = net::packet_buffer_pool();
+    pkt.reset_high_water();
+    packet_allocs_base_ = pkt.stats().pool_allocs + pkt.stats().heap_allocs;
+    packet_heap_allocs_base_ = pkt.stats().heap_allocs;
+    object_allocs_base_ = 0;
+    object_heap_allocs_base_ = 0;
+    for_each_object_pool([this](util::PayloadPool& pool) {
+      pool.reset_high_water();
+      object_allocs_base_ += pool.stats().pool_allocs + pool.stats().heap_allocs;
+      object_heap_allocs_base_ += pool.stats().heap_allocs;
+    });
+  }
+
+  if (config_.trace_events) {
+    tracer_ = std::make_unique<obs::EventTracer>(config_.trace_capacity);
+    tracer_->set_enabled(true);
+    prev_tracer_ = obs::set_thread_tracer(tracer_.get());
+  }
+
   des::Rng root(config.seed);
 
   auto model = make_propagation(config_);
@@ -173,7 +213,20 @@ SimInstance::SimInstance(const ScenarioConfig& config)
   }
 }
 
+SimInstance::~SimInstance() {
+  // Only restore if we are still the installed tracer: a later SimInstance
+  // on this thread may have replaced us (LIFO destruction restores
+  // correctly; other orders leave the newest tracer installed).
+  if (tracer_ != nullptr && obs::thread_tracer() == tracer_.get()) {
+    obs::set_thread_tracer(prev_tracer_);
+  }
+}
+
 void SimInstance::run_until(des::Time t) {
+  // Re-install our tracer in case another instance was built in between.
+  if (tracer_ != nullptr && obs::thread_tracer() != tracer_.get()) {
+    obs::set_thread_tracer(tracer_.get());
+  }
   if (!started_) {
     started_ = true;
     network_->start_protocols();
@@ -212,6 +265,34 @@ ScenarioResult SimInstance::result() const {
       r.energy_per_delivered_j = joules / static_cast<double>(r.delivered);
     }
   }
+
+  // Per-layer counter snapshot. Must run on the thread that ran the
+  // simulation (the pools are thread-local); replication workers respect
+  // this by building, running, and reading each instance on one thread.
+  namespace m = obs::metric;
+  network_->snapshot_metrics(r.metrics);
+  r.metrics.add(m::kDesEventsExecuted, scheduler_.executed_count());
+  r.metrics.set_max(m::kDesHeapHighWater, scheduler_.heap_high_water());
+
+  const util::PayloadPool& pkt = net::packet_buffer_pool();
+  r.metrics.add(m::kPoolPacketAllocs, pkt.stats().pool_allocs +
+                                          pkt.stats().heap_allocs -
+                                          packet_allocs_base_);
+  r.metrics.add(m::kPoolPacketHeapAllocs,
+                pkt.stats().heap_allocs - packet_heap_allocs_base_);
+  r.metrics.set_max(m::kPoolPacketInUseHighWater, pkt.in_use_high_water());
+  std::uint64_t object_allocs = 0;
+  std::uint64_t object_heap_allocs = 0;
+  std::uint64_t object_in_use_hw = 0;
+  for_each_object_pool([&](const util::PayloadPool& pool) {
+    object_allocs += pool.stats().pool_allocs + pool.stats().heap_allocs;
+    object_heap_allocs += pool.stats().heap_allocs;
+    object_in_use_hw += pool.in_use_high_water();
+  });
+  r.metrics.add(m::kPoolObjectAllocs, object_allocs - object_allocs_base_);
+  r.metrics.add(m::kPoolObjectHeapAllocs,
+                object_heap_allocs - object_heap_allocs_base_);
+  r.metrics.set_max(m::kPoolObjectInUseHighWater, object_in_use_hw);
   return r;
 }
 

@@ -10,6 +10,7 @@
 #include "des/scheduler.hpp"
 #include "geom/terrain.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "phy/failure.hpp"
 #include "sim/mobility.hpp"
 #include "sim/scenario.hpp"
@@ -20,6 +21,7 @@ namespace rrnet::sim {
 class SimInstance {
  public:
   explicit SimInstance(const ScenarioConfig& config);
+  ~SimInstance();
   SimInstance(const SimInstance&) = delete;
   SimInstance& operator=(const SimInstance&) = delete;
 
@@ -40,6 +42,8 @@ class SimInstance {
   }
   /// Null unless config.trace_paths.
   [[nodiscard]] trace::PathTrace* path_trace() noexcept { return trace_.get(); }
+  /// Null unless config.trace_events.
+  [[nodiscard]] obs::EventTracer* tracer() noexcept { return tracer_.get(); }
   /// Null unless config.failure_fraction > 0.
   [[nodiscard]] phy::FailureModel* failures() noexcept { return failures_.get(); }
   /// Null unless config.mobility.
@@ -62,8 +66,16 @@ class SimInstance {
   std::unique_ptr<phy::FailureModel> failures_;
   std::unique_ptr<RandomWaypoint> mobility_;
   std::unique_ptr<trace::PathTrace> trace_;
+  std::unique_ptr<obs::EventTracer> tracer_;
+  obs::EventTracer* prev_tracer_ = nullptr;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs_;
   bool started_ = false;
+  // Thread-local pools outlive runs, so per-run pool metrics are deltas
+  // from these ctor-time baselines (see result()).
+  std::uint64_t packet_allocs_base_ = 0;
+  std::uint64_t packet_heap_allocs_base_ = 0;
+  std::uint64_t object_allocs_base_ = 0;
+  std::uint64_t object_heap_allocs_base_ = 0;
 };
 
 }  // namespace rrnet::sim

@@ -46,6 +46,9 @@ Aggregated run_replications(const ScenarioConfig& base,
       mac_per.add(static_cast<double>(r.mac_packets) /
                   static_cast<double>(r.delivered));
     }
+    // Merge in index order: counter sums and gauge maxes come out identical
+    // whatever thread ran which replication.
+    agg.metrics.merge(r.metrics);
   }
   agg.delivery_ratio = delivery.summary();
   agg.delay_s = delay.summary();

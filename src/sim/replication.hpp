@@ -22,6 +22,9 @@ struct Aggregated {
   util::Summary hops;
   util::Summary mac_packets;
   util::Summary mac_per_delivered;  ///< protocol overhead per useful packet
+  /// Per-layer counters merged across replications in index order
+  /// (counters sum, gauges max) — thread-count independent.
+  obs::MetricRegistry metrics;
   std::size_t replications = 0;
 };
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "des/rng.hpp"
+#include "obs/metrics.hpp"
 #include "phy/energy.hpp"
 #include "mac/csma.hpp"
 #include "phy/radio.hpp"
@@ -102,6 +103,13 @@ struct ScenarioConfig {
 
   bool trace_paths = false;  ///< record per-packet relay paths (Figure 2)
 
+  /// Record packet-lifecycle / election / scheduler events into an
+  /// obs::EventTracer ring owned by the SimInstance (exportable as JSONL or
+  /// a Chrome trace). Needs a build with -DRRNET_TRACE=ON to capture the
+  /// hot-path events; a compiled-out build runs but records nothing.
+  bool trace_events = false;
+  std::size_t trace_capacity = 1u << 20;  ///< ring size, in records
+
   // Mobility (random waypoint; traffic endpoints are pinned).
   bool mobility = false;
   double mobility_min_speed_mps = 1.0;
@@ -125,6 +133,10 @@ struct ScenarioResult {
   std::uint64_t events_executed = 0;
   double total_energy_j = 0.0;     ///< 0 unless track_energy
   double energy_per_delivered_j = 0.0;
+  /// Full per-layer counter/gauge snapshot (obs::metric names). Counters
+  /// sum and gauges max across replications, merged in index order, so
+  /// aggregates are thread-count independent like every other field here.
+  obs::MetricRegistry metrics;
 };
 
 /// Draw `pairs` random (source, destination) pairs with distinct endpoints.

@@ -31,8 +31,15 @@ util::Table Sweep::table() const {
     columns.push_back(s.label + "_delay_s");
     columns.push_back(s.label + "_hops");
     columns.push_back(s.label + "_mac_pkts");
+    // Observability counters (summed over replications): control-plane
+    // overhead, channel contention, suppression pressure, election activity.
+    columns.push_back(s.label + "_ctrl_tx");
+    columns.push_back(s.label + "_phy_drop_collision");
+    columns.push_back(s.label + "_dup_hits");
+    columns.push_back(s.label + "_elec_won");
   }
   util::Table table(columns);
+  namespace m = obs::metric;
   for (std::size_t i = 0; i < spec_.x_values.size(); ++i) {
     std::vector<util::Cell> row;
     row.emplace_back(spec_.x_values[i]);
@@ -43,6 +50,12 @@ util::Table Sweep::table() const {
       row.emplace_back(a.delay_s.mean);
       row.emplace_back(a.hops.mean);
       row.emplace_back(a.mac_packets.mean);
+      row.emplace_back(static_cast<double>(a.metrics.value(m::kNetTxControl)));
+      row.emplace_back(
+          static_cast<double>(a.metrics.value(m::kPhyDropCollision)));
+      row.emplace_back(
+          static_cast<double>(a.metrics.value(m::kNetDupCacheHits)));
+      row.emplace_back(static_cast<double>(a.metrics.value(m::kElectionWon)));
     }
     table.add_row(std::move(row));
   }

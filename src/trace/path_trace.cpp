@@ -5,17 +5,16 @@
 
 namespace rrnet::trace {
 
-PathTrace::PathTrace(net::Network& network) : network_(&network) {
-  network.set_observer(this);
+PathTrace::PathTrace(net::Network& network, std::uint32_t type_mask)
+    : network_(&network), type_mask_(type_mask) {
+  network.add_observer(this);
 }
 
-PathTrace::~PathTrace() {
-  if (network_->observer() == this) network_->set_observer(nullptr);
-}
+PathTrace::~PathTrace() { network_->remove_observer(this); }
 
 void PathTrace::on_network_tx(std::uint32_t node,
                               const net::PacketRef& packet) {
-  if (packet.type() != net::PacketType::Data) return;
+  if (!traced(packet.type())) return;
   PacketPath& path = paths_[packet.uid()];
   if (path.hops.empty()) {
     path.origin = packet.origin();
@@ -27,7 +26,7 @@ void PathTrace::on_network_tx(std::uint32_t node,
 
 void PathTrace::on_delivered(std::uint32_t node,
                              const net::PacketRef& packet) {
-  if (packet.type() != net::PacketType::Data) return;
+  if (!traced(packet.type())) return;
   PacketPath& path = paths_[packet.uid()];
   if (path.hops.empty()) {
     path.origin = packet.origin();

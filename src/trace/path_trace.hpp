@@ -1,5 +1,8 @@
-// Records the actual relay points of every data packet — the information
+// Records the actual relay points of traced packets — the information
 // behind the paper's Figure 2 ("actual paths taken by different packets").
+// By default only Data packets are traced; a packet-type mask widens the
+// trace to control floods (PathDiscovery requests, PathReply floods), so
+// discovery traffic renders on the same canvas as the data paths.
 #pragma once
 
 #include <cstdint>
@@ -9,8 +12,16 @@
 #include "des/time.hpp"
 #include "geom/vec2.hpp"
 #include "net/node.hpp"
+#include "net/packet.hpp"
 
 namespace rrnet::trace {
+
+/// Bit per net::PacketType, for PathTrace's type filter.
+[[nodiscard]] constexpr std::uint32_t mask_of(net::PacketType type) noexcept {
+  return 1u << static_cast<std::uint32_t>(type);
+}
+inline constexpr std::uint32_t kTraceDataOnly = mask_of(net::PacketType::Data);
+inline constexpr std::uint32_t kTraceAllTypes = 0xFFFFFFFFu;
 
 struct Hop {
   std::uint32_t node = 0;
@@ -28,8 +39,10 @@ struct PacketPath {
 
 class PathTrace final : public net::PacketObserver {
  public:
-  /// Observe `network`; only packets of type Data are traced.
-  explicit PathTrace(net::Network& network);
+  /// Observe `network`, tracing packets whose type bit is set in
+  /// `type_mask` (default: Data only — the paper's Figure 2).
+  explicit PathTrace(net::Network& network,
+                     std::uint32_t type_mask = kTraceDataOnly);
   ~PathTrace() override;
   PathTrace(const PathTrace&) = delete;
   PathTrace& operator=(const PathTrace&) = delete;
@@ -53,8 +66,15 @@ class PathTrace final : public net::PacketObserver {
   [[nodiscard]] double average_detour(std::uint32_t origin,
                                       std::uint32_t target) const;
 
+  [[nodiscard]] std::uint32_t type_mask() const noexcept { return type_mask_; }
+
  private:
+  [[nodiscard]] bool traced(net::PacketType type) const noexcept {
+    return (type_mask_ & mask_of(type)) != 0;
+  }
+
   net::Network* network_;
+  std::uint32_t type_mask_;
   std::unordered_map<std::uint64_t, PacketPath> paths_;
 };
 

@@ -78,6 +78,8 @@ class PayloadPool {
       Header* h = free_.back();
       free_.pop_back();
       ++stats_.pool_allocs;
+      ++in_use_;
+      if (in_use_ > in_use_high_water_) in_use_high_water_ = in_use_;
       return h + 1;
     }
     ++stats_.heap_allocs;
@@ -96,6 +98,7 @@ class PayloadPool {
     Header* h = static_cast<Header*>(p) - 1;
     if (h->owner != nullptr) {
       ++h->owner->stats_.releases;
+      --h->owner->in_use_;
       h->owner->free_.push_back(h);
     } else {
       ::operator delete(h);
@@ -107,6 +110,16 @@ class PayloadPool {
   [[nodiscard]] std::size_t free_count() const noexcept {
     return free_.size();
   }
+  /// Arena chunks currently handed out (heap-fallback chunks not counted).
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_; }
+  /// Deepest the arena occupancy has ever been since the last reset.
+  [[nodiscard]] std::size_t in_use_high_water() const noexcept {
+    return in_use_high_water_;
+  }
+  /// Restart the occupancy high-water at the current level. Thread-local
+  /// pools outlive individual simulation runs, so per-run gauges must reset
+  /// at run start to stay deterministic under replication reuse.
+  void reset_high_water() noexcept { in_use_high_water_ = in_use_; }
 
  private:
   struct alignas(std::max_align_t) Header {
@@ -134,6 +147,8 @@ class PayloadPool {
   std::byte* arena_ = nullptr;
   std::vector<Header*> free_;
   PoolStats stats_;
+  std::size_t in_use_ = 0;
+  std::size_t in_use_high_water_ = 0;
 };
 
 /// Minimal allocator front-end so std::allocate_shared places its combined

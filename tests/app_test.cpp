@@ -55,6 +55,51 @@ TEST(FlowStats, ZeroSentGivesZeroRatio) {
   EXPECT_DOUBLE_EQ(stats.delivery_ratio(), 0.0);
 }
 
+TEST(FlowStats, OutstandingBoundedUnderSustainedLoss) {
+  // Regression: outstanding_ used to grow by one entry per lost packet
+  // forever. With a uid window it stays bounded however long the run.
+  FlowStats stats(/*uid_window=*/64);
+  EXPECT_EQ(stats.uid_window(), 64u);
+  for (std::uint64_t uid = 1; uid <= 1000; ++uid) {
+    stats.record_sent(uid, static_cast<double>(uid) * 0.01);
+  }
+  EXPECT_EQ(stats.sent(), 1000u);
+  EXPECT_LE(stats.outstanding_size(), 64u);
+  EXPECT_EQ(stats.outstanding_evictions(), 1000u - 64u);
+  EXPECT_DOUBLE_EQ(stats.delivery_ratio(), 0.0);  // counters unaffected
+}
+
+TEST(FlowStats, EvictedUidDeliveryIgnoredRecentUidCounted) {
+  FlowStats stats(/*uid_window=*/64);
+  for (std::uint64_t uid = 1; uid <= 1000; ++uid) stats.record_sent(uid, 0.0);
+  // uid 1 aged out of the window: its ultra-late delivery is ignored, same
+  // as the old code's unknown-uid judgement call.
+  net::PacketInit evicted;
+  evicted.uid = 1;
+  stats.record_delivered(net::make_packet(std::move(evicted)), 1.0);
+  EXPECT_EQ(stats.delivered(), 0u);
+  // uid 1000 is still tracked and counts normally.
+  net::PacketInit recent;
+  recent.uid = 1000;
+  recent.created_at = 0.0;
+  stats.record_delivered(net::make_packet(std::move(recent)), 1.0);
+  EXPECT_EQ(stats.delivered(), 1u);
+  EXPECT_EQ(stats.delay().count(), 1u);
+}
+
+TEST(FlowStats, SeenUidWindowBoundedToo) {
+  FlowStats stats(/*uid_window=*/32);
+  for (std::uint64_t uid = 1; uid <= 200; ++uid) {
+    stats.record_sent(uid, 0.0);
+    net::PacketInit init;
+    init.uid = uid;
+    stats.record_delivered(net::make_packet(std::move(init)), 0.1);
+  }
+  EXPECT_EQ(stats.delivered(), 200u);
+  EXPECT_LE(stats.seen_size(), 32u);
+  EXPECT_LE(stats.outstanding_size(), 32u);
+}
+
 TEST(Cbr, RejectsBadConfig) {
   auto tn = rrnet::testing::make_line_net(2);
   tn.node(0).set_protocol(proto::make_counter1_flooding(tn.node(0)));

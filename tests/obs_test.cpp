@@ -1,0 +1,278 @@
+// Observability layer: metric registry semantics, histogram flattening,
+// tracer ring mechanics, exporter formats, and the end-to-end fig3-style
+// capture (metrics invariants + Perfetto-loadable trace file).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/builder.hpp"
+#include "sim/replication.hpp"
+#include "sim/runner.hpp"
+
+namespace rrnet {
+namespace {
+
+namespace m = obs::metric;
+
+TEST(MetricRegistry, CountersAccumulateGaugesMax) {
+  obs::MetricRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.add("a.count", 2);
+  reg.add("a.count", 3);
+  reg.set_max("a.high_water", 7);
+  reg.set_max("a.high_water", 4);  // lower value must not shrink a gauge
+  EXPECT_EQ(reg.value("a.count"), 5u);
+  EXPECT_EQ(reg.value("a.high_water"), 7u);
+  EXPECT_EQ(reg.value("absent"), 0u);
+  EXPECT_TRUE(reg.contains("a.count"));
+  EXPECT_FALSE(reg.contains("absent"));
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricRegistry, MergeSumsCountersAndMaxesGauges) {
+  obs::MetricRegistry a;
+  a.add("c", 10);
+  a.set_max("g", 5);
+  obs::MetricRegistry b;
+  b.add("c", 4);
+  b.set_max("g", 9);
+  b.add("only_b", 1);
+  a.merge(b);
+  EXPECT_EQ(a.value("c"), 14u);
+  EXPECT_EQ(a.value("g"), 9u);
+  EXPECT_EQ(a.value("only_b"), 1u);
+}
+
+TEST(MetricRegistry, SnapshotIsNameOrdered) {
+  obs::MetricRegistry reg;
+  reg.add("z.last", 1);
+  reg.add("a.first", 1);
+  reg.set_max("m.middle", 1);
+  const std::vector<obs::Metric> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.first");
+  EXPECT_EQ(snap[1].name, "m.middle");
+  EXPECT_EQ(snap[2].name, "z.last");
+  EXPECT_EQ(snap[1].kind, obs::MetricKind::Gauge);
+}
+
+TEST(Histogram, ObserveMergeQuantile) {
+  obs::Histogram h;
+  EXPECT_TRUE(h.empty());
+  for (int i = 0; i < 90; ++i) h.observe(1);
+  for (int i = 0; i < 10; ++i) h.observe(100);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 90u + 1000u);
+  // p50 sits in the zeros-and-ones bucket; p99 must reach the 100s bucket
+  // (upper bound 128, power-of-two resolution).
+  EXPECT_LE(h.quantile_bound(0.5), 1u);
+  EXPECT_GE(h.quantile_bound(0.99), 100u);
+
+  obs::Histogram other;
+  other.observe(100);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 101u);
+
+  obs::MetricRegistry reg;
+  h.snapshot_into(reg, "mac.backoff_slots");
+  EXPECT_EQ(reg.value("mac.backoff_slots.count"), 101u);
+  EXPECT_EQ(reg.value("mac.backoff_slots.sum"), 1190u);
+  EXPECT_TRUE(reg.contains("mac.backoff_slots.p50"));
+  EXPECT_TRUE(reg.contains("mac.backoff_slots.p99"));
+}
+
+TEST(EventTracer, RingWrapsKeepingNewestRecords) {
+  obs::EventTracer tracer(4);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  // Disabled by default: records are refused.
+  tracer.record(obs::EventKind::NetSend, 0.0, 1, 1);
+  EXPECT_EQ(tracer.recorded(), 0u);
+
+  tracer.set_enabled(true);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tracer.record(obs::EventKind::NetSend, static_cast<double>(i), 1, i);
+  }
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const std::vector<obs::TraceRecord> snap = tracer.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest-first, and the two oldest records (ids 0, 1) were overwritten.
+  EXPECT_EQ(snap.front().id, 2u);
+  EXPECT_EQ(snap.back().id, 5u);
+
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(EventTracer, ThreadTracerInstallRestore) {
+  obs::EventTracer* before = obs::thread_tracer();
+  obs::EventTracer tracer(8);
+  obs::EventTracer* prev = obs::set_thread_tracer(&tracer);
+  EXPECT_EQ(prev, before);
+  EXPECT_EQ(obs::thread_tracer(), &tracer);
+  obs::set_thread_tracer(prev);
+  EXPECT_EQ(obs::thread_tracer(), before);
+}
+
+TEST(EventTracer, JsonlExportOneObjectPerLine) {
+  obs::EventTracer tracer(8);
+  tracer.set_enabled(true);
+  tracer.record(obs::EventKind::NetSend, 1.5, 3, 42, 0);
+  tracer.record(obs::EventKind::PhyDrop, 2.0, 4, 43,
+                static_cast<std::uint16_t>(obs::DropReason::Collision));
+  std::ostringstream os;
+  ASSERT_TRUE(tracer.export_jsonl(os));
+  const std::string text = os.str();
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(n, 2u);
+  EXPECT_NE(text.find("\"kind\":\"net_send\""), std::string::npos);
+  EXPECT_NE(text.find("\"reason\":\"collision\""), std::string::npos);
+}
+
+TEST(EventTracer, ChromeExportShapesInstantsAndSpans) {
+  obs::EventTracer tracer(8);
+  tracer.set_enabled(true);
+  tracer.record(obs::EventKind::PhyRxDecoded, 0.25, 7, 99);
+  tracer.record(obs::EventKind::HandlerSpan, 0.5, obs::kNoTraceNode,
+                /*wall ns=*/1500);
+  std::ostringstream os;
+  ASSERT_TRUE(tracer.export_chrome_trace(os));
+  const std::string text = os.str();
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);  // starts with
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  // Simulated seconds scale to microseconds on the trace timeline.
+  EXPECT_NE(text.find("\"ts\":250000"), std::string::npos);
+  // Packet instants land on pid 0 with tid = node id.
+  EXPECT_NE(text.find("\"tid\":7"), std::string::npos);
+}
+
+sim::ScenarioConfig fig3_style_config() {
+  sim::ScenarioConfig config;
+  config.seed = 11;
+  config.nodes = 30;
+  config.width_m = 600.0;
+  config.height_m = 600.0;
+  config.range_m = 250.0;
+  config.protocol = sim::ProtocolKind::Routeless;
+  config.pairs = 2;
+  config.cbr_interval = 1.0;
+  config.payload_bytes = 128;
+  config.traffic_start = 1.0;
+  config.traffic_stop = 8.0;
+  config.sim_end = 15.0;
+  return config;
+}
+
+TEST(ObsIntegration, ScenarioMetricsSatisfyPhyInvariant) {
+  const sim::ScenarioResult r = sim::run_scenario(fig3_style_config());
+  const obs::MetricRegistry& reg = r.metrics;
+  EXPECT_FALSE(reg.empty());
+
+  // Conservation at the PHY: every signal arrival is decoded or accounted to
+  // exactly one drop reason, so rx + drops can never exceed potential
+  // receptions.
+  const std::uint64_t arrived = reg.value(m::kPhySignalsArrived);
+  const std::uint64_t accounted =
+      reg.value(m::kPhyRxDecoded) + reg.value(m::kPhyDropCollision) +
+      reg.value(m::kPhyDropRxWhileBusy) +
+      reg.value(m::kPhyDropBelowSensitivity) + reg.value(m::kPhyDropWhileOff);
+  EXPECT_GT(arrived, 0u);
+  EXPECT_LE(accounted, arrived);
+
+  // Cross-layer consistency with the classic ScenarioResult fields.
+  EXPECT_EQ(reg.value(m::kDesEventsExecuted), r.events_executed);
+  // net.delivered counts every app handoff (duplicate copies included);
+  // FlowStats dedups by uid, so it can only be lower.
+  EXPECT_GE(reg.value(m::kNetDelivered), r.delivered);
+  EXPECT_GT(reg.value(m::kNetTxData), 0u);
+  EXPECT_GT(reg.value(m::kNetTxControl), 0u);  // routeless sends acks
+  EXPECT_GT(reg.value(m::kElectionArmed), 0u);
+  EXPECT_GE(reg.value(m::kElectionArmed), reg.value(m::kElectionWon));
+  EXPECT_GT(reg.value(m::kDesHeapHighWater), 0u);
+  EXPECT_GT(reg.value(m::kPoolPacketAllocs), 0u);
+}
+
+TEST(ObsIntegration, ScenarioMetricsDeterministicAcrossRuns) {
+  const sim::ScenarioResult a = sim::run_scenario(fig3_style_config());
+  const sim::ScenarioResult b = sim::run_scenario(fig3_style_config());
+  const std::vector<obs::Metric> sa = a.metrics.snapshot();
+  const std::vector<obs::Metric> sb = b.metrics.snapshot();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].name, sb[i].name);
+    EXPECT_EQ(sa[i].value, sb[i].value) << sa[i].name;
+  }
+}
+
+TEST(ObsIntegration, ReplicationMergeIsThreadCountIndependent) {
+  const sim::ScenarioConfig base = fig3_style_config();
+  const sim::Aggregated serial = sim::run_replications(base, 4, /*threads=*/1);
+  const sim::Aggregated parallel =
+      sim::run_replications(base, 4, /*threads=*/4);
+  const std::vector<obs::Metric> ss = serial.metrics.snapshot();
+  const std::vector<obs::Metric> ps = parallel.metrics.snapshot();
+  ASSERT_EQ(ss.size(), ps.size());
+  for (std::size_t i = 0; i < ss.size(); ++i) {
+    EXPECT_EQ(ss[i].name, ps[i].name);
+    EXPECT_EQ(ss[i].value, ps[i].value) << ss[i].name;
+  }
+}
+
+TEST(ObsIntegration, TraceCaptureExportsChromeTrace) {
+  sim::ScenarioConfig config = fig3_style_config();
+  config.trace_events = true;
+  config.trace_capacity = 1u << 16;
+  sim::SimInstance sim(config);
+  ASSERT_NE(sim.tracer(), nullptr);
+  EXPECT_TRUE(sim.tracer()->enabled());
+  sim.run();
+  const sim::ScenarioResult r = sim.result();
+  EXPECT_GT(r.events_executed, 0u);
+
+  if (obs::trace_compiled_in()) {
+    // With RRNET_TRACE compiled in, a fig3-style run must produce a rich
+    // packet-lifecycle trace.
+    EXPECT_GT(sim.tracer()->recorded(), 0u);
+    bool saw_send = false;
+    bool saw_decode = false;
+    for (const obs::TraceRecord& rec : sim.tracer()->snapshot()) {
+      const auto kind = static_cast<obs::EventKind>(rec.kind);
+      saw_send = saw_send || kind == obs::EventKind::NetSend;
+      saw_decode = saw_decode || kind == obs::EventKind::PhyRxDecoded;
+    }
+    EXPECT_TRUE(saw_send);
+    EXPECT_TRUE(saw_decode);
+  } else {
+    // Compiled out: the ring exists but no call site feeds it.
+    EXPECT_EQ(sim.tracer()->recorded(), 0u);
+  }
+
+  // The exporter must produce a Perfetto-loadable file in either build.
+  const std::string path = ::testing::TempDir() + "rrnet_obs_trace.json";
+  ASSERT_TRUE(sim.tracer()->export_chrome_trace_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string head;
+  std::getline(in, head);
+  EXPECT_EQ(head, "{\"traceEvents\":[");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rrnet

@@ -183,9 +183,13 @@ TEST(Sweep, BuildsLabeledTable) {
   });
   const util::Table table = sweep.table();
   EXPECT_EQ(table.rows(), 2u);
-  EXPECT_EQ(table.columns(), 5u);
+  // x + 4 paper metrics + 4 observability counters per series.
+  EXPECT_EQ(table.columns(), 9u);
   EXPECT_DOUBLE_EQ(std::get<double>(table.at(0, 0)), 1.0);
   EXPECT_GT(std::get<double>(table.at(0, 1)), 0.0);  // delivery ratio
+  // SSAF arms an election per received flood copy; the elec_won counter
+  // must be live (relays happened, so someone won).
+  EXPECT_GT(std::get<double>(table.at(0, 8)), 0.0);
 }
 
 }  // namespace

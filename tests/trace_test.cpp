@@ -123,5 +123,48 @@ TEST(GridCanvas, RejectsZeroDims) {
                rrnet::ContractViolation);
 }
 
+TEST(GridCanvas, SavePgmReportsIoFailure) {
+  GridCanvas canvas(geom::Terrain(100, 100), 8, 8);
+  canvas.add_point({50, 50});
+  // Unwritable target: the parent directory does not exist. The call must
+  // fail cleanly (false), not throw or write elsewhere.
+  EXPECT_FALSE(
+      canvas.save_pgm("/nonexistent_rrnet_dir/sub/never/canvas.pgm"));
+}
+
+TEST(PathTrace, DefaultMaskTracesDataOnly) {
+  auto tn = rrnet::testing::make_line_net(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    tn.node(i).set_protocol(
+        std::make_unique<proto::RoutelessProtocol>(tn.node(i)));
+  }
+  tn.network->start_protocols();
+  // Observer fan-out: both traces watch the same run, one masked to Data
+  // (the default), one tracing every control type too.
+  PathTrace data_only(*tn.network);
+  PathTrace all_types(*tn.network, kTraceAllTypes);
+  EXPECT_EQ(data_only.type_mask(), kTraceDataOnly);
+  EXPECT_EQ(all_types.type_mask(), kTraceAllTypes);
+  tn.node(0).protocol().send_data(3, 64);
+  tn.scheduler.run_until(20.0);
+
+  // Routeless delivery requires a PathDiscovery flood + reply + acks, so
+  // the unmasked trace must have seen strictly more packets.
+  EXPECT_FALSE(data_only.paths().empty());
+  EXPECT_GT(all_types.paths().size(), data_only.paths().size());
+  // And the default trace saw no discovery traffic at all (every traced
+  // uid also appears in the full trace — it is a strict subset).
+  for (const auto& [uid, path] : data_only.paths()) {
+    EXPECT_EQ(all_types.paths().count(uid), 1u);
+  }
+}
+
+TEST(PathTrace, MaskOfCoversEachTypeDistinctly) {
+  EXPECT_EQ(mask_of(net::PacketType::Data), 1u);
+  EXPECT_NE(mask_of(net::PacketType::PathDiscovery),
+            mask_of(net::PacketType::PathReply));
+  EXPECT_TRUE(kTraceAllTypes & mask_of(net::PacketType::RouteUpdate));
+}
+
 }  // namespace
 }  // namespace rrnet::trace

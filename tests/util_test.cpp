@@ -10,10 +10,39 @@
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 
 namespace rrnet::util {
 namespace {
+
+TEST(Log, LevelFilterGatesMessageExpression) {
+  // The macro must not even evaluate the streamed expression when the
+  // message is below the process level — logging in a hot path costs
+  // nothing while filtered.
+  ScopedLogLevel quiet(LogLevel::Error);
+  int evaluations = 0;
+  RRNET_DEBUG("test", "side effect " << ++evaluations);
+  RRNET_INFO("test", "side effect " << ++evaluations);
+  RRNET_WARN("test", "side effect " << ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  RRNET_LOG(LogLevel::Error, "test", "counted " << ++evaluations);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, ScopedLevelRestoresOnExitAndNests) {
+  const LogLevel before = log_level();
+  {
+    ScopedLogLevel outer(LogLevel::Trace);
+    EXPECT_EQ(log_level(), LogLevel::Trace);
+    {
+      ScopedLogLevel inner(LogLevel::Error);
+      EXPECT_EQ(log_level(), LogLevel::Error);
+    }
+    EXPECT_EQ(log_level(), LogLevel::Trace);
+  }
+  EXPECT_EQ(log_level(), before);
+}
 
 TEST(Accumulator, EmptyHasNaNMeanAndZeroCount) {
   Accumulator acc;
