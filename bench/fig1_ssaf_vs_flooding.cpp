@@ -36,15 +36,23 @@ int main(int argc, char** argv) {
   const util::Table table = sweep.table();
   bench::emit(table, "fig1_ssaf_vs_flooding.csv");
 
-  // Quick shape verdicts mirroring the paper's claims.
+  // Quick shape verdicts mirroring the paper's claims. Columns resolved by
+  // name: each protocol's series also carries counter columns, so fixed
+  // indices would (and once did) read the wrong protocol's cells.
+  const std::size_t c1_dv = table.column_index("counter1_delivery");
+  const std::size_t c1_dl = table.column_index("counter1_delay_s");
+  const std::size_t c1_hp = table.column_index("counter1_hops");
+  const std::size_t ss_dv = table.column_index("ssaf_delivery");
+  const std::size_t ss_dl = table.column_index("ssaf_delay_s");
+  const std::size_t ss_hp = table.column_index("ssaf_hops");
   std::size_t ssaf_wins_hops = 0, ssaf_wins_delay = 0, ssaf_wins_delivery = 0;
   for (std::size_t r = 0; r < table.rows(); ++r) {
-    const double c1_delivery = std::get<double>(table.at(r, 1));
-    const double c1_delay = std::get<double>(table.at(r, 2));
-    const double c1_hops = std::get<double>(table.at(r, 3));
-    const double ss_delivery = std::get<double>(table.at(r, 5));
-    const double ss_delay = std::get<double>(table.at(r, 6));
-    const double ss_hops = std::get<double>(table.at(r, 7));
+    const double c1_delivery = std::get<double>(table.at(r, c1_dv));
+    const double c1_delay = std::get<double>(table.at(r, c1_dl));
+    const double c1_hops = std::get<double>(table.at(r, c1_hp));
+    const double ss_delivery = std::get<double>(table.at(r, ss_dv));
+    const double ss_delay = std::get<double>(table.at(r, ss_dl));
+    const double ss_hops = std::get<double>(table.at(r, ss_hp));
     if (ss_hops < c1_hops) ++ssaf_wins_hops;
     if (ss_delay < c1_delay) ++ssaf_wins_delay;
     if (ss_delivery >= c1_delivery) ++ssaf_wins_delivery;

@@ -36,17 +36,27 @@ int main(int argc, char** argv) {
   const util::Table table = sweep.table();
   bench::emit(table, "fig3_rr_vs_aodv.csv");
 
+  // Columns by name: the per-protocol counter columns shift any fixed
+  // index for the second protocol's series.
+  const std::size_t ao_dv = table.column_index("aodv_delivery");
+  const std::size_t ao_dl = table.column_index("aodv_delay_s");
+  const std::size_t ao_hp = table.column_index("aodv_hops");
+  const std::size_t ao_mc = table.column_index("aodv_mac_pkts");
+  const std::size_t rr_dv = table.column_index("rr_delivery");
+  const std::size_t rr_dl = table.column_index("rr_delay_s");
+  const std::size_t rr_hp = table.column_index("rr_hops");
+  const std::size_t rr_mc = table.column_index("rr_mac_pkts");
   std::size_t rr_fewer_mac = 0, rr_fewer_hops = 0, rr_higher_delay = 0;
   double min_delivery = 1.0;
   for (std::size_t r = 0; r < table.rows(); ++r) {
-    const double aodv_delivery = std::get<double>(table.at(r, 1));
-    const double aodv_delay = std::get<double>(table.at(r, 2));
-    const double aodv_hops = std::get<double>(table.at(r, 3));
-    const double aodv_mac = std::get<double>(table.at(r, 4));
-    const double rr_delivery = std::get<double>(table.at(r, 5));
-    const double rr_delay = std::get<double>(table.at(r, 6));
-    const double rr_hops = std::get<double>(table.at(r, 7));
-    const double rr_mac = std::get<double>(table.at(r, 8));
+    const double aodv_delivery = std::get<double>(table.at(r, ao_dv));
+    const double aodv_delay = std::get<double>(table.at(r, ao_dl));
+    const double aodv_hops = std::get<double>(table.at(r, ao_hp));
+    const double aodv_mac = std::get<double>(table.at(r, ao_mc));
+    const double rr_delivery = std::get<double>(table.at(r, rr_dv));
+    const double rr_delay = std::get<double>(table.at(r, rr_dl));
+    const double rr_hops = std::get<double>(table.at(r, rr_hp));
+    const double rr_mac = std::get<double>(table.at(r, rr_mc));
     if (rr_mac < aodv_mac) ++rr_fewer_mac;
     if (rr_hops < aodv_hops) ++rr_fewer_hops;
     if (rr_delay > aodv_delay) ++rr_higher_delay;

@@ -43,15 +43,21 @@ int main(int argc, char** argv) {
 
   // Shape: AODV cost grows from the clean point to the 10% point; RR stays
   // within a modest band.
+  // Columns by name: the per-protocol counter columns shift any fixed
+  // index for the second protocol's series.
   const std::size_t last = table.rows() - 1;
-  const double aodv_mac_growth = std::get<double>(table.at(last, 4)) /
-                                 std::get<double>(table.at(0, 4));
-  const double rr_mac_growth = std::get<double>(table.at(last, 8)) /
-                               std::get<double>(table.at(0, 8));
-  const double aodv_delay_growth = std::get<double>(table.at(last, 2)) /
-                                   std::get<double>(table.at(0, 2));
-  const double rr_delay_growth = std::get<double>(table.at(last, 6)) /
-                                 std::get<double>(table.at(0, 6));
+  const std::size_t ao_mc = table.column_index("aodv_mac_pkts");
+  const std::size_t ao_dl = table.column_index("aodv_delay_s");
+  const std::size_t rr_mc = table.column_index("rr_mac_pkts");
+  const std::size_t rr_dl = table.column_index("rr_delay_s");
+  const double aodv_mac_growth = std::get<double>(table.at(last, ao_mc)) /
+                                 std::get<double>(table.at(0, ao_mc));
+  const double rr_mac_growth = std::get<double>(table.at(last, rr_mc)) /
+                               std::get<double>(table.at(0, rr_mc));
+  const double aodv_delay_growth = std::get<double>(table.at(last, ao_dl)) /
+                                   std::get<double>(table.at(0, ao_dl));
+  const double rr_delay_growth = std::get<double>(table.at(last, rr_dl)) /
+                                 std::get<double>(table.at(0, rr_dl));
   std::printf("\nshape check: 0%% -> 10%% failures, MAC-packet growth "
               "AODV %.2fx vs RR %.2fx; delay growth AODV %.2fx vs RR %.2fx\n",
               aodv_mac_growth, rr_mac_growth, aodv_delay_growth,

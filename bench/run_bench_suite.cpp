@@ -379,7 +379,8 @@ BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
   // rounds ran on this thread before (warm arenas), not on the scenario.
   namespace m = rrnet::obs::metric;
   for (const std::string_view key :
-       {m::kPhyDropCollision, m::kPhyDropBelowSensitivity, m::kMacRetries,
+       {m::kPhyDropCollision, m::kPhyDropBelowSensitivity,
+        m::kPhyTxDroppedBusy, m::kPhyDropAbortedOff, m::kMacRetries,
         m::kMacBackoffs, m::kNetTxControl, m::kNetDupCacheHits,
         m::kElectionWon, m::kDesEventsExecuted}) {
     if (last.metrics.contains(key)) {

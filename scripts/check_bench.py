@@ -22,6 +22,11 @@ baselines without counters still gate on time/allocations alone.
 
 Benchmarks present on only one side are reported but never fail the gate,
 so adding a benchmark does not require lockstep baseline updates.
+
+REQUIRED_COUNTERS must appear in every fresh scenario benchmark (any bench
+that exports counters at all). This catches a counter being silently wired
+out of the metric snapshot: `phy.tx_dropped_busy` started life as exactly
+such a silent drop, so its presence is now load-bearing.
 """
 
 import json
@@ -31,6 +36,7 @@ from pathlib import Path
 TIME_TOLERANCE = 0.35     # +35% ns/event before we call it a regression
 ALLOC_TOLERANCE = 0.02    # +0.02 allocs/event absolute
 COUNTER_TOLERANCE = 0.10  # +/-10% relative drift per behaviour counter
+REQUIRED_COUNTERS = ("phy.tx_dropped_busy",)
 
 
 def load(path):
@@ -82,6 +88,14 @@ def main(argv):
             )
         base_counters = base.get("counters", {})
         got_counters = got.get("counters", {})
+        if got_counters:
+            for key in REQUIRED_COUNTERS:
+                if key not in got_counters:
+                    verdict = "MISSING(counter)"
+                    failures.append(
+                        f"{name}: required counter {key} absent from "
+                        f"fresh run (metric wiring regressed?)"
+                    )
         for key in sorted(set(base_counters) & set(got_counters)):
             b, g = base_counters[key], got_counters[key]
             band = max(abs(b) * COUNTER_TOLERANCE, 1.0)

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -57,8 +58,7 @@ class InlineFunction<void(Args...), Capacity> {
 
   InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
-      ops_->relocate(other.storage_, storage_);
-      other.ops_ = nullptr;
+      relocate_from(other);
     }
   }
 
@@ -67,8 +67,7 @@ class InlineFunction<void(Args...), Capacity> {
       reset();
       ops_ = other.ops_;
       if (ops_ != nullptr) {
-        ops_->relocate(other.storage_, storage_);
-        other.ops_ = nullptr;
+        relocate_from(other);
       }
     }
     return *this;
@@ -87,9 +86,29 @@ class InlineFunction<void(Args...), Capacity> {
   /// Destroy the held callable (no-op when empty).
   void reset() noexcept {
     if (ops_ != nullptr) {
-      ops_->destroy(storage_);
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
       ops_ = nullptr;
     }
+  }
+
+  /// Destroy the held callable (if any) and construct `fn` directly in
+  /// the inline storage. The schedule hot path uses this instead of
+  /// assign-from-temporary, which costs an indirect relocate per event.
+  template <typename F,
+            typename Fn = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, InlineFunction> &&
+                                        std::is_invocable_r_v<void, Fn&, Args...>>>
+  void emplace(F&& fn) {
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "callback capture exceeds the InlineFunction capacity; "
+                  "capture a pooled/shared handle to the large state instead");
+    static_assert(alignof(Fn) <= kAlignment,
+                  "callback capture over-aligned for InlineFunction storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callback captures must be nothrow-move-constructible");
+    reset();
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+    ops_ = &kOpsFor<Fn>;
   }
 
   /// Invoke the held callable; precondition: non-empty.
@@ -103,11 +122,27 @@ class InlineFunction<void(Args...), Capacity> {
   }
 
  private:
+  // Null relocate/destroy mark a trivially copyable / trivially destructible
+  // callable. Scheduler::step relocates every event's callback out of its
+  // slot before invoking (the slot vector may reallocate mid-callback), and
+  // the hot-path captures are all trivial — a fixed-size memcpy plus a
+  // skipped destructor replaces two indirect calls per executed event.
   struct Ops {
     void (*invoke)(void* self, Args... args);
     void (*relocate)(void* src, void* dst) noexcept;
     void (*destroy)(void* self) noexcept;
   };
+
+  /// Move the callable out of `other` into our storage; precondition:
+  /// ops_ == other.ops_ != nullptr. Leaves `other` empty.
+  void relocate_from(InlineFunction& other) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+    } else {
+      std::memcpy(storage_, other.storage_, Capacity);
+    }
+    other.ops_ = nullptr;
+  }
 
   template <typename Fn>
   static void invoke_impl(void* self, Args... args) {
@@ -124,8 +159,10 @@ class InlineFunction<void(Args...), Capacity> {
   }
 
   template <typename Fn>
-  static constexpr Ops kOpsFor{&invoke_impl<Fn>, &relocate_impl<Fn>,
-                               &destroy_impl<Fn>};
+  static constexpr Ops kOpsFor{
+      &invoke_impl<Fn>,
+      std::is_trivially_copyable_v<Fn> ? nullptr : &relocate_impl<Fn>,
+      std::is_trivially_destructible_v<Fn> ? nullptr : &destroy_impl<Fn>};
 
   alignas(kAlignment) std::byte storage_[Capacity];
   const Ops* ops_ = nullptr;

@@ -1,5 +1,7 @@
 #include "des/scheduler.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "obs/trace.hpp"
@@ -10,6 +12,20 @@
 #endif
 
 namespace rrnet::des {
+
+QueueBackend default_queue_backend() noexcept {
+  // Read once: the env var selects a backend for the whole process (it
+  // exists so CI can sweep both implementations, not for runtime toggling).
+  static const QueueBackend backend = []() noexcept {
+    const char* const env = std::getenv("RRNET_SCHED_QUEUE");
+    if (env != nullptr &&
+        (std::strcmp(env, "heap") == 0 || std::strcmp(env, "quad") == 0)) {
+      return QueueBackend::Heap;
+    }
+    return QueueBackend::Ladder;
+  }();
+  return backend;
+}
 
 std::uint32_t Scheduler::acquire_slot() {
   if (!free_slots_.empty()) {
@@ -29,7 +45,7 @@ EventId Scheduler::schedule_at(Time t, Callback cb) {
   s.callback = std::move(cb);
   s.live = true;
   ++live_;
-  heap_.push(HeapEntry{t, next_sequence_++, slot, s.generation});
+  queue_push(HeapEntry{t, next_sequence_++, slot, s.generation});
   return EventId{slot, s.generation};
 }
 
@@ -55,19 +71,27 @@ bool Scheduler::pending(EventId id) const noexcept {
 }
 
 bool Scheduler::settle_top() noexcept {
-  while (!heap_.empty()) {
-    const HeapEntry& top = heap_.top();
+  while (!queue_empty()) {
+    const HeapEntry& top = queue_top();
     const Slot& s = slots_[top.slot];
     if (s.live && s.generation == top.generation) return true;
-    heap_.pop();  // cancelled; its slot was already recycled
+    queue_pop();  // cancelled; its slot was already recycled
   }
   return false;
 }
 
 bool Scheduler::step() {
-  if (!settle_top()) return false;
-  const HeapEntry top = heap_.top();
-  heap_.pop();
+  // Pop-and-skip instead of settle_top + peek + pop: cancelled entries are
+  // discarded inline, and the live one is fetched with a single queue
+  // operation (the ladder settles its rungs once per pop this way, not
+  // once per peek).
+  HeapEntry top;
+  for (;;) {
+    if (queue_empty()) return false;
+    top = queue_pop_top();
+    const Slot& dead = slots_[top.slot];
+    if (dead.live && dead.generation == top.generation) break;
+  }
   Slot& s = slots_[top.slot];
   RRNET_ASSERT(top.time >= now_);
   now_ = top.time;
@@ -104,7 +128,7 @@ void Scheduler::run() {
 
 void Scheduler::run_until(Time t_end) {
   RRNET_EXPECTS(t_end >= now_);
-  while (settle_top() && heap_.top().time <= t_end) {
+  while (settle_top() && queue_top().time <= t_end) {
     step();
   }
   now_ = t_end;

@@ -1,10 +1,24 @@
-// Discrete-event scheduler with O(log n) insertion and cancellation.
+// Discrete-event scheduler with O(1)-amortized insertion and cancellation.
 //
-// Events are callbacks stored in generation-stamped slots; a 4-ary implicit
-// heap (des::QuadHeap) holds (time, sequence, slot, generation) entries.
-// Cancellation bumps the slot generation, so stale heap entries are skipped
-// lazily at pop time. Ties in time are executed in insertion order, which
-// makes simulations deterministic even when two events share a timestamp.
+// Events are callbacks stored in generation-stamped slots; a priority queue
+// holds (time, sequence, slot, generation) entries. Cancellation bumps the
+// slot generation, so stale queue entries are skipped lazily at pop time.
+// Ties in time are executed in insertion order, which makes simulations
+// deterministic even when two events share a timestamp.
+//
+// Two queue backends implement the same strict total order, so switching
+// between them is bit-identical (the serial==ladder determinism gate in
+// tests/ladder_queue_test.cpp checks this):
+//
+//  * QueueBackend::Ladder (default): des::LadderQueue, O(1) amortized —
+//    pushes append to time buckets, comparisons are spent only on the few
+//    imminent events.
+//  * QueueBackend::Heap: des::QuadHeap, O(log n) — the simpler reference
+//    implementation the ladder is validated against.
+//
+// The environment variable RRNET_SCHED_QUEUE=heap|ladder overrides the
+// default for default-constructed schedulers (used by scripts/verify.sh to
+// sweep both backends under sanitizers).
 //
 // Callbacks are des::InlineCallback, not std::function: captures live inside
 // the pooled slot (zero heap allocations per event in steady state) and a
@@ -12,13 +26,26 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "des/inline_callback.hpp"
+#include "des/ladder_queue.hpp"
 #include "des/quad_heap.hpp"
 #include "des/time.hpp"
+#include "util/contracts.hpp"
 
 namespace rrnet::des {
+
+/// Priority-queue implementation behind Scheduler.
+enum class QueueBackend : std::uint8_t {
+  Heap,    ///< 4-ary heap; O(log n) reference implementation
+  Ladder,  ///< bucketed ladder queue; O(1) amortized
+};
+
+/// Backend used by default-constructed schedulers: Ladder unless the
+/// RRNET_SCHED_QUEUE environment variable says "heap".
+[[nodiscard]] QueueBackend default_queue_backend() noexcept;
 
 /// Opaque handle to a scheduled event; value-semantic and cheap to copy.
 struct EventId {
@@ -34,16 +61,43 @@ class Scheduler {
  public:
   using Callback = InlineCallback;
 
-  Scheduler() = default;
+  Scheduler() : Scheduler(default_queue_backend()) {}
+  explicit Scheduler(QueueBackend backend) : backend_(backend) {}
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] QueueBackend queue_backend() const noexcept { return backend_; }
 
   /// Current simulated time (0 before any event runs).
   [[nodiscard]] Time now() const noexcept { return now_; }
 
-  /// Schedule cb at absolute time t; requires t >= now().
+  /// Schedule cb at absolute time t; requires t >= now(). The template
+  /// overload constructs the callable directly in its event slot (no
+  /// InlineCallback temporary, no indirect relocate — this is the hot
+  /// path, run once per scheduled event); the Callback overload serves
+  /// callers that already hold a built InlineCallback.
+  template <typename F,
+            typename = decltype(std::declval<Callback&>().emplace(
+                std::declval<F>()))>
+  EventId schedule_at(Time t, F&& f) {
+    RRNET_EXPECTS(t >= now_);
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.callback.emplace(std::forward<F>(f));
+    s.live = true;
+    ++live_;
+    queue_push(HeapEntry{t, next_sequence_++, slot, s.generation});
+    return EventId{slot, s.generation};
+  }
   EventId schedule_at(Time t, Callback cb);
   /// Schedule cb after a nonnegative delay.
+  template <typename F,
+            typename = decltype(std::declval<Callback&>().emplace(
+                std::declval<F>()))>
+  EventId schedule_in(Time delay, F&& f) {
+    RRNET_EXPECTS(delay >= 0.0);
+    return schedule_at(now_ + delay, std::forward<F>(f));
+  }
   EventId schedule_in(Time delay, Callback cb);
 
   /// Cancel a pending event. Returns true iff the event was still pending.
@@ -62,9 +116,10 @@ class Scheduler {
   [[nodiscard]] std::uint64_t executed_count() const noexcept {
     return executed_;
   }
-  /// Deepest the event heap has ever been (queue-pressure gauge).
+  /// Deepest the event queue has ever been (queue-pressure gauge).
   [[nodiscard]] std::size_t heap_high_water() const noexcept {
-    return heap_.high_water();
+    return backend_ == QueueBackend::Ladder ? ladder_.high_water()
+                                            : heap_.high_water();
   }
 
  private:
@@ -80,17 +135,52 @@ class Scheduler {
       return a.sequence < b.sequence;  // FIFO among equal times
     }
   };
+  struct EntryTime {
+    Time operator()(const HeapEntry& e) const noexcept { return e.time; }
+  };
   struct Slot {
     Callback callback;
     std::uint32_t generation = 0;
     bool live = false;
   };
 
-  /// Pop entries until the top is live; returns false if the heap empties.
+  // Backend dispatch: one branch per queue touch, on a member the branch
+  // predictor pins after the first event.
+  [[nodiscard]] bool queue_empty() const noexcept {
+    return backend_ == QueueBackend::Ladder ? ladder_.empty() : heap_.empty();
+  }
+  [[nodiscard]] const HeapEntry& queue_top() {
+    return backend_ == QueueBackend::Ladder ? ladder_.top() : heap_.top();
+  }
+  void queue_pop() {
+    if (backend_ == QueueBackend::Ladder) {
+      ladder_.pop();
+    } else {
+      heap_.pop();
+    }
+  }
+  /// Fused top+pop: one settle/sift per executed event instead of the
+  /// three a peek-check-pop sequence costs (step() is the hottest loop in
+  /// the engine; the ladder re-walks its rung fast path on every peek).
+  HeapEntry queue_pop_top() {
+    return backend_ == QueueBackend::Ladder ? ladder_.pop_top()
+                                            : heap_.pop_top();
+  }
+  void queue_push(HeapEntry entry) {
+    if (backend_ == QueueBackend::Ladder) {
+      ladder_.push(entry);
+    } else {
+      heap_.push(entry);
+    }
+  }
+
+  /// Pop entries until the top is live; returns false if the queue empties.
   bool settle_top() noexcept;
   std::uint32_t acquire_slot();
 
+  QueueBackend backend_ = QueueBackend::Ladder;
   QuadHeap<HeapEntry, Earlier> heap_;
+  LadderQueue<HeapEntry, EntryTime, Earlier> ladder_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   Time now_ = 0.0;

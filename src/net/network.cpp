@@ -77,7 +77,9 @@ void Network::snapshot_metrics(obs::MetricRegistry& reg) const {
     reg.add(m::kPhyDropRxWhileBusy, phy.frames_missed_busy);
     reg.add(m::kPhyDropBelowSensitivity, phy.frames_below_threshold);
     reg.add(m::kPhyDropWhileOff, phy.frames_while_off);
+    reg.add(m::kPhyDropAbortedOff, phy.frames_aborted_off);
     reg.add(m::kPhyTxDroppedOff, phy.tx_dropped_off);
+    reg.add(m::kPhyTxDroppedBusy, phy.tx_dropped_busy);
 
     const mac::MacStats& mac = node.mac().stats();
     reg.add(m::kMacDataTx, mac.data_tx);

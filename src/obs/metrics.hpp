@@ -130,7 +130,9 @@ inline constexpr std::string_view kPhyDropRxWhileBusy = "phy.drop_rx_while_busy"
 inline constexpr std::string_view kPhyDropBelowSensitivity =
     "phy.drop_below_sensitivity";
 inline constexpr std::string_view kPhyDropWhileOff = "phy.drop_while_off";
+inline constexpr std::string_view kPhyDropAbortedOff = "phy.drop_aborted_off";
 inline constexpr std::string_view kPhyTxDroppedOff = "phy.tx_dropped_off";
+inline constexpr std::string_view kPhyTxDroppedBusy = "phy.tx_dropped_busy";
 
 // MAC — contention, retries, queueing.
 inline constexpr std::string_view kMacDataTx = "mac.data_tx";

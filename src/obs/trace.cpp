@@ -55,6 +55,7 @@ const char* to_string(DropReason reason) noexcept {
     case DropReason::RadioOff: return "radio_off";
     case DropReason::QueueOverflow: return "queue_overflow";
     case DropReason::RetriesExhausted: return "retries_exhausted";
+    case DropReason::TxWhileBusy: return "tx_while_busy";
   }
   return "unknown";
 }

@@ -55,6 +55,7 @@ enum class DropReason : std::uint16_t {
   RadioOff,              ///< radio sleeping / failed
   QueueOverflow,         ///< MAC queue full
   RetriesExhausted,      ///< unicast retry budget spent
+  TxWhileBusy,           ///< transmit attempt while already transmitting
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "phy/units.hpp"
 #include "util/contracts.hpp"
 
 namespace rrnet::phy {
@@ -13,6 +14,9 @@ Channel::Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
     : scheduler_(&scheduler),
       model_(std::move(model)),
       params_(params),
+      tx_power_mw_(dbm_to_mw(params.tx_power_dbm)),
+      rx_threshold_mw_(dbm_to_mw(params.rx_threshold_dbm)),
+      interference_cutoff_mw_(dbm_to_mw(params.interference_cutoff_dbm)),
       grid_(terrain, /*cell_size=*/
             std::max(1.0, range_for_threshold(*model_, params.tx_power_dbm,
                                               params.interference_cutoff_dbm,
@@ -30,6 +34,9 @@ Channel::Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
   transceivers_.reserve(positions.size());
   for (std::uint32_t id = 0; id < positions.size(); ++id) {
     transceivers_.push_back(std::make_unique<Transceiver>(id, params_));
+    // Channel-owned transceivers can always timestamp their own events
+    // (turn_off drop records); enable_energy() re-sets the same clock.
+    transceivers_.back()->clock_ = scheduler_;
   }
 }
 
@@ -55,11 +62,16 @@ void Channel::set_position(std::uint32_t id, geom::Vec2 position) {
 bool Channel::transmit(const Airframe& frame) {
   RRNET_EXPECTS(frame.sender < transceivers_.size());
   Transceiver& sender = *transceivers_[frame.sender];
-  if (sender.is_off() ) {
+  if (sender.is_off()) {
     ++sender.stats_.tx_dropped_off;
     return false;
   }
-  if (sender.state() == RadioState::Tx) return false;
+  if (sender.state() == RadioState::Tx) {
+    ++sender.stats_.tx_dropped_busy;
+    RRNET_TRACE_EVENT(obs::EventKind::PhyDrop, scheduler_->now(),
+                      frame.sender, frame.id, obs::DropReason::TxWhileBusy);
+    return false;
+  }
 
   const des::Time duration = params_.airtime(frame.size_bytes);
   const geom::Vec2 origin = grid_.position(frame.sender);
@@ -83,13 +95,14 @@ bool Channel::transmit(const Airframe& frame) {
     const double dist = geom::distance(origin, grid_.position(rx_id));
     // Power draws stay in grid-query order at transmit time; positions and
     // powers are pinned here, so signals in flight ignore later mobility.
-    const double power_dbm =
-        model_->rx_power_dbm(params_.tx_power_dbm, dist, rng_);
-    if (power_dbm < params_.interference_cutoff_dbm) continue;  // imperceptible
-    tx.receivers.push_back({now + dist / des::kSpeedOfLight, power_dbm,
+    // Drawn in mW: the linear entry point spares a log10 per draw and the
+    // pow per arrival that converting back would cost.
+    const double power_mw = model_->rx_power_mw(tx_power_mw_, dist, rng_);
+    if (power_mw < interference_cutoff_mw_) continue;  // imperceptible
+    tx.receivers.push_back({now + dist / des::kSpeedOfLight, power_mw,
                             rx_id,
                             static_cast<std::uint32_t>(tx.receivers.size()),
-                            false});
+                            SignalMap::kNoSlot, false});
   }
   if (tx.receivers.empty()) {
     release_transmission(slot);
@@ -133,15 +146,16 @@ void Channel::advance_transmission(std::uint32_t slot) {
     if (do_start) {
       PendingRx& rx = tx.receivers[tx.next_start++];
       Transceiver& trx = *transceivers_[rx.rx_id];
-      rx.could_decode =
-          !trx.is_off() && rx.power_dbm >= params_.rx_threshold_dbm;
-      trx.signal_arrives(tx.frame, rx.power_dbm, now,
-                         rx.arrival + tx.duration);
+      rx.could_decode = !trx.is_off() && rx.power_mw >= rx_threshold_mw_;
+      // Remember the receiver's slot: the matching end below erases in
+      // O(1) instead of re-finding the frame id.
+      rx.slot = trx.signal_arrives(tx.frame, rx.power_mw, now,
+                                   rx.arrival + tx.duration);
     } else {
       const PendingRx& rx = tx.receivers[tx.next_end++];
       Transceiver& trx = *transceivers_[rx.rx_id];
       const std::uint64_t decoded_before = trx.stats().frames_decoded;
-      trx.signal_ends(tx.frame, now);
+      trx.signal_ends(tx.frame, rx.slot, now);
       if (rx.could_decode && trx.stats().frames_decoded > decoded_before) {
         ++stats_.deliveries;
       }

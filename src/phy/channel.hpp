@@ -80,9 +80,10 @@ class Channel {
  private:
   struct PendingRx {
     des::Time arrival;     ///< absolute signal-start time at this receiver
-    double power_dbm;      ///< drawn from the model at transmit time
+    double power_mw;       ///< drawn from the model at transmit time (linear)
     std::uint32_t rx_id;
     std::uint32_t order;   ///< grid-query index; tie-break for equal arrivals
+    std::uint32_t slot;    ///< receiver's SignalMap slot, set at signal start
     bool could_decode;     ///< evaluated at signal start (radio state then)
   };
 
@@ -107,6 +108,11 @@ class Channel {
   des::Scheduler* scheduler_;
   std::unique_ptr<PropagationModel> model_;
   RadioParams params_;
+  // Linear-domain mirrors of the dBm params, converted once: the transmit
+  // loop draws and thresholds per receiver in mW, so no per-draw pow/log.
+  double tx_power_mw_;
+  double rx_threshold_mw_;
+  double interference_cutoff_mw_;
   geom::SpatialGrid grid_;
   std::vector<std::unique_ptr<Transceiver>> transceivers_;
   des::Rng rng_;

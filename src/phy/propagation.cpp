@@ -14,6 +14,16 @@ namespace {
 constexpr double kPi = std::numbers::pi;
 }
 
+double PropagationModel::rx_power_mw(double tx_power_mw, double distance_m,
+                                     des::Rng& rng) const {
+  return dbm_to_mw(rx_power_dbm(mw_to_dbm(tx_power_mw), distance_m, rng));
+}
+
+double PropagationModel::mean_rx_power_mw(double tx_power_mw,
+                                          double distance_m) const {
+  return dbm_to_mw(mean_rx_power_dbm(mw_to_dbm(tx_power_mw), distance_m));
+}
+
 FreeSpace::FreeSpace(double frequency_hz, double system_loss)
     : wavelength_(des::kSpeedOfLight / frequency_hz),
       system_loss_(system_loss) {
@@ -31,6 +41,20 @@ double FreeSpace::mean_rx_power_dbm(double tx_power_dbm,
 double FreeSpace::rx_power_dbm(double tx_power_dbm, double distance_m,
                                des::Rng& /*rng*/) const {
   return mean_rx_power_dbm(tx_power_dbm, distance_m);
+}
+
+double FreeSpace::mean_rx_power_mw(double tx_power_mw,
+                                   double distance_m) const {
+  // Friis in the linear domain: Pr = Pt * (lambda / 4 pi d)^2 / L. No
+  // transcendentals — this is what makes the mW channel path worthwhile.
+  const double d = std::max(distance_m, kMinDistanceM);
+  const double gain = wavelength_ / (4.0 * kPi * d);
+  return tx_power_mw * gain * gain / system_loss_;
+}
+
+double FreeSpace::rx_power_mw(double tx_power_mw, double distance_m,
+                              des::Rng& /*rng*/) const {
+  return mean_rx_power_mw(tx_power_mw, distance_m);
 }
 
 TwoRayGround::TwoRayGround(double frequency_hz, double tx_height_m,
@@ -60,6 +84,22 @@ double TwoRayGround::rx_power_dbm(double tx_power_dbm, double distance_m,
   return mean_rx_power_dbm(tx_power_dbm, distance_m);
 }
 
+double TwoRayGround::mean_rx_power_mw(double tx_power_mw,
+                                      double distance_m) const {
+  const double d = std::max(distance_m, kMinDistanceM);
+  if (d < crossover_) {
+    return free_space_.mean_rx_power_mw(tx_power_mw, d);
+  }
+  const double gain =
+      tx_height_ * tx_height_ * rx_height_ * rx_height_ / (d * d * d * d);
+  return tx_power_mw * gain;
+}
+
+double TwoRayGround::rx_power_mw(double tx_power_mw, double distance_m,
+                                 des::Rng& /*rng*/) const {
+  return mean_rx_power_mw(tx_power_mw, distance_m);
+}
+
 LogDistance::LogDistance(double exponent, double reference_distance_m,
                          double frequency_hz)
     : free_space_(frequency_hz),
@@ -83,6 +123,22 @@ double LogDistance::rx_power_dbm(double tx_power_dbm, double distance_m,
   return mean_rx_power_dbm(tx_power_dbm, distance_m);
 }
 
+double LogDistance::mean_rx_power_mw(double tx_power_mw,
+                                     double distance_m) const {
+  // -10 n log10(d/d0) in dB is (d0/d)^n as a linear ratio: one pow, versus
+  // the log10 here plus the pow the receiver would pay converting back.
+  const double d = std::max(distance_m, kMinDistanceM);
+  const double at_ref =
+      free_space_.mean_rx_power_mw(tx_power_mw, reference_distance_);
+  if (d <= reference_distance_) return at_ref;
+  return at_ref * std::pow(reference_distance_ / d, exponent_);
+}
+
+double LogDistance::rx_power_mw(double tx_power_mw, double distance_m,
+                                des::Rng& /*rng*/) const {
+  return mean_rx_power_mw(tx_power_mw, distance_m);
+}
+
 RayleighFading::RayleighFading(std::unique_ptr<PropagationModel> large_scale)
     : large_scale_(std::move(large_scale)) {
   RRNET_EXPECTS(large_scale_ != nullptr);
@@ -103,6 +159,19 @@ double RayleighFading::rx_power_dbm(double tx_power_dbm, double distance_m,
   return mw_to_dbm(dbm_to_mw(mean_dbm) * factor);
 }
 
+double RayleighFading::mean_rx_power_mw(double tx_power_mw,
+                                        double distance_m) const {
+  return large_scale_->mean_rx_power_mw(tx_power_mw, distance_m);
+}
+
+double RayleighFading::rx_power_mw(double tx_power_mw, double distance_m,
+                                   des::Rng& rng) const {
+  // Same single Exp(1) draw as the dBm path, applied without ever leaving
+  // the linear domain.
+  return large_scale_->mean_rx_power_mw(tx_power_mw, distance_m) *
+         rng.exponential(1.0);
+}
+
 LogNormalShadowing::LogNormalShadowing(
     std::unique_ptr<PropagationModel> large_scale, double sigma_db)
     : large_scale_(std::move(large_scale)), sigma_db_(sigma_db) {
@@ -119,6 +188,17 @@ double LogNormalShadowing::rx_power_dbm(double tx_power_dbm, double distance_m,
                                         des::Rng& rng) const {
   return large_scale_->mean_rx_power_dbm(tx_power_dbm, distance_m) +
          rng.normal(0.0, sigma_db_);
+}
+
+double LogNormalShadowing::mean_rx_power_mw(double tx_power_mw,
+                                            double distance_m) const {
+  return large_scale_->mean_rx_power_mw(tx_power_mw, distance_m);
+}
+
+double LogNormalShadowing::rx_power_mw(double tx_power_mw, double distance_m,
+                                       des::Rng& rng) const {
+  return large_scale_->mean_rx_power_mw(tx_power_mw, distance_m) *
+         db_to_ratio(rng.normal(0.0, sigma_db_));
 }
 
 double range_for_threshold(const PropagationModel& model, double tx_power_dbm,

@@ -25,6 +25,23 @@ class PropagationModel {
   /// Deterministic large-scale mean (no fading); used for range calibration.
   [[nodiscard]] virtual double mean_rx_power_dbm(double tx_power_dbm,
                                                  double distance_m) const = 0;
+
+  /// Linear-domain form of rx_power_dbm: received power in mW for a
+  /// transmission at `tx_power_mw`. This is the channel's per-receiver hot
+  /// path — every in-tree model overrides it with pure linear arithmetic
+  /// (free space is two multiplies; the dB form costs a log10 per draw,
+  /// plus the pow the receiver would spend converting back). The default
+  /// round-trips through the dBm entry point so external models stay
+  /// correct without overriding. Stochastic models consume the same rng
+  /// draws as rx_power_dbm, so replications are draw-for-draw comparable
+  /// across the two entry points.
+  [[nodiscard]] virtual double rx_power_mw(double tx_power_mw,
+                                           double distance_m,
+                                           des::Rng& rng) const;
+
+  /// Linear-domain form of mean_rx_power_dbm (same default round-trip).
+  [[nodiscard]] virtual double mean_rx_power_mw(double tx_power_mw,
+                                                double distance_m) const;
 };
 
 /// Distances below this are clamped (free-space formulas diverge at d = 0).
@@ -38,6 +55,10 @@ class FreeSpace final : public PropagationModel {
                       des::Rng& rng) const override;
   double mean_rx_power_dbm(double tx_power_dbm,
                            double distance_m) const override;
+  double rx_power_mw(double tx_power_mw, double distance_m,
+                     des::Rng& rng) const override;
+  double mean_rx_power_mw(double tx_power_mw,
+                          double distance_m) const override;
   [[nodiscard]] double wavelength_m() const noexcept { return wavelength_; }
 
  private:
@@ -55,6 +76,10 @@ class TwoRayGround final : public PropagationModel {
                       des::Rng& rng) const override;
   double mean_rx_power_dbm(double tx_power_dbm,
                            double distance_m) const override;
+  double rx_power_mw(double tx_power_mw, double distance_m,
+                     des::Rng& rng) const override;
+  double mean_rx_power_mw(double tx_power_mw,
+                          double distance_m) const override;
   [[nodiscard]] double crossover_distance_m() const noexcept {
     return crossover_;
   }
@@ -75,6 +100,10 @@ class LogDistance final : public PropagationModel {
                       des::Rng& rng) const override;
   double mean_rx_power_dbm(double tx_power_dbm,
                            double distance_m) const override;
+  double rx_power_mw(double tx_power_mw, double distance_m,
+                     des::Rng& rng) const override;
+  double mean_rx_power_mw(double tx_power_mw,
+                          double distance_m) const override;
 
  private:
   FreeSpace free_space_;
@@ -91,6 +120,10 @@ class RayleighFading final : public PropagationModel {
                       des::Rng& rng) const override;
   double mean_rx_power_dbm(double tx_power_dbm,
                            double distance_m) const override;
+  double rx_power_mw(double tx_power_mw, double distance_m,
+                     des::Rng& rng) const override;
+  double mean_rx_power_mw(double tx_power_mw,
+                          double distance_m) const override;
 
  private:
   std::unique_ptr<PropagationModel> large_scale_;
@@ -106,6 +139,10 @@ class LogNormalShadowing final : public PropagationModel {
                       des::Rng& rng) const override;
   double mean_rx_power_dbm(double tx_power_dbm,
                            double distance_m) const override;
+  double rx_power_mw(double tx_power_mw, double distance_m,
+                     des::Rng& rng) const override;
+  double mean_rx_power_mw(double tx_power_mw,
+                          double distance_m) const override;
 
  private:
   std::unique_ptr<PropagationModel> large_scale_;

@@ -1,7 +1,5 @@
 #include "phy/transceiver.hpp"
 
-#include <algorithm>
-
 #include "obs/trace.hpp"
 #include "phy/units.hpp"
 #include "util/contracts.hpp"
@@ -12,7 +10,7 @@ bool Transceiver::medium_busy() const noexcept {
   if (state_ == RadioState::Tx || (state_ == RadioState::Rx && has_lock_)) {
     return true;
   }
-  return total_power_mw_ >= dbm_to_mw(params_->cs_threshold_dbm);
+  return signals_.total_power_mw() >= cs_threshold_mw_;
 }
 
 void Transceiver::recompute_busy() {
@@ -25,18 +23,22 @@ void Transceiver::recompute_busy() {
   }
 }
 
-double Transceiver::interference_mw_excluding(
-    std::uint64_t frame_id) const noexcept {
-  double sum = dbm_to_mw(params_->noise_floor_dbm);
-  for (const auto& s : signals_) {
-    if (s.frame_id != frame_id) sum += s.power_mw;
-  }
-  return sum;
+double Transceiver::interference_mw_excluding_own(
+    double own_mw) const noexcept {
+  // The SoA map's running total makes exclusion a single subtraction, so
+  // SINR evaluation is O(1) even when §3 floods pile tens of concurrent
+  // signals onto a receiver. Clamp: subtracting the sole signal's own
+  // power from the incremental total can round a hair below zero.
+  const double others_mw = signals_.total_power_mw() - own_mw;
+  return noise_floor_mw_ + (others_mw > 0.0 ? others_mw : 0.0);
 }
 
-double Transceiver::sinr_db(double signal_mw,
-                            std::uint64_t frame_id) const noexcept {
-  return ratio_to_db(signal_mw / interference_mw_excluding(frame_id));
+bool Transceiver::sinr_clears_threshold(double signal_mw) const noexcept {
+  // signal/interference >= ratio, multiplied through: both sides positive,
+  // and the linear-domain compare spends a multiply where the dB form
+  // spent a log10 per reception decision.
+  return signal_mw >=
+         sinr_threshold_ratio_ * interference_mw_excluding_own(signal_mw);
 }
 
 void Transceiver::begin_transmit(std::uint64_t frame_id) {
@@ -62,28 +64,27 @@ void Transceiver::end_transmit(std::uint64_t frame_id, des::Time /*now*/) {
   recompute_busy();
 }
 
-void Transceiver::signal_arrives(const Airframe& frame, double power_dbm,
-                                 des::Time now, des::Time end_time) {
+std::uint32_t Transceiver::signal_arrives(const Airframe& frame,
+                                          double power_mw, des::Time now,
+                                          des::Time end_time) {
   ++stats_.signals_arrived;
   if (state_ == RadioState::Off) {
     ++stats_.frames_while_off;
     RRNET_TRACE_EVENT(obs::EventKind::PhyDrop, now, node_id_, frame.id,
                       obs::DropReason::RadioOff);
-    return;
+    return SignalMap::kNoSlot;
   }
-  const double power_mw = dbm_to_mw(power_dbm);
-  signals_.push_back({frame.id, power_mw, end_time});
-  total_power_mw_ += power_mw;
+  const std::uint32_t slot = signals_.insert(frame.id, power_mw, end_time);
 
-  const bool decodable = power_dbm >= params_->rx_threshold_dbm;
+  const bool decodable = power_mw >= rx_threshold_mw_;
   if (decodable && state_ == RadioState::Idle && !has_lock_) {
-    if (sinr_db(power_mw, frame.id) >= params_->sinr_threshold_db) {
+    if (sinr_clears_threshold(power_mw)) {
       // Lock onto this frame.
       set_state(RadioState::Rx);
       has_lock_ = true;
       lock_corrupted_ = false;
       locked_frame_ = frame.id;
-      locked_power_dbm_ = power_dbm;
+      locked_power_mw_ = power_mw;
       locked_start_ = now;
     } else {
       ++stats_.frames_collided;
@@ -100,24 +101,24 @@ void Transceiver::signal_arrives(const Airframe& frame, double power_dbm,
                       obs::DropReason::BelowSensitivity);
   }
 
-  // New interference may corrupt the frame currently being decoded.
+  // New interference may corrupt the frame currently being decoded. The
+  // locked signal sits in the map at exactly locked_power_mw_ (the same
+  // converted value), so excluding it by value is exact.
   if (has_lock_ && !lock_corrupted_ && locked_frame_ != frame.id) {
-    const double locked_mw = dbm_to_mw(locked_power_dbm_);
-    if (sinr_db(locked_mw, locked_frame_) < params_->sinr_threshold_db) {
+    if (!sinr_clears_threshold(locked_power_mw_)) {
       lock_corrupted_ = true;
     }
   }
   recompute_busy();
+  return slot;
 }
 
-void Transceiver::signal_ends(const Airframe& frame, des::Time now) {
-  const auto it = std::find_if(
-      signals_.begin(), signals_.end(),
-      [&](const ActiveSignal& s) { return s.frame_id == frame.id; });
-  if (it == signals_.end()) return;  // arrived while off, or cleared by off
-  const double power_mw = it->power_mw;
-  signals_.erase(it);
-  total_power_mw_ = std::max(0.0, total_power_mw_ - power_mw);
+void Transceiver::signal_ends(const Airframe& frame, std::uint32_t slot,
+                              des::Time now) {
+  if (!signals_.slot_matches(slot, frame.id)) {
+    return;  // arrived while off, or cleared by an off/on cycle since
+  }
+  signals_.erase_slot(slot);
 
   if (has_lock_ && locked_frame_ == frame.id) {
     const bool ok = !lock_corrupted_;
@@ -129,8 +130,10 @@ void Transceiver::signal_ends(const Airframe& frame, des::Time now) {
       RRNET_TRACE_EVENT(obs::EventKind::PhyRxDecoded, now, node_id_, frame.id,
                         0);
       if (listener_ != nullptr) {
-        listener_->on_receive(frame,
-                              RxInfo{locked_power_dbm_, locked_start_, now});
+        // The only mW -> dBm conversion on the reception path: once per
+        // decoded frame, not once per arrival.
+        listener_->on_receive(
+            frame, RxInfo{mw_to_dbm(locked_power_mw_), locked_start_, now});
       }
     } else {
       ++stats_.frames_collided;
@@ -145,8 +148,17 @@ void Transceiver::turn_off() {
   if (state_ == RadioState::Off) return;
   const bool was_tx = state_ == RadioState::Tx;
   const std::uint64_t tx_frame = tx_frame_;
+  // Dropping the signal set severs every in-flight reception. Only the
+  // locked frame still owes a terminal outcome — every other signal got
+  // its drop counter at arrival — so account the aborted decode here or
+  // the conservation invariant (decoded + drops == arrived) leaks.
+  if (has_lock_) {
+    ++stats_.frames_aborted_off;
+    RRNET_TRACE_EVENT(obs::EventKind::PhyDrop,
+                      clock_ != nullptr ? clock_->now() : 0.0, node_id_,
+                      locked_frame_, obs::DropReason::RadioOff);
+  }
   signals_.clear();
-  total_power_mw_ = 0.0;
   has_lock_ = false;
   lock_corrupted_ = false;
   set_state(RadioState::Off);

@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include <optional>
 
@@ -12,18 +11,20 @@
 #include "des/time.hpp"
 #include "phy/energy.hpp"
 #include "phy/radio.hpp"
-#include "util/pooled_containers.hpp"
+#include "phy/signal_map.hpp"
+#include "phy/units.hpp"
 
 namespace rrnet::phy {
 
 /// Per-transceiver reception counters. Every arrival bumps
 /// `signals_arrived` and resolves into exactly one terminal outcome
-/// (decoded / collided / missed_busy / below_threshold / while_off) — or
-/// none when the radio is switched off mid-reception — so
+/// (decoded / collided / missed_busy / below_threshold / while_off /
+/// aborted_off) — a frame being decoded when the radio switches off is
+/// the aborted_off case — so
 ///   decoded + collided + missed_busy + below_threshold + while_off
-///     <= signals_arrived
-/// holds by construction (the rx + drops <= potential-receptions
-/// consistency invariant checked in tests/obs_test.cpp).
+///     + aborted_off == signals_arrived
+/// holds by construction (the rx + drops == potential-receptions
+/// conservation invariant checked exactly in tests/obs_test.cpp).
 struct TransceiverStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t signals_arrived = 0;    ///< all arrivals, however they end
@@ -32,7 +33,9 @@ struct TransceiverStats {
   std::uint64_t frames_missed_busy = 0; ///< arrived while Tx/Rx-locked
   std::uint64_t frames_below_threshold = 0;
   std::uint64_t frames_while_off = 0;
+  std::uint64_t frames_aborted_off = 0; ///< decode in progress, radio cut
   std::uint64_t tx_dropped_off = 0;     ///< transmit attempts while off
+  std::uint64_t tx_dropped_busy = 0;    ///< transmit attempts while Tx-busy
 };
 
 class Channel;
@@ -40,12 +43,16 @@ class Channel;
 class Transceiver : public util::PoolAllocated {
  public:
   Transceiver(std::uint32_t node_id, const RadioParams& params)
-      : node_id_(node_id), params_(&params) {
-    // One pooled chunk covers the typical concurrent-signal count; denser
-    // neighborhoods grow onto the heap per instance, which is rare and
-    // bounded.
-    signals_.reserve(kReservedSignals);
-  }
+      : node_id_(node_id),
+        params_(&params),
+        // Linear-domain constants, converted once: carrier sense, SINR
+        // gating, and noise addition run per signal event, and a pow()
+        // per comparison is the difference between O(1) bookkeeping and
+        // a transcendental call dominating the dense-flood hot path.
+        cs_threshold_mw_(dbm_to_mw(params.cs_threshold_dbm)),
+        rx_threshold_mw_(dbm_to_mw(params.rx_threshold_dbm)),
+        noise_floor_mw_(dbm_to_mw(params.noise_floor_dbm)),
+        sinr_threshold_ratio_(db_to_ratio(params.sinr_threshold_db)) {}
 
   Transceiver(const Transceiver&) = delete;
   Transceiver& operator=(const Transceiver&) = delete;
@@ -63,8 +70,12 @@ class Transceiver : public util::PoolAllocated {
   /// in-air power at this node exceeds the CS threshold.
   [[nodiscard]] bool medium_busy() const noexcept;
 
-  /// Total received power currently on the air at this node (mW).
-  [[nodiscard]] double total_rx_power_mw() const noexcept { return total_power_mw_; }
+  /// Total received power currently on the air at this node (mW); exactly
+  /// 0.0 on a quiet medium (SignalMap resets the incremental sum whenever
+  /// the signal set empties, so carrier sense cannot drift).
+  [[nodiscard]] double total_rx_power_mw() const noexcept {
+    return signals_.total_power_mw();
+  }
 
   /// Power the radio down: ongoing receptions are lost, and a transmission
   /// in progress is truncated (receivers will still see its full airtime;
@@ -89,37 +100,43 @@ class Transceiver : public util::PoolAllocated {
  private:
   friend class Channel;
 
-  struct ActiveSignal {
-    std::uint64_t frame_id;
-    double power_mw;
-    des::Time end_time;
-  };
-  static constexpr std::size_t kReservedSignals = 8;
-
   // Channel-driven events.
   void begin_transmit(std::uint64_t frame_id);
   void end_transmit(std::uint64_t frame_id, des::Time now);
-  void signal_arrives(const Airframe& frame, double power_dbm, des::Time now,
-                      des::Time end_time);
-  void signal_ends(const Airframe& frame, des::Time now);
+  /// Returns the signal's slot (SignalMap::kNoSlot when the radio is off);
+  /// the channel hands it back to signal_ends so neither endpoint scans.
+  /// Power is in mW — the whole arrival path (threshold, SINR, map) runs
+  /// in the linear domain; dBm reappears only in the decode-time RxInfo.
+  std::uint32_t signal_arrives(const Airframe& frame, double power_mw,
+                               des::Time now, des::Time end_time);
+  /// `slot` is the value signal_arrives returned; stale slots (radio was
+  /// cycled off in between) are detected by frame-id mismatch and ignored.
+  void signal_ends(const Airframe& frame, std::uint32_t slot, des::Time now);
 
   /// Switch radio state, accounting the dwell time of the old state.
   void set_state(RadioState next);
   void recompute_busy();
-  [[nodiscard]] double interference_mw_excluding(std::uint64_t frame_id) const noexcept;
-  [[nodiscard]] double sinr_db(double signal_mw, std::uint64_t frame_id) const noexcept;
+  /// Noise floor plus everything on the air except a signal of power
+  /// `own_mw`. O(1): the SoA map keeps the running total, so exclusion is
+  /// one subtraction instead of the AoS scan this replaces.
+  [[nodiscard]] double interference_mw_excluding_own(double own_mw) const noexcept;
+  /// SINR gate in the linear domain (one divide; no pow/log per event).
+  [[nodiscard]] bool sinr_clears_threshold(double signal_mw) const noexcept;
 
   std::uint32_t node_id_;
   const RadioParams* params_;
+  double cs_threshold_mw_;
+  double rx_threshold_mw_;
+  double noise_floor_mw_;
+  double sinr_threshold_ratio_;
   RadioListener* listener_ = nullptr;
   RadioState state_ = RadioState::Idle;
-  std::vector<ActiveSignal, util::NodePoolAllocator<ActiveSignal>> signals_;
-  double total_power_mw_ = 0.0;
+  SignalMap signals_;
   // Locked (being-decoded) frame bookkeeping.
   std::uint64_t locked_frame_ = 0;
   bool has_lock_ = false;
   bool lock_corrupted_ = false;
-  double locked_power_dbm_ = 0.0;
+  double locked_power_mw_ = 0.0;  ///< RxInfo converts to dBm at decode
   des::Time locked_start_ = 0.0;
   std::uint64_t tx_frame_ = 0;
   const des::Scheduler* clock_ = nullptr;

@@ -1,16 +1,34 @@
 // Radio power unit conversions (dBm <-> mW, dB ratios).
+//
+// Inline: these run on per-signal hot paths (every propagation draw takes
+// a ratio_to_db, every arrival a dbm_to_mw), where an out-of-line call per
+// conversion is measurable next to the O(1) PHY bookkeeping.
 #pragma once
+
+#include <algorithm>
+#include <cmath>
 
 namespace rrnet::phy {
 
-[[nodiscard]] double dbm_to_mw(double dbm) noexcept;
-[[nodiscard]] double mw_to_dbm(double mw) noexcept;
-/// Ratio (linear) -> decibels.
-[[nodiscard]] double ratio_to_db(double ratio) noexcept;
-/// Decibels -> linear ratio.
-[[nodiscard]] double db_to_ratio(double db) noexcept;
-
 /// Smallest representable power used to avoid -inf dBm on zero power.
 inline constexpr double kMinPowerMw = 1e-30;
+
+[[nodiscard]] inline double dbm_to_mw(double dbm) noexcept {
+  return std::pow(10.0, dbm / 10.0);
+}
+
+[[nodiscard]] inline double mw_to_dbm(double mw) noexcept {
+  return 10.0 * std::log10(std::max(mw, kMinPowerMw));
+}
+
+/// Ratio (linear) -> decibels.
+[[nodiscard]] inline double ratio_to_db(double ratio) noexcept {
+  return 10.0 * std::log10(std::max(ratio, kMinPowerMw));
+}
+
+/// Decibels -> linear ratio.
+[[nodiscard]] inline double db_to_ratio(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
 
 }  // namespace rrnet::phy

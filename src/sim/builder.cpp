@@ -90,7 +90,9 @@ void SimInstance::attach_protocol(const ScenarioConfig& config,
 }
 
 SimInstance::SimInstance(const ScenarioConfig& config)
-    : config_(config), terrain_(config.width_m, config.height_m) {
+    : config_(config),
+      scheduler_(config.scheduler_queue),
+      terrain_(config.width_m, config.height_m) {
   RRNET_EXPECTS(config.nodes >= 2);
 
   // Pool metrics are per-run deltas: the thread-local arenas accumulate

@@ -39,6 +39,12 @@ const Cell& Table::at(std::size_t row, std::size_t col) const {
   return rows_[row][col];
 }
 
+std::size_t Table::column_index(const std::string& name) const {
+  const auto it = std::find(columns_.begin(), columns_.end(), name);
+  RRNET_EXPECTS(it != columns_.end());
+  return static_cast<std::size_t>(it - columns_.begin());
+}
+
 std::string csv_escape(const std::string& field) {
   if (field.find_first_of(",\"\n") == std::string::npos) return field;
   std::string out = "\"";

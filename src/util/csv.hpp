@@ -26,6 +26,10 @@ class Table {
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
   [[nodiscard]] std::size_t columns() const noexcept { return columns_.size(); }
   [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+  /// Index of the named column; aborts if absent. Shape checks must use
+  /// this instead of hard-coded indices — appending columns to a series
+  /// (as the sweep counter columns did) silently shifts positions.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
 
   /// Write RFC-4180-ish CSV (quotes fields containing commas/quotes).
   void write_csv(std::ostream& os, int precision = 6) const;

@@ -153,6 +153,83 @@ TEST_F(ChannelTest, RejectsDoubleTransmit) {
   scheduler_.run();
 }
 
+// Regression: a transmit attempt while already transmitting used to return
+// false silently — no counter, no trace — making busy-sender losses
+// indistinguishable from frames that were never offered.
+TEST_F(ChannelTest, BusySenderDropIsCounted) {
+  build({0.0, 200.0});
+  EXPECT_EQ(channel_->transceiver(0).stats().tx_dropped_busy, 0u);
+  EXPECT_TRUE(channel_->transmit(frame_from(0, 1000)));
+  EXPECT_FALSE(channel_->transmit(frame_from(0, 10)));
+  EXPECT_FALSE(channel_->transmit(frame_from(0, 10)));
+  EXPECT_EQ(channel_->transceiver(0).stats().tx_dropped_busy, 2u);
+  EXPECT_EQ(channel_->transceiver(0).stats().tx_dropped_off, 0u);
+  scheduler_.run();
+  // Once the airtime ends the radio is no longer busy.
+  EXPECT_TRUE(channel_->transmit(frame_from(0, 10)));
+  scheduler_.run();
+  EXPECT_EQ(channel_->transceiver(0).stats().tx_dropped_busy, 2u);
+}
+
+// Regression: turning a radio off mid-decode cleared the signal set and the
+// lock without crediting the aborted reception to any drop counter, leaving
+// arrivals unaccounted (decoded + drops < signals_arrived).
+TEST_F(ChannelTest, TurnOffMidDecodeCountsAbortedReception) {
+  build({0.0, 200.0});
+  channel_->transmit(frame_from(0, 1000));  // long frame
+  bool turned_off = false;
+  scheduler_.schedule_at(0.001, [&]() {  // mid-airtime: node 1 is locked
+    EXPECT_EQ(channel_->transceiver(1).state(), RadioState::Rx);
+    channel_->transceiver(1).turn_off();
+    turned_off = true;
+  });
+  scheduler_.run();
+  EXPECT_TRUE(turned_off);
+  EXPECT_TRUE(captures_[1].received.empty());
+  const TransceiverStats& stats = channel_->transceiver(1).stats();
+  EXPECT_EQ(stats.frames_aborted_off, 1u);
+  // Conservation: the single arrival resolves into exactly one outcome.
+  EXPECT_EQ(stats.signals_arrived, 1u);
+  EXPECT_EQ(stats.frames_decoded + stats.frames_collided +
+                stats.frames_missed_busy + stats.frames_below_threshold +
+                stats.frames_while_off + stats.frames_aborted_off,
+            stats.signals_arrived);
+}
+
+// Radio-off without a lock in progress must NOT bump the aborted counter
+// (the other cleared signals already got their outcome at arrival).
+TEST_F(ChannelTest, TurnOffWithoutLockAbortsNothing) {
+  build({0.0, 200.0});
+  channel_->transceiver(1).turn_off();
+  scheduler_.run();
+  EXPECT_EQ(channel_->transceiver(1).stats().frames_aborted_off, 0u);
+}
+
+// Regression for carrier-sense drift: the cumulative in-air power at a
+// receiver is maintained incrementally across arrivals/expiries; after
+// heavy overlapping-signal churn the medium must read exactly idle again
+// (total power exactly 0.0), not epsilon-busy from FP residue.
+TEST_F(ChannelTest, MediumReadsExactlyIdleAfterSignalChurn) {
+  build({0.0, 150.0, 200.0, 310.0, 405.0});
+  des::Rng jitter(99);
+  for (int round = 0; round < 200; ++round) {
+    // Overlapping bursts from every node at staggered times: receiver
+    // signal sets grow and drain repeatedly, in varying interleavings.
+    for (std::uint32_t s = 0; s < 5; ++s) {
+      scheduler_.schedule_at(scheduler_.now() + jitter.uniform01() * 1e-3,
+                             [this, s]() {
+                               channel_->transmit(frame_from(s, 400));
+                             });
+    }
+    scheduler_.run();
+    for (std::uint32_t n = 0; n < 5; ++n) {
+      ASSERT_EQ(channel_->transceiver(n).total_rx_power_mw(), 0.0)
+          << "node " << n << " round " << round;
+      ASSERT_FALSE(channel_->transceiver(n).medium_busy());
+    }
+  }
+}
+
 TEST_F(ChannelTest, OffRadioNeitherSendsNorReceives) {
   build({0.0, 200.0});
   channel_->transceiver(1).turn_off();

@@ -185,15 +185,17 @@ TEST(ObsIntegration, ScenarioMetricsSatisfyPhyInvariant) {
   EXPECT_FALSE(reg.empty());
 
   // Conservation at the PHY: every signal arrival is decoded or accounted to
-  // exactly one drop reason, so rx + drops can never exceed potential
-  // receptions.
+  // exactly one drop reason — including decodes aborted by a radio turning
+  // off — so rx + drops must equal potential receptions exactly, with zero
+  // unexplained arrivals.
   const std::uint64_t arrived = reg.value(m::kPhySignalsArrived);
   const std::uint64_t accounted =
       reg.value(m::kPhyRxDecoded) + reg.value(m::kPhyDropCollision) +
       reg.value(m::kPhyDropRxWhileBusy) +
-      reg.value(m::kPhyDropBelowSensitivity) + reg.value(m::kPhyDropWhileOff);
+      reg.value(m::kPhyDropBelowSensitivity) +
+      reg.value(m::kPhyDropWhileOff) + reg.value(m::kPhyDropAbortedOff);
   EXPECT_GT(arrived, 0u);
-  EXPECT_LE(accounted, arrived);
+  EXPECT_EQ(accounted, arrived);
 
   // Cross-layer consistency with the classic ScenarioResult fields.
   EXPECT_EQ(reg.value(m::kDesEventsExecuted), r.events_executed);
@@ -206,6 +208,26 @@ TEST(ObsIntegration, ScenarioMetricsSatisfyPhyInvariant) {
   EXPECT_GE(reg.value(m::kElectionArmed), reg.value(m::kElectionWon));
   EXPECT_GT(reg.value(m::kDesHeapHighWater), 0u);
   EXPECT_GT(reg.value(m::kPoolPacketAllocs), 0u);
+}
+
+// Same conservation law under the Figure-4 failure model: radios cycling
+// off mid-decode must account those receptions as aborted drops, not lose
+// them (phy.drop_aborted_off is the counter the equality rests on).
+TEST(ObsIntegration, PhyInvariantHoldsExactlyUnderRadioFailures) {
+  sim::ScenarioConfig config = fig3_style_config();
+  config.failure_fraction = 0.5;
+  config.failure_cycle_s = 0.5;  // flip radios often enough to cut decodes
+  const sim::ScenarioResult r = sim::run_scenario(config);
+  const obs::MetricRegistry& reg = r.metrics;
+  const std::uint64_t arrived = reg.value(m::kPhySignalsArrived);
+  const std::uint64_t accounted =
+      reg.value(m::kPhyRxDecoded) + reg.value(m::kPhyDropCollision) +
+      reg.value(m::kPhyDropRxWhileBusy) +
+      reg.value(m::kPhyDropBelowSensitivity) +
+      reg.value(m::kPhyDropWhileOff) + reg.value(m::kPhyDropAbortedOff);
+  EXPECT_GT(arrived, 0u);
+  EXPECT_EQ(accounted, arrived);
+  EXPECT_GT(reg.value(m::kPhyDropWhileOff), 0u);
 }
 
 TEST(ObsIntegration, ScenarioMetricsDeterministicAcrossRuns) {

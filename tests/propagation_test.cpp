@@ -176,6 +176,29 @@ TEST_P(MonotoneModelTest, TxPowerShiftsLinearly) {
   EXPECT_NEAR(model->mean_rx_power_dbm(17.0, 120.0), base + 17.0, 1e-9);
 }
 
+// The linear (mW) entry points are the channel's hot path; they must agree
+// with the dBm forms they bypass, up to FP rounding of the conversion.
+TEST_P(MonotoneModelTest, LinearEntryPointsMatchDbm) {
+  const auto model = make_model();
+  const double tx_dbm = 15.0;
+  const double tx_mw = dbm_to_mw(tx_dbm);
+  for (double d = 1.0; d < 3000.0; d *= 2.7) {
+    const double via_dbm = dbm_to_mw(model->mean_rx_power_dbm(tx_dbm, d));
+    const double direct = model->mean_rx_power_mw(tx_mw, d);
+    EXPECT_NEAR(direct, via_dbm, 1e-9 * via_dbm) << "at distance " << d;
+  }
+  // Stochastic draws: same seed must give matching powers through either
+  // entry point (both consume exactly one draw per call).
+  des::Rng rng_dbm(7);
+  des::Rng rng_mw(7);
+  for (int i = 0; i < 50; ++i) {
+    const double via_dbm =
+        dbm_to_mw(model->rx_power_dbm(tx_dbm, 150.0, rng_dbm));
+    const double direct = model->rx_power_mw(tx_mw, 150.0, rng_mw);
+    EXPECT_NEAR(direct, via_dbm, 1e-9 * via_dbm) << "draw " << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllModels, MonotoneModelTest,
                          ::testing::Values(0, 1, 2, 3, 4));
 

@@ -240,6 +240,17 @@ TEST(Table, AtAccessorBoundsChecked) {
   EXPECT_DOUBLE_EQ(std::get<double>(t.at(0, 0)), 1.0);
 }
 
+// Shape checks resolve columns by name: the sweep tables grew counter
+// columns per protocol, which silently shifted every hard-coded index for
+// the second protocol's series (the fig1/fig3/fig4 verdict bug).
+TEST(Table, ColumnIndexByName) {
+  Table t({"x", "a_delivery", "a_extra", "b_delivery"});
+  EXPECT_EQ(t.column_index("x"), 0u);
+  EXPECT_EQ(t.column_index("b_delivery"), 3u);
+  EXPECT_THROW(static_cast<void>(t.column_index("missing")),
+               ContractViolation);
+}
+
 TEST(Flags, ParsesKeyValueForms) {
   // Note: a bare "--flag" followed by a non-flag token consumes it as the
   // value, so positionals must precede bare boolean flags.
