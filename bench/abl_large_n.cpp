@@ -15,10 +15,18 @@
 // regime) and RR at the fig3 density (125 nodes per km^2, unicast-with-
 // arbiter regime) — the two protocols the paper contributes.
 //
+// Each (n, protocol) row runs serial (shards = 1) and sharded (shards = 4,
+// one worker thread per shard): the shards/threads columns track the
+// parallel engine's speedup at fixed semantics — results are bit-identical
+// across shard counts (gated by tests/sharded_test.cpp), so delivery/delay
+// columns are only printed once per row pair and any drift is a bug.
+//
 // Flags: --quick (n = 1000 only), --nodes N (single custom size), --seed,
-// --reps.
+// --reps, --shards K (single custom shard count).
+#include <algorithm>
 #include <cmath>
 #include <chrono>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "sim/runner.hpp"
@@ -38,14 +46,18 @@ int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
 
   bench::print_header(
-      "Ablation — SSAF + RR scaling, n = 1000/5000/10000",
+      "Ablation — SSAF + RR scaling, n = 1000/5000/10000/100000, K = 1/4",
       "engine scaling toward multi-hop radio-network regimes (Ghaffari & "
       "Haeupler; Czumaj & Davies)");
 
-  std::vector<std::size_t> sizes = {1000, 5000, 10000};
+  std::vector<std::size_t> sizes = {1000, 5000, 10000, 100000};
   if (flags.get_bool("quick", false)) sizes = {1000};
   if (flags.has("nodes")) {
     sizes = {static_cast<std::size_t>(flags.get_int("nodes", 1000))};
+  }
+  std::vector<std::uint32_t> shard_counts = {1, 4};
+  if (flags.has("shards")) {
+    shard_counts = {static_cast<std::uint32_t>(flags.get_int("shards", 1))};
   }
 
   // fig1: 100 nodes / 1000x1000 m; fig3: 500 nodes / 2000x2000 m.
@@ -54,41 +66,59 @@ int main(int argc, char** argv) {
       {"rr", sim::ProtocolKind::Routeless, 125.0},
   };
 
-  util::Table table({"nodes", "proto", "terrain_m", "events", "wall_s",
-                     "events_per_s", "delivery", "delay_s", "mac_pkts"});
+  util::Table table({"nodes", "proto", "shards", "threads", "terrain_m",
+                     "events", "wall_s", "events_per_s", "delivery",
+                     "delay_s", "mac_pkts"});
   for (const std::size_t nodes : sizes) {
     for (const SweepRow& row : rows) {
-      sim::ScenarioConfig config = row.protocol == sim::ProtocolKind::Ssaf
-                                       ? bench::figure1_setup()
-                                       : bench::figure3_setup();
-      std::size_t replications = 1;
-      bench::apply_flags(flags, config, replications);
-      config.nodes = nodes;
-      // Fixed density: terrain grows with n so neighborhood size holds.
-      const double side =
-          std::sqrt(static_cast<double>(nodes) / row.nodes_per_km2) * 1000.0;
-      config.width_m = config.height_m = side;
-      config.protocol = row.protocol;
-      config.pairs = 10;
-      config.cbr_interval = 2.0;
-      config.traffic_start = 1.0;
-      config.traffic_stop = 9.0;
-      config.sim_end = 14.0;
+      for (const std::uint32_t shards : shard_counts) {
+        sim::ScenarioConfig config = row.protocol == sim::ProtocolKind::Ssaf
+                                         ? bench::figure1_setup()
+                                         : bench::figure3_setup();
+        std::size_t replications = 1;
+        bench::apply_flags(flags, config, replications);
+        config.nodes = nodes;
+        // Fixed density: terrain grows with n so neighborhood size holds.
+        const double side =
+            std::sqrt(static_cast<double>(nodes) / row.nodes_per_km2) *
+            1000.0;
+        config.width_m = config.height_m = side;
+        config.protocol = row.protocol;
+        config.pairs = 10;
+        config.cbr_interval = 2.0;
+        config.traffic_start = 1.0;
+        config.traffic_stop = 9.0;
+        config.sim_end = 14.0;
+        config.shards = shards;
+        // Auto worker count: one thread per shard, clamped to the machine
+        // (on a small box the sharded engine still runs — and stays
+        // bit-identical — with fewer workers than shards).
+        config.shard_threads = 0;
+        const std::uint32_t threads =
+            shards == 1
+                ? 1
+                : std::min(std::max(1u, std::thread::hardware_concurrency()),
+                           shards);
 
-      // run_scenario (not run_replications): the scaling table needs the
-      // raw event count and a wall clock unpolluted by worker-thread setup.
-      const auto t0 = std::chrono::steady_clock::now();
-      const sim::ScenarioResult result = sim::run_scenario(config);
-      const double wall =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      const double events = static_cast<double>(result.events_executed);
-      table.add_row({static_cast<double>(nodes), std::string(row.label), side,
-                     events, wall, wall > 0.0 ? events / wall : 0.0,
-                     result.delivery_ratio, result.mean_delay_s,
-                     static_cast<double>(result.mac_packets)});
-      std::fprintf(stderr, "  [n=%zu %s] %.1fs wall, %.0f events\n", nodes,
-                   row.label, wall, events);
+        // run_scenario (not run_replications): the scaling table needs the
+        // raw event count and a wall clock unpolluted by worker-thread
+        // setup.
+        const auto t0 = std::chrono::steady_clock::now();
+        const sim::ScenarioResult result = sim::run_scenario(config);
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const double events = static_cast<double>(result.events_executed);
+        table.add_row({static_cast<double>(nodes), std::string(row.label),
+                       static_cast<double>(shards),
+                       static_cast<double>(threads), side, events, wall,
+                       wall > 0.0 ? events / wall : 0.0,
+                       result.delivery_ratio, result.mean_delay_s,
+                       static_cast<double>(result.mac_packets)});
+        std::fprintf(stderr, "  [n=%zu %s K=%u] %.1fs wall, %.0f events\n",
+                     nodes, row.label, shards, wall, events);
+      }
     }
   }
   bench::emit(table, "abl_large_n.csv");

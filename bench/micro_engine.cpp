@@ -182,8 +182,8 @@ void BM_ChannelBroadcastFanout(benchmark::State& state) {
   std::uint32_t sender = 0;
   for (auto _ : state) {
     phy::Airframe frame;
-    frame.id = channel.next_frame_id();
     frame.sender = sender++ % n;
+    frame.id = channel.next_frame_id(frame.sender);
     frame.size_bytes = 128;
     channel.transmit(frame);
     sched.run();  // drain all reception events

@@ -19,6 +19,7 @@
 #include <new>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -81,6 +82,7 @@ using Clock = std::chrono::steady_clock;
 struct BenchResult {
   std::string name;
   std::uint64_t events = 0;   ///< unit of work (events, timers, frames, ...)
+  std::uint32_t threads = 1;  ///< worker threads used (sharded benches > 1)
   double seconds = 0.0;
   double best_round_ns = 0.0;  ///< fastest round's ns/event (noise floor)
   std::uint64_t allocations = 0;
@@ -305,8 +307,8 @@ BenchResult bench_channel_broadcast(std::size_t nodes) {
         const std::uint64_t before = sched.executed_count();
         for (int round = 0; round < 64; ++round) {
           phy::Airframe frame;
-          frame.id = channel.next_frame_id();
           frame.sender = sender++ % static_cast<std::uint32_t>(nodes);
+          frame.id = channel.next_frame_id(frame.sender);
           frame.size_bytes = 128;
           channel.transmit(frame);
           sched.run();  // drain all reception events
@@ -347,8 +349,8 @@ BenchResult bench_dense_signals() {
       // every receiver accumulates ~kSenders concurrent ActiveSignals.
       for (std::uint32_t s = 0; s < kSenders; ++s) {
         phy::Airframe frame;
-        frame.id = channel.next_frame_id();
         frame.sender = s;
+        frame.id = channel.next_frame_id(frame.sender);
         frame.size_bytes = 512;
         channel.transmit(frame);
       }
@@ -359,7 +361,8 @@ BenchResult bench_dense_signals() {
 }
 
 BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
-                           std::size_t nodes, std::size_t pairs) {
+                           std::size_t nodes, std::size_t pairs,
+                           std::uint32_t shards = 1) {
   sim::ScenarioConfig config;
   config.nodes = nodes;
   config.width_m = config.height_m = 1000.0;
@@ -369,11 +372,20 @@ BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
   config.traffic_stop = 6.0;
   config.sim_end = 10.0;
   config.seed = 42;
+  config.shards = shards;
+  // Auto worker count (clamped to hardware): under the suite's single-core
+  // taskset pinning, spawning one thread per shard would only measure
+  // oversubscription; results are bit-identical either way.
+  config.shard_threads = 0;
   sim::ScenarioResult last;
   BenchResult bench = measure(name, 1.0, [&]() {
     last = sim::run_scenario(config);
     return last.events_executed;
   });
+  bench.threads =
+      shards == 1 ? 1
+                  : std::min(std::max(1u, std::thread::hardware_concurrency()),
+                             shards);
   // Counters are deterministic per seed, so the last round's snapshot is
   // representative. Pool counters are excluded: they depend on how many
   // rounds ran on this thread before (warm arenas), not on the scenario.
@@ -402,11 +414,12 @@ void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
     const BenchResult& r = rs[i];
     char buf[512];
     std::snprintf(buf, sizeof(buf),
-                  "    {\"name\": \"%s\", \"events\": %llu, \"seconds\": "
+                  "    {\"name\": \"%s\", \"threads\": %u, "
+                  "\"events\": %llu, \"seconds\": "
                   "%.6f, \"events_per_sec\": %.1f, \"ns_per_event\": %.2f, "
                   "\"allocations\": %llu, \"allocs_per_event\": %.4f, "
                   "\"alloc_bytes\": %llu",
-                  r.name.c_str(),
+                  r.name.c_str(), r.threads,
                   static_cast<unsigned long long>(r.events), r.seconds,
                   r.events_per_sec(), r.ns_per_event(),
                   static_cast<unsigned long long>(r.allocations),
@@ -450,6 +463,13 @@ int main(int argc, char** argv) {
                                    sim::ProtocolKind::Routeless, 100, 5));
   results.push_back(
       bench_scenario("fig3_aodv_wallclock", sim::ProtocolKind::Aodv, 100, 5));
+  // Sharded engine (4 strips, one worker per strip) on the SSAF scenario:
+  // tracks the parallel path's overhead/speedup at bench scale. Semantic
+  // counters are bit-identical to the serial entry by construction (gated
+  // by tests/sharded_test.cpp); des.* counters include window-walker
+  // bookkeeping and are only comparable at a fixed shard count.
+  results.push_back(bench_scenario("fig1_ssaf_sharded4",
+                                   sim::ProtocolKind::Ssaf, 80, 1, 4));
   write_json(out, results);
   std::fprintf(stderr, "wrote %s\n", out.c_str());
   return 0;

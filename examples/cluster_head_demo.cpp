@@ -74,7 +74,7 @@ class ClusterProtocol final : public net::Protocol {
     announce.origin = node().id();
     announce.target = net::kNoNode;
     announce.sequence = round;
-    announce.uid = node().network().next_packet_uid();
+    announce.uid = node().next_packet_uid();
     announce.expected_hops = 2;  // head-announcement marker
     announce.payload_bytes = 8;
     announce.created_at = node().scheduler().now();
@@ -131,7 +131,7 @@ int main() {
       beacon.origin = 0;
       beacon.target = net::kNoNode;
       beacon.sequence = round;
-      beacon.uid = network.next_packet_uid();
+      beacon.uid = network.node(0).next_packet_uid();
       beacon.expected_hops = 1;  // round-beacon marker
       beacon.payload_bytes = 8;
       beacon.created_at = scheduler.now();

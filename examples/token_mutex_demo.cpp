@@ -135,7 +135,7 @@ class TokenProtocol final : public net::Protocol {
     packet.origin = node().id();
     packet.target = net::kNoNode;
     packet.sequence = next_sequence_++;
-    packet.uid = node().network().next_packet_uid();
+    packet.uid = node().next_packet_uid();
     packet.expected_hops = kind;  // Release or Claim marker
     packet.payload_bytes = 8;
     packet.created_at = node().scheduler().now();

@@ -1,0 +1,74 @@
+// Spatial shard partitioning: vertical column strips over the terrain.
+//
+// The sharded engine assigns each node to exactly one shard by position.
+// Strips are columns along x (not a 2-D checkerboard): a column partition
+// minimizes the boundary surface per shard for the paper's wide terrains,
+// and makes ownership a single multiply — shard_of() must be cheap because
+// the channel consults it for every receiver of every cross-shard
+// transmission.
+//
+// Determinism contract: shard_of() is a pure function of (terrain width,
+// shard count, position.x). Every shard computes the same owner map from
+// the same positions vector, so no owner table ever has to be exchanged
+// between workers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/terrain.hpp"
+#include "geom/vec2.hpp"
+#include "util/contracts.hpp"
+
+namespace rrnet::geom {
+
+/// K vertical strips of equal width covering [0, terrain.width()].
+class ShardPartition {
+ public:
+  ShardPartition(const Terrain& terrain, std::uint32_t shards)
+      : shards_(shards), width_(terrain.width()) {
+    RRNET_EXPECTS(shards >= 1);
+    RRNET_EXPECTS(width_ > 0.0);
+    strip_width_ = width_ / static_cast<double>(shards);
+  }
+
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
+  [[nodiscard]] double strip_width() const noexcept { return strip_width_; }
+
+  /// Owning shard of a position. Points at or beyond the right terrain edge
+  /// (x == width, or stray FP above it) clamp into the last strip; points
+  /// exactly on an interior strip boundary belong to the right-hand strip
+  /// (floor semantics), so every position has exactly one owner.
+  [[nodiscard]] std::uint32_t shard_of(Vec2 p) const noexcept {
+    if (p.x <= 0.0) return 0;
+    const auto s = static_cast<std::uint32_t>(p.x / strip_width_);
+    return s >= shards_ ? shards_ - 1 : s;
+  }
+
+  /// Inclusive x-range of one strip (tests / diagnostics).
+  [[nodiscard]] double strip_begin(std::uint32_t shard) const noexcept {
+    return strip_width_ * static_cast<double>(shard);
+  }
+  [[nodiscard]] double strip_end(std::uint32_t shard) const noexcept {
+    return shard + 1 == shards_ ? width_
+                                : strip_width_ * static_cast<double>(shard + 1);
+  }
+
+ private:
+  std::uint32_t shards_;
+  double width_;
+  double strip_width_;
+};
+
+/// owner[i] = owning shard of positions[i]. Every worker derives the same
+/// map independently (shard_of is pure), so this is a convenience, not a
+/// synchronization point.
+[[nodiscard]] inline std::vector<std::uint32_t> shard_owner_map(
+    const ShardPartition& partition, const std::vector<Vec2>& positions) {
+  std::vector<std::uint32_t> owner;
+  owner.reserve(positions.size());
+  for (const Vec2& p : positions) owner.push_back(partition.shard_of(p));
+  return owner;
+}
+
+}  // namespace rrnet::geom

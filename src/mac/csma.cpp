@@ -20,6 +20,7 @@ bool mac_trace_enabled() {
 
 namespace rrnet::mac {
 
+
 CsmaMac::CsmaMac(phy::Channel& channel, std::uint32_t node_id,
                  MacParams params, des::Rng rng, MacListener& listener)
     : channel_(&channel),
@@ -87,6 +88,9 @@ void CsmaMac::begin_attempt() {
 
 void CsmaMac::start_difs() {
   state_ = TxState::Difs;
+  // DIFS expiry can transmit immediately (a zero backoff draw), so the
+  // sharded engine must know about it before the window bound is computed.
+  channel_->note_armed_tx(scheduler_->now() + params_.difs);
   difs_timer_.start(params_.difs, [this]() { start_backoff(); });
 }
 
@@ -102,6 +106,15 @@ void CsmaMac::start_backoff() {
     transmit_current();
     return;
   }
+  // Only the final slot's expiry transmits, but the whole countdown can run
+  // inside one synchronization window, so the armed-transmit note must be
+  // pushed NOW for the countdown's end. Accumulate hop by hop — each slot
+  // timer fires at exactly (previous expiry + slot_time), so repeating the
+  // same additions reproduces the final expiry bit-for-bit. A pause only
+  // delays the transmit, leaving this note a stale (conservative) bound.
+  des::Time armed = scheduler_->now();
+  for (std::uint32_t i = 0; i < slots_left_; ++i) armed += params_.slot_time;
+  channel_->note_armed_tx(armed);
   backoff_timer_.start(params_.slot_time, [this]() {
     --slots_left_;
     if (slots_left_ == 0) {
@@ -157,6 +170,7 @@ void CsmaMac::transmit_current() {
     // Our own ACK is still on the air; retry one slot later.
     slots_left_ = 1;
     state_ = TxState::Backoff;
+    channel_->note_armed_tx(scheduler_->now() + params_.slot_time);
     backoff_timer_.start(params_.slot_time, [this]() { transmit_current(); });
     return;
   }
@@ -165,7 +179,7 @@ void CsmaMac::transmit_current() {
     return;
   }
   phy::Airframe air;
-  air.id = channel_->next_frame_id();
+  air.id = channel_->next_frame_id(node_id_);
   air.sender = node_id_;
   air.size_bytes = current_->frame.size_bytes;
   air.frame = current_->frame;
@@ -195,7 +209,7 @@ void CsmaMac::send_rts() {
                      radio.airtime(current_->frame.size_bytes) +
                      radio.airtime(kAckBytes);
   phy::Airframe air;
-  air.id = channel_->next_frame_id();
+  air.id = channel_->next_frame_id(node_id_);
   air.sender = node_id_;
   air.size_bytes = rts.size_bytes;
   air.frame = rts;
@@ -217,6 +231,7 @@ void CsmaMac::transmit_data_now() {
   // The medium is reserved for us (CTS in hand): send after SIFS without a
   // fresh contention round.
   state_ = TxState::Transmitting;
+  channel_->note_armed_tx(scheduler_->now() + params_.sifs);
   scheduler_->schedule_in(params_.sifs, [this]() {
     if (!current_.has_value()) return;
     const phy::Transceiver& radio = channel_->transceiver(node_id_);
@@ -226,7 +241,7 @@ void CsmaMac::transmit_data_now() {
       return;
     }
     phy::Airframe air;
-    air.id = channel_->next_frame_id();
+    air.id = channel_->next_frame_id(node_id_);
     air.sender = node_id_;
     air.size_bytes = current_->frame.size_bytes;
     air.frame = current_->frame;
@@ -246,6 +261,7 @@ void CsmaMac::transmit_data_now() {
 }
 
 void CsmaMac::send_cts(const Frame& rts) {
+  channel_->note_armed_tx(scheduler_->now() + params_.sifs);
   scheduler_->schedule_in(params_.sifs, [this, src = rts.src,
                                          seq = rts.sequence,
                                          nav = rts.nav_duration]() {
@@ -265,7 +281,7 @@ void CsmaMac::send_cts(const Frame& rts) {
         params_.sifs + channel_->params().airtime(kCtsBytes);
     cts.nav_duration = nav > consumed ? nav - consumed : 0.0;
     phy::Airframe air;
-    air.id = channel_->next_frame_id();
+    air.id = channel_->next_frame_id(node_id_);
     air.sender = node_id_;
     air.size_bytes = cts.size_bytes;
     air.frame = std::move(cts);
@@ -348,6 +364,7 @@ void CsmaMac::finish_current(bool success) {
 }
 
 void CsmaMac::send_ack(const Frame& data_frame) {
+  channel_->note_armed_tx(scheduler_->now() + params_.sifs);
   scheduler_->schedule_in(params_.sifs, [this, src = data_frame.src,
                                          seq = data_frame.sequence]() {
     const phy::Transceiver& radio = channel_->transceiver(node_id_);
@@ -359,7 +376,7 @@ void CsmaMac::send_ack(const Frame& data_frame) {
     ack.sequence = seq;
     ack.size_bytes = kAckBytes;
     phy::Airframe air;
-    air.id = channel_->next_frame_id();
+    air.id = channel_->next_frame_id(node_id_);
     air.sender = node_id_;
     air.size_bytes = ack.size_bytes;
     air.frame = std::move(ack);

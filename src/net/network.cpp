@@ -9,39 +9,50 @@ namespace rrnet::net {
 Network::Network(des::Scheduler& scheduler, const geom::Terrain& terrain,
                  std::unique_ptr<phy::PropagationModel> model,
                  phy::RadioParams radio_params, mac::MacParams mac_params,
-                 std::vector<geom::Vec2> positions, des::Rng root_rng)
+                 std::vector<geom::Vec2> positions, des::Rng root_rng,
+                 phy::ShardSpec shard)
     : scheduler_(&scheduler) {
   const std::size_t n = positions.size();
   RRNET_EXPECTS(n > 0);
   channel_ = std::make_unique<phy::Channel>(
       scheduler, terrain, std::move(model), radio_params, std::move(positions),
-      root_rng.fork("channel"));
+      root_rng.fork("channel"), std::move(shard));
   nodes_.reserve(n);
   for (std::uint32_t id = 0; id < n; ++id) {
-    nodes_.push_back(std::make_unique<Node>(*this, id, mac_params,
-                                            root_rng.fork("node", id)));
+    // Fork the per-node stream even for remote ids: forks are keyed off the
+    // parent seed (not stream position), so this is only documentation that
+    // id-keyed forking is what keeps shards bit-compatible with serial.
+    des::Rng node_rng = root_rng.fork("node", id);
+    if (!channel_->owns(id)) {
+      nodes_.push_back(nullptr);
+      continue;
+    }
+    nodes_.push_back(
+        std::make_unique<Node>(*this, id, mac_params, node_rng));
   }
 }
 
 Node& Network::node(std::uint32_t id) {
-  RRNET_EXPECTS(id < nodes_.size());
+  RRNET_EXPECTS(id < nodes_.size() && nodes_[id] != nullptr);
   return *nodes_[id];
 }
 
 const Node& Network::node(std::uint32_t id) const {
-  RRNET_EXPECTS(id < nodes_.size());
+  RRNET_EXPECTS(id < nodes_.size() && nodes_[id] != nullptr);
   return *nodes_[id];
 }
 
 void Network::start_protocols() {
   for (auto& node : nodes_) {
-    if (node->has_protocol()) node->protocol().start();
+    if (node != nullptr && node->has_protocol()) node->protocol().start();
   }
 }
 
 std::uint64_t Network::total_mac_tx() const noexcept {
   std::uint64_t total = 0;
-  for (const auto& node : nodes_) total += node->mac().stats().total_tx();
+  for (const auto& node : nodes_) {
+    if (node != nullptr) total += node->mac().stats().total_tx();
+  }
   return total;
 }
 
@@ -60,7 +71,8 @@ void Network::remove_observer(PacketObserver* observer) noexcept {
       observers_.end());
 }
 
-void Network::snapshot_metrics(obs::MetricRegistry& reg) const {
+void Network::snapshot_metrics(obs::MetricRegistry& reg,
+                               obs::Histogram* backoff_slots_out) const {
   namespace m = obs::metric;
   const phy::ChannelStats& ch = channel_->stats();
   reg.add(m::kPhyTransmissions, ch.transmissions);
@@ -68,6 +80,7 @@ void Network::snapshot_metrics(obs::MetricRegistry& reg) const {
 
   obs::Histogram backoff_slots;
   for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id] == nullptr) continue;  // remote shard owns this node
     const Node& node = *nodes_[id];
     const phy::TransceiverStats& phy = channel_->transceiver(id).stats();
     reg.add(m::kPhyTxFrames, phy.frames_sent);
@@ -103,7 +116,9 @@ void Network::snapshot_metrics(obs::MetricRegistry& reg) const {
 
     if (node.has_protocol()) node.protocol().snapshot_metrics(reg);
   }
-  if (!backoff_slots.empty()) {
+  if (backoff_slots_out != nullptr) {
+    backoff_slots_out->merge(backoff_slots);
+  } else if (!backoff_slots.empty()) {
     backoff_slots.snapshot_into(reg, m::kMacBackoffSlots);
   }
 }

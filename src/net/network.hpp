@@ -19,10 +19,15 @@ class Network {
  public:
   /// Builds the channel and one node (transceiver + MAC) per position.
   /// Protocols are attached afterwards via node(i).set_protocol(...).
+  /// When `shard` marks this network as one shard of a sharded run, nodes
+  /// (and their transceivers) exist only for owned ids; node(id) on a
+  /// remote id is a contract violation. Rng forks are keyed by node id, so
+  /// every shard hands its nodes the exact streams the serial run would.
   Network(des::Scheduler& scheduler, const geom::Terrain& terrain,
           std::unique_ptr<phy::PropagationModel> model,
           phy::RadioParams radio_params, mac::MacParams mac_params,
-          std::vector<geom::Vec2> positions, des::Rng root_rng);
+          std::vector<geom::Vec2> positions, des::Rng root_rng,
+          phy::ShardSpec shard = {});
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -30,15 +35,16 @@ class Network {
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] Node& node(std::uint32_t id);
   [[nodiscard]] const Node& node(std::uint32_t id) const;
+  /// True iff this network instance owns node `id` (always true serially).
+  [[nodiscard]] bool has_node(std::uint32_t id) const noexcept {
+    return id < nodes_.size() && nodes_[id] != nullptr;
+  }
   [[nodiscard]] phy::Channel& channel() noexcept { return *channel_; }
   [[nodiscard]] const phy::Channel& channel() const noexcept { return *channel_; }
   [[nodiscard]] des::Scheduler& scheduler() noexcept { return *scheduler_; }
 
   /// Call every protocol's start() hook (after all protocols are attached).
   void start_protocols();
-
-  /// Fresh globally unique packet uid.
-  [[nodiscard]] std::uint64_t next_packet_uid() noexcept { return ++last_uid_; }
 
   /// Observers for tracing (not owned). Multiple observers may watch the
   /// same network — e.g. a PathTrace plus an ad-hoc counter in a test; all
@@ -54,15 +60,19 @@ class Network {
   [[nodiscard]] std::uint64_t total_mac_tx() const noexcept;
 
   /// Dump every layer's counters (PHY, MAC, net, per-protocol) into `reg`.
-  /// Pure observation: never mutates simulation state.
-  void snapshot_metrics(obs::MetricRegistry& reg) const;
+  /// Pure observation: never mutates simulation state. When
+  /// `backoff_slots_out` is non-null the raw backoff histogram is merged
+  /// into it INSTEAD of being flattened into `reg` — percentile entries do
+  /// not compose across registries, so a sharded run collects the raw
+  /// buckets per shard and flattens the union once.
+  void snapshot_metrics(obs::MetricRegistry& reg,
+                        obs::Histogram* backoff_slots_out = nullptr) const;
 
  private:
   des::Scheduler* scheduler_;
   std::unique_ptr<phy::Channel> channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<PacketObserver*> observers_;
-  std::uint64_t last_uid_ = 0;
 };
 
 }  // namespace rrnet::net

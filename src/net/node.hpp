@@ -54,6 +54,14 @@ class Node final : public mac::MacListener, public util::PoolAllocated {
   [[nodiscard]] des::Scheduler& scheduler() const;
   [[nodiscard]] des::Rng& rng() noexcept { return rng_; }
 
+  /// Fresh unique packet uid: (node id << 32) | per-node counter. Keyed to
+  /// the originating node (not a network-global counter) so the uids a node
+  /// hands out are independent of every other node's traffic — a spatially
+  /// sharded run assigns the same uids as a serial one.
+  [[nodiscard]] std::uint64_t next_packet_uid() noexcept {
+    return (static_cast<std::uint64_t>(id_) << 32) | ++last_uid_;
+  }
+
   /// Install the protocol (exactly once, before start()).
   void set_protocol(std::unique_ptr<Protocol> protocol);
   [[nodiscard]] Protocol& protocol() const;
@@ -92,6 +100,7 @@ class Node final : public mac::MacListener, public util::PoolAllocated {
   std::unique_ptr<Protocol> protocol_;
   DeliveryHandler delivery_handler_;
   NodeStats stats_;
+  std::uint32_t last_uid_ = 0;
 };
 
 }  // namespace rrnet::net

@@ -48,6 +48,8 @@ enum class ExtensionKind : std::uint8_t {
   RouteTable,   ///< DSDV: full table dump
 };
 
+class ExtensionRef;
+
 /// Base of all packet extensions: an ExtensionKind tag plus an intrusive
 /// non-atomic refcount (same threading rules as PacketBuffer). Concrete
 /// subclasses live in the protocol headers that own them and expose a
@@ -60,6 +62,13 @@ class PacketExtension : public util::PoolAllocated {
   PacketExtension& operator=(const PacketExtension&) = delete;
 
   [[nodiscard]] ExtensionKind kind() const noexcept { return kind_; }
+
+  /// Allocate an independent copy of this extension from the CALLING
+  /// thread's pools. The cross-shard handoff path uses this to re-home a
+  /// packet onto the destination shard's worker thread: refcounts are
+  /// non-atomic, so a buffer must never be shared across threads — it is
+  /// deep-cloned instead (see clone_packet_deep below).
+  [[nodiscard]] virtual ExtensionRef clone() const = 0;
 
  private:
   friend class ExtensionRef;
@@ -384,6 +393,15 @@ class PacketRef {
 /// Originate a packet: one pooled buffer allocation, shared by every copy
 /// of the returned ref for the packet's whole network lifetime.
 [[nodiscard]] PacketRef make_packet(PacketInit init);
+
+/// Rebuild `ref` as a completely independent packet allocated from the
+/// CALLING thread's pools: fresh buffer, fresh extension (virtual clone),
+/// identical header and hop trailer. This is the only legal way to move a
+/// packet across threads — refcounts are non-atomic and buffers pool-local,
+/// so shard handoff re-homes the payload instead of sharing it. Reads the
+/// source buffer through const getters only (never copies a Ref), so the
+/// source thread's refcounts are untouched.
+[[nodiscard]] PacketRef clone_packet_deep(const PacketRef& ref);
 
 /// The calling thread's dedicated PacketBuffer arena (introspection: the
 /// sim layer snapshots its occupancy/alloc counters into run metrics).

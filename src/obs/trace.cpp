@@ -113,53 +113,88 @@ bool is_drop(EventKind kind) noexcept {
   return kind == EventKind::PhyDrop || kind == EventKind::MacDrop;
 }
 
-}  // namespace
-
-bool EventTracer::export_jsonl(std::ostream& os) const {
-  for_each_ordered([&](const TraceRecord& r) {
-    const auto kind = static_cast<EventKind>(r.kind);
-    os << "{\"t\":" << r.time << ",\"kind\":\"" << to_string(kind) << "\"";
-    if (r.node != kNoTraceNode) os << ",\"node\":" << r.node;
-    os << ",\"id\":" << r.id << ",\"arg\":" << r.arg;
-    if (is_drop(kind)) {
-      os << ",\"reason\":\"" << to_string(static_cast<DropReason>(r.arg))
-         << "\"";
-    }
-    os << "}\n";
-  });
-  return static_cast<bool>(os);
+void append_jsonl_record(std::ostream& os, const TraceRecord& r) {
+  const auto kind = static_cast<EventKind>(r.kind);
+  os << "{\"t\":" << r.time << ",\"kind\":\"" << to_string(kind) << "\"";
+  if (r.node != kNoTraceNode) os << ",\"node\":" << r.node;
+  os << ",\"id\":" << r.id << ",\"arg\":" << r.arg;
+  if (is_drop(kind)) {
+    os << ",\"reason\":\"" << to_string(static_cast<DropReason>(r.arg))
+       << "\"";
+  }
+  os << "}\n";
 }
 
-bool EventTracer::export_chrome_trace(std::ostream& os) const {
+void append_chrome_preamble(std::ostream& os) {
   os << "{\"traceEvents\":[\n";
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
         "\"args\":{\"name\":\"network (tid = node id)\"}},\n";
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
         "\"args\":{\"name\":\"scheduler\"}}";
-  for_each_ordered([&](const TraceRecord& r) {
-    const auto kind = static_cast<EventKind>(r.kind);
-    const double ts_us = r.time * 1e6;  // simulated seconds -> microseconds
-    os << ",\n";
-    if (kind == EventKind::HandlerSpan) {
-      // Span on the scheduler track: position on the simulated-time axis,
-      // width = the handler's wall-clock cost (id field carries wall ns).
-      const double dur_us =
-          std::max(static_cast<double>(r.id) * 1e-3, 1e-3);
-      os << "{\"name\":\"handler\",\"ph\":\"X\",\"ts\":" << ts_us
-         << ",\"dur\":" << dur_us
-         << ",\"pid\":1,\"tid\":0,\"args\":{\"wall_ns\":" << r.id << "}}";
-      return;
-    }
-    os << "{\"name\":\"" << to_string(kind);
-    if (is_drop(kind)) {
-      os << "(" << to_string(static_cast<DropReason>(r.arg)) << ")";
-    }
-    os << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts_us << ",\"pid\":0"
-       << ",\"tid\":" << (r.node == kNoTraceNode ? 0u : r.node)
-       << ",\"args\":{\"id\":" << r.id << ",\"arg\":" << r.arg << "}}";
-  });
+}
+
+void append_chrome_record(std::ostream& os, const TraceRecord& r) {
+  const auto kind = static_cast<EventKind>(r.kind);
+  const double ts_us = r.time * 1e6;  // simulated seconds -> microseconds
+  os << ",\n";
+  if (kind == EventKind::HandlerSpan) {
+    // Span on the scheduler track: position on the simulated-time axis,
+    // width = the handler's wall-clock cost (id field carries wall ns).
+    const double dur_us = std::max(static_cast<double>(r.id) * 1e-3, 1e-3);
+    os << "{\"name\":\"handler\",\"ph\":\"X\",\"ts\":" << ts_us
+       << ",\"dur\":" << dur_us
+       << ",\"pid\":1,\"tid\":0,\"args\":{\"wall_ns\":" << r.id << "}}";
+    return;
+  }
+  os << "{\"name\":\"" << to_string(kind);
+  if (is_drop(kind)) {
+    os << "(" << to_string(static_cast<DropReason>(r.arg)) << ")";
+  }
+  os << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts_us << ",\"pid\":0"
+     << ",\"tid\":" << (r.node == kNoTraceNode ? 0u : r.node)
+     << ",\"args\":{\"id\":" << r.id << ",\"arg\":" << r.arg << "}}";
+}
+
+}  // namespace
+
+bool EventTracer::export_jsonl(std::ostream& os) const {
+  for_each_ordered([&](const TraceRecord& r) { append_jsonl_record(os, r); });
+  return static_cast<bool>(os);
+}
+
+bool EventTracer::export_chrome_trace(std::ostream& os) const {
+  append_chrome_preamble(os);
+  for_each_ordered([&](const TraceRecord& r) { append_chrome_record(os, r); });
   os << "\n]}\n";
   return static_cast<bool>(os);
+}
+
+bool export_records_jsonl(const std::vector<TraceRecord>& records,
+                          std::ostream& os) {
+  for (const TraceRecord& r : records) append_jsonl_record(os, r);
+  return static_cast<bool>(os);
+}
+
+bool export_records_chrome_trace(const std::vector<TraceRecord>& records,
+                                 std::ostream& os) {
+  append_chrome_preamble(os);
+  for (const TraceRecord& r : records) append_chrome_record(os, r);
+  os << "\n]}\n";
+  return static_cast<bool>(os);
+}
+
+bool export_records_jsonl_file(const std::vector<TraceRecord>& records,
+                               const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  return export_records_jsonl(records, os);
+}
+
+bool export_records_chrome_trace_file(const std::vector<TraceRecord>& records,
+                                      const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  return export_records_chrome_trace(records, os);
 }
 
 bool EventTracer::export_jsonl_file(const std::string& path) const {

@@ -121,6 +121,19 @@ class EventTracer {
   bool enabled_ = false;
 };
 
+/// Exporters over an already-materialized record stream — the sharded
+/// engine merges one per-worker ring per shard thread by timestamp
+/// (sim::run_scenario_sharded) and hands the merged vector here; the
+/// formatting is byte-identical to EventTracer::export_*.
+bool export_records_jsonl(const std::vector<TraceRecord>& records,
+                          std::ostream& os);
+bool export_records_chrome_trace(const std::vector<TraceRecord>& records,
+                                 std::ostream& os);
+bool export_records_jsonl_file(const std::vector<TraceRecord>& records,
+                               const std::string& path);
+bool export_records_chrome_trace_file(const std::vector<TraceRecord>& records,
+                                      const std::string& path);
+
 /// The tracer capturing this thread's events (null = none). Installed per
 /// worker thread by sim::SimInstance, matching the simulator's
 /// shared-nothing replication model.

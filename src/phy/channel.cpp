@@ -1,7 +1,9 @@
 #include "phy/channel.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "net/packet_buffer.hpp"
 #include "obs/trace.hpp"
 #include "phy/units.hpp"
 #include "util/contracts.hpp"
@@ -10,7 +12,8 @@ namespace rrnet::phy {
 
 Channel::Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
                  std::unique_ptr<PropagationModel> model, RadioParams params,
-                 std::vector<geom::Vec2> positions, des::Rng rng)
+                 std::vector<geom::Vec2> positions, des::Rng rng,
+                 ShardSpec shard)
     : scheduler_(&scheduler),
       model_(std::move(model)),
       params_(params),
@@ -28,25 +31,38 @@ Channel::Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
                                          terrain.diameter())),
       interference_range_(range_for_threshold(*model_, params.tx_power_dbm,
                                               params.interference_cutoff_dbm,
-                                              terrain.diameter())) {
+                                              terrain.diameter())),
+      shard_(std::move(shard)) {
   RRNET_EXPECTS(model_ != nullptr);
   RRNET_EXPECTS(!positions.empty());
+  RRNET_EXPECTS(shard_.owner.empty() || shard_.owner.size() == positions.size());
+  frame_counters_.assign(positions.size(), 0);
   transceivers_.reserve(positions.size());
   for (std::uint32_t id = 0; id < positions.size(); ++id) {
+    if (!owns(id)) {
+      // Remote node: position indexed (the grid needs every node for
+      // bit-identical receiver walks), radio lives on its owning shard.
+      transceivers_.push_back(nullptr);
+      continue;
+    }
     transceivers_.push_back(std::make_unique<Transceiver>(id, params_));
     // Channel-owned transceivers can always timestamp their own events
     // (turn_off drop records); enable_energy() re-sets the same clock.
     transceivers_.back()->clock_ = scheduler_;
   }
+  if (shard_.sharded()) {
+    outboxes_.resize(shard_.shards);
+    handoff_mark_.assign(shard_.shards, 0);
+  }
 }
 
 Transceiver& Channel::transceiver(std::uint32_t id) {
-  RRNET_EXPECTS(id < transceivers_.size());
+  RRNET_EXPECTS(id < transceivers_.size() && transceivers_[id] != nullptr);
   return *transceivers_[id];
 }
 
 const Transceiver& Channel::transceiver(std::uint32_t id) const {
-  RRNET_EXPECTS(id < transceivers_.size());
+  RRNET_EXPECTS(id < transceivers_.size() && transceivers_[id] != nullptr);
   return *transceivers_[id];
 }
 
@@ -59,8 +75,20 @@ void Channel::set_position(std::uint32_t id, geom::Vec2 position) {
   grid_.update_position(id, position);
 }
 
+des::Time Channel::heap_front(std::vector<des::Time>& heap, des::Time now) {
+  // Entries at or before `now` already executed inside the closed window
+  // run_until(now) just finished; drop them lazily here.
+  while (!heap.empty() && heap.front() <= now) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    heap.pop_back();
+  }
+  return heap.empty() ? std::numeric_limits<des::Time>::infinity()
+                      : heap.front();
+}
+
 bool Channel::transmit(const Airframe& frame) {
   RRNET_EXPECTS(frame.sender < transceivers_.size());
+  RRNET_EXPECTS(owns(frame.sender));
   Transceiver& sender = *transceivers_[frame.sender];
   if (sender.is_off()) {
     ++sender.stats_.tx_dropped_off;
@@ -73,23 +101,69 @@ bool Channel::transmit(const Airframe& frame) {
     return false;
   }
 
+  const des::Time now = scheduler_->now();
   const des::Time duration = params_.airtime(frame.size_bytes);
-  const geom::Vec2 origin = grid_.position(frame.sender);
   sender.begin_transmit(frame.id);
   ++stats_.transmissions;
-  RRNET_TRACE_EVENT(obs::EventKind::PhyTxStart, scheduler_->now(),
-                    frame.sender, frame.id, 0);
+  RRNET_TRACE_EVENT(obs::EventKind::PhyTxStart, now, frame.sender, frame.id,
+                    0);
   scheduler_->schedule_in(duration, [this, id = frame.id, s = frame.sender]() {
     RRNET_TRACE_EVENT(obs::EventKind::PhyTxEnd, scheduler_->now(), s, id, 0);
     transceivers_[s]->end_transmit(id, scheduler_->now());
   });
+  if (shard_.sharded()) {
+    phy_event_heap_.push_back(now + duration);
+    std::push_heap(phy_event_heap_.begin(), phy_event_heap_.end(),
+                   std::greater<>{});
+  }
+  start_transmission(frame, now, duration,
+                     /*record_handoffs=*/shard_.sharded());
+  return true;
+}
 
-  const des::Time now = scheduler_->now();
+void Channel::inject_remote(const ShardHandoff& handoff) {
+  RRNET_EXPECTS(shard_.sharded());
+  RRNET_EXPECTS(!owns(handoff.frame.sender));
+  // Re-home the payload: the handoff's PacketRef points into the SOURCE
+  // shard's (thread's) non-atomic pool. The buffer header is immutable in
+  // flight, so reading through the const ref is safe — but copying the ref
+  // would bump that non-atomic refcount from this thread (two destination
+  // shards injecting the same broadcast would race on it). Build the local
+  // frame field by field, deep-cloning the payload straight from the
+  // source ref; the source's refcount is only ever moved by its own thread
+  // (it clears its outboxes at the next window start).
+  const Airframe& src = handoff.frame;
+  Airframe frame;
+  frame.id = src.id;
+  frame.sender = src.sender;
+  frame.size_bytes = src.size_bytes;
+  frame.frame.kind = src.frame.kind;
+  frame.frame.src = src.frame.src;
+  frame.frame.dst = src.frame.dst;
+  frame.frame.sequence = src.frame.sequence;
+  frame.frame.size_bytes = src.frame.size_bytes;
+  frame.frame.nav_duration = src.frame.nav_duration;
+  if (src.frame.payload) {
+    frame.frame.payload = net::clone_packet_deep(src.frame.payload);
+  }
+  start_transmission(frame, handoff.tx_time, handoff.duration,
+                     /*record_handoffs=*/false);
+}
+
+void Channel::start_transmission(const Airframe& frame, des::Time tx_time,
+                                 des::Time duration, bool record_handoffs) {
+  const geom::Vec2 origin = grid_.position(frame.sender);
   grid_.query(origin, interference_range_, query_buffer_);
   const std::uint32_t slot = acquire_transmission();
   Transmission& tx = *transmissions_[slot];
   tx.frame = frame;
   tx.duration = duration;
+  if (record_handoffs) ++handoff_epoch_;
+  // `order` counts every cutoff-passing receiver in grid-query order —
+  // including ones this shard does not own — so the equal-arrival
+  // tie-break below is the GLOBAL receiver index and a sharded replay
+  // interleaves identically to the serial walk.
+  std::uint32_t order = 0;
   for (const std::uint32_t rx_id : query_buffer_) {
     if (rx_id == frame.sender) continue;
     const double dist = geom::distance(origin, grid_.position(rx_id));
@@ -99,14 +173,23 @@ bool Channel::transmit(const Airframe& frame) {
     // pow per arrival that converting back would cost.
     const double power_mw = model_->rx_power_mw(tx_power_mw_, dist, rng_);
     if (power_mw < interference_cutoff_mw_) continue;  // imperceptible
-    tx.receivers.push_back({now + dist / des::kSpeedOfLight, power_mw,
-                            rx_id,
-                            static_cast<std::uint32_t>(tx.receivers.size()),
-                            SignalMap::kNoSlot, false});
+    const std::uint32_t rx_order = order++;
+    if (!owns(rx_id)) {
+      if (record_handoffs) {
+        const std::uint32_t dst = shard_.owner[rx_id];
+        if (handoff_mark_[dst] != handoff_epoch_) {
+          handoff_mark_[dst] = handoff_epoch_;
+          outboxes_[dst].push_back({tx_time, duration, frame});
+        }
+      }
+      continue;
+    }
+    tx.receivers.push_back({tx_time + dist / des::kSpeedOfLight, power_mw,
+                            rx_id, rx_order, SignalMap::kNoSlot, false});
   }
   if (tx.receivers.empty()) {
     release_transmission(slot);
-    return true;
+    return;
   }
   // Equal arrivals keep grid-query order (the `order` field), matching the
   // sequence order the unfused per-receiver events would have had. Plain
@@ -117,9 +200,14 @@ bool Channel::transmit(const Airframe& frame) {
               return a.arrival != b.arrival ? a.arrival < b.arrival
                                             : a.order < b.order;
             });
-  scheduler_->schedule_at(tx.receivers.front().arrival,
+  const des::Time first = tx.receivers.front().arrival;
+  scheduler_->schedule_at(first,
                           [this, slot]() { advance_transmission(slot); });
-  return true;
+  if (shard_.sharded()) {
+    phy_event_heap_.push_back(first);
+    std::push_heap(phy_event_heap_.begin(), phy_event_heap_.end(),
+                   std::greater<>{});
+  }
 }
 
 void Channel::advance_transmission(std::uint32_t slot) {
@@ -141,6 +229,11 @@ void Channel::advance_transmission(std::uint32_t slot) {
     if (due > now) {
       scheduler_->schedule_at(due,
                               [this, slot]() { advance_transmission(slot); });
+      if (shard_.sharded()) {
+        phy_event_heap_.push_back(due);
+        std::push_heap(phy_event_heap_.begin(), phy_event_heap_.end(),
+                       std::greater<>{});
+      }
       return;
     }
     if (do_start) {

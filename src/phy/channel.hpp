@@ -14,7 +14,9 @@
 // ends; equal arrivals in query order) are preserved bit-for-bit.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,13 +35,44 @@ struct ChannelStats {
   std::uint64_t deliveries = 0;     ///< successful (frame, receiver) decodes
 };
 
+/// Sharded-mode identity: which spatial shard this channel instance is and
+/// the owning shard of every node id. Default-constructed = serial mode
+/// (one shard owning everything). In shard mode the channel still indexes
+/// ALL positions (the full grid is what lets it re-run a remote
+/// transmission's receiver walk bit-identically), but it creates
+/// transceivers only for owned nodes and records transmissions that reach
+/// other shards into per-destination outboxes.
+struct ShardSpec {
+  std::uint32_t shard = 0;   ///< this channel's shard index
+  std::uint32_t shards = 1;  ///< total shard count
+  /// owner[id] = owning shard of node id; empty means serial (all local).
+  std::vector<std::uint32_t> owner;
+  [[nodiscard]] bool sharded() const noexcept { return shards > 1; }
+};
+
+/// One cross-shard transmission: everything the destination shard needs to
+/// replay the receiver walk locally. Deliberately minimal — the destination
+/// re-derives arrivals, powers, and global receiver order from its own full
+/// position grid and the (deterministic) propagation model, so the replay
+/// is bitwise identical to the serial walk. The embedded frame still
+/// references the SOURCE shard's pooled packet buffer; the destination
+/// deep-clones it at injection time (inject_remote) and never retains it.
+struct ShardHandoff {
+  des::Time tx_time = 0.0;   ///< when the frame was put on the air
+  des::Time duration = 0.0;  ///< its airtime
+  Airframe frame;
+};
+
 class Channel {
  public:
   /// `positions[i]` is the location of node i; one transceiver is created
-  /// per node. The scheduler, model, and params must outlive the channel.
+  /// per node (per OWNED node when `shard` says this channel is one shard
+  /// of a sharded run). The scheduler, model, and params must outlive the
+  /// channel.
   Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
           std::unique_ptr<PropagationModel> model, RadioParams params,
-          std::vector<geom::Vec2> positions, des::Rng rng);
+          std::vector<geom::Vec2> positions, des::Rng rng,
+          ShardSpec shard = {});
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
@@ -69,13 +102,71 @@ class Channel {
 
   [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
 
-  /// Fresh unique frame id (MACs stamp outgoing frames with this).
-  [[nodiscard]] std::uint64_t next_frame_id() noexcept { return ++last_frame_id_; }
+  /// Fresh unique frame id for a frame sent by `sender` (MACs stamp
+  /// outgoing frames with this). Ids are (sender << 32) | per-sender
+  /// counter, so the sequence a node draws is independent of every other
+  /// node's transmissions — a spatially sharded run hands out the same ids
+  /// as a serial one.
+  [[nodiscard]] std::uint64_t next_frame_id(std::uint32_t sender) noexcept {
+    RRNET_EXPECTS(sender < frame_counters_.size());
+    return (static_cast<std::uint64_t>(sender) << 32) |
+           ++frame_counters_[sender];
+  }
 
   /// Move a node (mobility models). Takes effect for transmissions that
   /// start after the call; signals already in flight keep the powers
   /// computed at their transmit time.
   void set_position(std::uint32_t id, geom::Vec2 position);
+
+  // --- Sharded-mode surface (all no-ops / trivially true in serial mode) ---
+
+  [[nodiscard]] bool sharded() const noexcept { return shard_.sharded(); }
+  /// True iff node `id` lives on this shard (always true serially).
+  [[nodiscard]] bool owns(std::uint32_t id) const noexcept {
+    return shard_.owner.empty() || shard_.owner[id] == shard_.shard;
+  }
+
+  /// MAC layers call this whenever they arm a timer whose expiry can put a
+  /// frame on the air without an intervening DIFS (sifs-deferred responses,
+  /// the final backoff slot, DIFS expiry itself). The sharded engine's
+  /// conservative window bound is min(earliest armed tx, earliest phy
+  /// event + sifs, earliest scheduler event + difs) — without these notes
+  /// the first term would be unknown and the bound unsound.
+  void note_armed_tx(des::Time when) {
+    if (!sharded()) return;
+    armed_tx_heap_.push_back(when);
+    std::push_heap(armed_tx_heap_.begin(), armed_tx_heap_.end(),
+                   std::greater<>{});
+  }
+
+  /// Earliest pending armed-tx note at or after `now` (stale notes — timers
+  /// that fired or were cancelled — are discarded lazily), or +infinity.
+  [[nodiscard]] des::Time earliest_armed_tx(des::Time now) noexcept {
+    return heap_front(armed_tx_heap_, now);
+  }
+  /// Earliest pending channel-internal event (transmission walker due /
+  /// end-of-transmit) at or after `now`, or +infinity.
+  [[nodiscard]] des::Time earliest_phy_event(des::Time now) noexcept {
+    return heap_front(phy_event_heap_, now);
+  }
+
+  /// Frames transmitted locally this window that reach shard `dst`'s strip.
+  [[nodiscard]] std::vector<ShardHandoff>& outbox(std::uint32_t dst) noexcept {
+    return outboxes_[dst];
+  }
+  /// Drop all outbox entries (src shard, start of each window — the
+  /// destination shards have deep-cloned what they needed at the barrier).
+  void clear_outboxes() noexcept {
+    for (auto& box : outboxes_) box.clear();
+  }
+
+  /// Replay a remote shard's transmission on this shard: re-run the full
+  /// receiver walk over the complete position grid (same arrivals, powers,
+  /// and global order indices as the serial run) but deliver only to
+  /// receivers this shard owns. The handoff's packet payload is
+  /// deep-cloned here so the source shard's pool is never touched again.
+  /// Does NOT count toward stats().transmissions (the source shard did).
+  void inject_remote(const ShardHandoff& handoff);
 
  private:
   struct PendingRx {
@@ -105,6 +196,18 @@ class Channel {
   std::uint32_t acquire_transmission();
   void release_transmission(std::uint32_t slot);
 
+  /// Shared body of transmit() and inject_remote(): build the receiver
+  /// walk for `frame` put on the air at `tx_time` for `duration`. In shard
+  /// mode, skips non-owned receivers (keeping their global order indices)
+  /// and, when `record_handoffs`, appends one ShardHandoff per remote
+  /// shard whose strip the signal reaches.
+  void start_transmission(const Airframe& frame, des::Time tx_time,
+                          des::Time duration, bool record_handoffs);
+
+  /// Pop heap entries at or before `now` (the closed window run_until(now)
+  /// already executed them), then return the front or +infinity.
+  static des::Time heap_front(std::vector<des::Time>& heap, des::Time now);
+
   des::Scheduler* scheduler_;
   std::unique_ptr<PropagationModel> model_;
   RadioParams params_;
@@ -119,10 +222,19 @@ class Channel {
   double nominal_range_;
   double interference_range_;
   ChannelStats stats_;
-  std::uint64_t last_frame_id_ = 0;
+  std::vector<std::uint32_t> frame_counters_;  ///< per-sender frame-id counters
   mutable std::vector<std::uint32_t> query_buffer_;
   std::vector<std::unique_ptr<Transmission>> transmissions_;
   std::vector<std::uint32_t> free_transmissions_;
+  ShardSpec shard_;
+  /// outboxes_[dst]: handoffs for shard dst accumulated this window.
+  std::vector<std::vector<ShardHandoff>> outboxes_;
+  /// Min-heaps of lookahead-relevant future times (see note_armed_tx).
+  std::vector<des::Time> armed_tx_heap_;
+  std::vector<des::Time> phy_event_heap_;
+  /// Scratch: shards already handed the current transmission (reset by id).
+  std::vector<std::uint32_t> handoff_mark_;
+  std::uint32_t handoff_epoch_ = 0;
 };
 
 }  // namespace rrnet::phy

@@ -62,7 +62,7 @@ std::uint64_t AodvProtocol::send_data(std::uint32_t target,
   init.origin = node().id();
   init.target = target;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.ttl = config_.ttl;
   init.payload_bytes = payload_bytes;
   init.created_at = node().scheduler().now();
@@ -133,7 +133,7 @@ void AodvProtocol::start_discovery(std::uint32_t target) {
   init.target = target;
   init.rreq_id = next_rreq_id_++;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.origin_seqno = ++my_seqno_;
   const auto rit = routes_.find(target);
   init.target_seqno = rit == routes_.end() ? 0 : rit->second.seqno;
@@ -253,7 +253,7 @@ void AodvProtocol::send_rrep(const net::PacketRef& rreq) {
   init.target = rreq.origin();    // the RREQ originator
   init.rreq_id = rreq.rreq_id();
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.target_seqno = std::max(my_seqno_ + 1, rreq.target_seqno());
   my_seqno_ = init.target_seqno;
   init.actual_hops = 0;
@@ -296,7 +296,7 @@ void AodvProtocol::broadcast_rerr(std::uint32_t unreachable) {
   init.origin = node().id();
   init.unreachable = unreachable;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.ttl = 1;  // propagated hop-by-hop by affected nodes only
   init.prev_hop = node().id();
   init.created_at = node().scheduler().now();

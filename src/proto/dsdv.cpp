@@ -61,7 +61,7 @@ void DsdvProtocol::broadcast_update(bool triggered) {
   init.type = net::PacketType::RouteUpdate;
   init.origin = node().id();
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.payload_bytes =
       static_cast<std::uint32_t>(entries.size()) * kEntryBytes;
   init.created_at = now;
@@ -154,7 +154,7 @@ std::uint64_t DsdvProtocol::send_data(std::uint32_t target,
   init.origin = node().id();
   init.target = target;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.ttl = config_.ttl;
   init.payload_bytes = payload_bytes;
   init.created_at = node().scheduler().now();

@@ -72,7 +72,7 @@ std::uint64_t DsrProtocol::send_data(std::uint32_t target,
   init.origin = node().id();
   init.target = target;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.ttl = config_.ttl;
   init.payload_bytes = payload_bytes;
   init.created_at = node().scheduler().now();
@@ -123,7 +123,7 @@ void DsrProtocol::start_discovery(std::uint32_t target) {
   init.target = target;
   init.rreq_id = next_rreq_id_++;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.ttl = config_.ttl;
   init.prev_hop = node().id();
   init.created_at = node().scheduler().now();
@@ -199,7 +199,7 @@ void DsrProtocol::handle_rreq(const net::PacketRef& packet) {
     init.origin = node().id();
     init.target = packet.origin();
     init.sequence = next_sequence_++;
-    init.uid = node().network().next_packet_uid();
+    init.uid = node().next_packet_uid();
     init.ttl = config_.ttl;
     init.created_at = node().scheduler().now();
     SourceRoute reversed = extended;
@@ -297,7 +297,7 @@ void DsrProtocol::on_send_done(const net::PacketRef& packet, bool success,
   init.type = net::PacketType::RouteError;
   init.origin = node().id();
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.prev_hop = node().id();  // the broken link is (prev_hop, unreachable)
   init.unreachable = mac_dst;
   init.created_at = node().scheduler().now();

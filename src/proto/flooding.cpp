@@ -43,7 +43,7 @@ std::uint64_t FloodingProtocol::send_data(std::uint32_t target,
   init.origin = node().id();
   init.target = target;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.actual_hops = 0;
   init.ttl = config_.ttl;
   init.prev_hop = node().id();

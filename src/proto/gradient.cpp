@@ -37,7 +37,7 @@ std::uint64_t GradientProtocol::send_data(std::uint32_t target,
   init.origin = node().id();
   init.target = target;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.ttl = config_.ttl;
   init.payload_bytes = payload_bytes;
   init.created_at = node().scheduler().now();
@@ -77,7 +77,7 @@ void GradientProtocol::start_discovery(std::uint32_t target) {
   init.origin = node().id();
   init.target = target;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.ttl = config_.ttl;
   init.prev_hop = node().id();
   init.created_at = node().scheduler().now();
@@ -138,7 +138,7 @@ void GradientProtocol::handle_discovery(const net::PacketRef& packet) {
       reply.origin = node().id();
       reply.target = packet.origin();
       reply.sequence = next_sequence_++;
-      reply.uid = node().network().next_packet_uid();
+      reply.uid = node().next_packet_uid();
       reply.ttl = config_.ttl;
       reply.created_at = node().scheduler().now();
       ++stats_.replies_sent;

@@ -97,7 +97,7 @@ std::uint64_t RoutelessProtocol::send_data(std::uint32_t target,
   init.origin = node().id();
   init.target = target;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.ttl = config_.ttl;
   init.payload_bytes = payload_bytes;
   init.created_at = node().scheduler().now();
@@ -130,7 +130,7 @@ void RoutelessProtocol::start_discovery(std::uint32_t target) {
   init.origin = node().id();
   init.target = target;
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.actual_hops = 0;
   init.ttl = config_.ttl;
   init.prev_hop = node().id();
@@ -215,7 +215,7 @@ void RoutelessProtocol::send_netack(const net::PacketRef& acked) {
   init.target = acked.target();
   init.sequence = acked.sequence();
   init.acked_type = acked.type();
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.prev_hop = node().id();
   init.created_at = node().scheduler().now();
   ++stats_.netacks_sent;
@@ -300,7 +300,7 @@ void RoutelessProtocol::send_reply(const net::PacketRef& discovery) {
   init.origin = node().id();
   init.target = discovery.origin();
   init.sequence = next_sequence_++;
-  init.uid = node().network().next_packet_uid();
+  init.uid = node().next_packet_uid();
   init.ttl = config_.ttl;
   init.expected_hops =
       it->second.hops > 0 ? static_cast<std::uint16_t>(it->second.hops - 1)

@@ -13,9 +13,19 @@ namespace rrnet::sim {
 Aggregated run_replications(const ScenarioConfig& base,
                             std::size_t replications, std::size_t threads) {
   RRNET_EXPECTS(replications > 0);
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  // Workers each replication spawns internally when the sharded engine is
+  // active (run_scenario_sharded applies the same clamp). The replication
+  // pool and the per-replication shard pools share one combined budget:
+  // outer × inner ≈ the requested thread count, instead of multiplying.
+  std::size_t inner = 1;
+  if (base.shards > 1) {
+    const std::size_t per_rep =
+        base.shard_threads > 0 ? base.shard_threads : hw;
+    inner = std::max<std::size_t>(1, std::min<std::size_t>(per_rep, base.shards));
   }
+  if (threads == 0) threads = hw;
+  threads = std::max<std::size_t>(1, threads / inner);
   threads = std::min(threads, replications);
 
   std::vector<ScenarioResult> results(replications);

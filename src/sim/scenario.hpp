@@ -51,6 +51,19 @@ struct ScenarioConfig {
   /// same scenario on each and compare metric snapshots.
   des::QueueBackend scheduler_queue = des::default_queue_backend();
 
+  /// Spatial shards: 1 (default) runs the untouched serial engine; K > 1
+  /// partitions the terrain into K vertical strips, each with its own
+  /// scheduler/channel/nodes, synchronized by conservative time windows
+  /// (see DESIGN.md "Parallel execution"). Semantic per-layer counters and
+  /// every figure metric are bit-identical for any K; engine-internal
+  /// counters (des.*, pool.*) differ. Sharded runs require static nodes
+  /// (no mobility/failures), a deterministic propagation model (FreeSpace/
+  /// TwoRay/LogDistance), and no path/energy tracking.
+  std::uint32_t shards = 1;
+  /// Worker threads driving the shards; 0 = min(hardware_concurrency,
+  /// shards). Clamped to `shards` — each worker owns a contiguous block.
+  std::uint32_t shard_threads = 0;
+
   // Topology.
   std::size_t nodes = 100;
   double width_m = 1000.0;

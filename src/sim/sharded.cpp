@@ -1,0 +1,408 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "app/cbr.hpp"
+#include "app/flow_stats.hpp"
+#include "geom/placement.hpp"
+#include "geom/shard_partition.hpp"
+#include "net/network.hpp"
+#include "net/packet_buffer.hpp"
+#include "phy/propagation.hpp"
+#include "sim/builder.hpp"
+#include "sim/spin_barrier.hpp"
+#include "sim/topology.hpp"
+#include "util/contracts.hpp"
+#include "util/pool.hpp"
+
+namespace rrnet::sim {
+
+namespace {
+
+/// Walk the calling thread's object size-class pools (mirror of the
+/// builder's helper — pools are thread-local, so each worker walks its own).
+template <typename Fn>
+void for_each_object_pool(Fn&& fn) {
+  for (std::size_t bytes = util::kSizeClassStep; bytes <= util::kSizeClassMax;
+       bytes += util::kSizeClassStep) {
+    fn(util::sized_pool(bytes));
+  }
+}
+
+/// Everything one shard owns. Built, run, harvested, and destroyed on the
+/// same worker thread: nodes allocate from thread-local pools, so the world
+/// must never cross threads (only its outboxes are read remotely, between
+/// the barriers that make that race-free).
+struct ShardWorld {
+  des::Scheduler scheduler;
+  std::unique_ptr<net::Network> network;
+  app::FlowStats flows;
+  std::vector<std::unique_ptr<app::CbrSource>> sources;
+
+  explicit ShardWorld(des::QueueBackend backend) : scheduler(backend) {}
+};
+
+/// What a worker hands back per shard (plain data; read after join()).
+struct ShardOutcome {
+  obs::MetricRegistry metrics;
+  obs::Histogram backoff_slots;  // raw buckets; flattened after the merge
+  std::vector<app::FlowStats::FlowEvent> flow_log;
+  std::uint64_t mac_tx = 0;
+  std::uint64_t channel_tx = 0;
+  std::uint64_t events_executed = 0;
+};
+
+/// Conservative lower bound on this shard's next possible transmit time,
+/// evaluated with the shard quiesced at `now` (and any remote handoffs
+/// already injected). See sharded.hpp for the derivation; soundness rests
+/// on the CsmaMac note_armed_tx() hooks covering every timer whose expiry
+/// can transmit with less than a DIFS of warning.
+des::Time shard_bound(ShardWorld& world, des::Time now,
+                      const mac::MacParams& mac) {
+  phy::Channel& channel = world.network->channel();
+  des::Time bound = channel.earliest_armed_tx(now);
+  bound = std::min(bound, channel.earliest_phy_event(now) + mac.sifs);
+  bound = std::min(bound, world.scheduler.next_event_time() + mac.difs);
+  return bound;
+}
+
+/// Inputs shared (read-only) by every worker during the build phase.
+struct BuildPlan {
+  const ScenarioConfig* config;
+  const geom::Terrain* terrain;
+  const std::vector<geom::Vec2>* positions;
+  const std::vector<std::uint32_t>* owner;
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs;
+  phy::RadioParams radio;  ///< tx power already calibrated to range_m
+};
+
+std::unique_ptr<ShardWorld> build_shard(const BuildPlan& plan,
+                                        std::uint32_t shard_index) {
+  const ScenarioConfig& config = *plan.config;
+  auto world = std::make_unique<ShardWorld>(config.scheduler_queue);
+  world->flows.enable_event_log();
+
+  phy::ShardSpec spec;
+  spec.shard = shard_index;
+  spec.shards = config.shards;
+  spec.owner = *plan.owner;
+
+  des::Rng root(config.seed);
+  world->network = std::make_unique<net::Network>(
+      world->scheduler, *plan.terrain, SimInstance::make_propagation(config),
+      plan.radio, config.mac, *plan.positions, root.fork("network"),
+      std::move(spec));
+
+  net::Network& network = *world->network;
+  for (std::uint32_t id = 0; id < network.size(); ++id) {
+    if (!network.has_node(id)) continue;
+    SimInstance::attach_protocol(config, network.node(id));
+    app::attach_sink(network.node(id), world->flows);
+  }
+
+  app::CbrConfig cbr;
+  cbr.interval = config.cbr_interval;
+  cbr.payload_bytes = config.payload_bytes;
+  cbr.start_time = config.traffic_start;
+  cbr.stop_time = config.traffic_stop;
+  for (std::size_t p = 0; p < plan.pairs->size(); ++p) {
+    const auto& [src, dst] = (*plan.pairs)[p];
+    RRNET_EXPECTS(src < network.size() && dst < network.size());
+    app::CbrConfig pair_cbr = cbr;
+    if (p < config.explicit_pair_intervals.size() &&
+        config.explicit_pair_intervals[p] > 0.0) {
+      pair_cbr.interval = config.explicit_pair_intervals[p];
+    }
+    if (network.has_node(src)) {
+      world->sources.push_back(std::make_unique<app::CbrSource>(
+          network.node(src), dst, pair_cbr, world->flows));
+    }
+    if (config.bidirectional && network.has_node(dst)) {
+      world->sources.push_back(std::make_unique<app::CbrSource>(
+          network.node(dst), src, pair_cbr, world->flows));
+    }
+  }
+  return world;
+}
+
+void harvest_shard(ShardWorld& world, ShardOutcome& out) {
+  namespace m = obs::metric;
+  net::Network& network = *world.network;
+  network.snapshot_metrics(out.metrics, &out.backoff_slots);
+  out.metrics.add(m::kDesEventsExecuted, world.scheduler.executed_count());
+  out.metrics.set_max(m::kDesHeapHighWater, world.scheduler.heap_high_water());
+  out.flow_log = world.flows.take_event_log();
+  out.mac_tx = network.total_mac_tx();
+  out.channel_tx = network.channel().stats().transmissions;
+  out.events_executed = world.scheduler.executed_count();
+}
+
+}  // namespace
+
+ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
+                                    std::vector<obs::TraceRecord>* trace_out) {
+  const std::uint32_t shards = config.shards;
+  RRNET_EXPECTS(shards >= 2);
+  RRNET_EXPECTS(config.nodes >= 2);
+  // The sharded engine supports the static-topology scenario family. Each
+  // unsupported feature either moves nodes across strip boundaries
+  // (mobility), consumes shard-local rng in a globally ordered way
+  // (failures, stochastic fading), or walks packet paths across worlds
+  // (path trace). Energy sums in node-id order serially; a shard-order sum
+  // would break bitwise reproducibility.
+  RRNET_EXPECTS(!config.mobility);
+  RRNET_EXPECTS(config.failure_fraction == 0.0);
+  RRNET_EXPECTS(!config.trace_paths);
+  RRNET_EXPECTS(!config.track_energy);
+  RRNET_EXPECTS(config.propagation == PropagationKind::FreeSpace ||
+                config.propagation == PropagationKind::TwoRay ||
+                config.propagation == PropagationKind::LogDistance);
+
+  std::uint32_t threads = config.shard_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, shards);
+
+  // ---- Coordinator: everything every shard must agree on, computed once
+  // from the same seed-derived forks the serial builder uses. ----
+  const geom::Terrain terrain(config.width_m, config.height_m);
+  auto model = SimInstance::make_propagation(config);
+  phy::RadioParams radio = config.radio;
+  radio.tx_power_dbm = phy::tx_power_for_range(*model, config.range_m,
+                                               radio.rx_threshold_dbm);
+
+  des::Rng root(config.seed);
+  des::Rng placement_rng = root.fork("placement");
+  const std::vector<geom::Vec2> positions =
+      geom::place_uniform(terrain, config.nodes, placement_rng);
+
+  const geom::ShardPartition partition(terrain, shards);
+  const std::vector<std::uint32_t> owner =
+      geom::shard_owner_map(partition, positions);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  if (!config.explicit_pairs.empty()) {
+    pairs = config.explicit_pairs;
+  } else {
+    des::Rng pair_rng = root.fork("pairs");
+    if (config.require_connected_pairs) {
+      // Same disk graph the serial Topology(channel) snapshot sees: the
+      // channel derives its nominal range with this exact expression.
+      const double nominal_range = phy::range_for_threshold(
+          *model, radio.tx_power_dbm, radio.rx_threshold_dbm,
+          terrain.diameter());
+      const Topology topology(positions, nominal_range);
+      pairs = draw_connected_pairs(topology, config.pairs, pair_rng,
+                                   config.min_pair_hops);
+    } else {
+      pairs = draw_pairs(positions.size(), config.pairs, pair_rng);
+    }
+  }
+
+  BuildPlan plan{&config, &terrain, &positions, &owner, &pairs, radio};
+
+  // ---- Shared window-protocol state. worlds/bounds slots are written by
+  // the owning worker and read by all; every cross-thread handoff of these
+  // is ordered by a barrier crossing (or thread join for the outcomes). ----
+  SpinBarrier barrier(threads);
+  std::vector<ShardWorld*> worlds(shards, nullptr);
+  std::vector<des::Time> bounds(shards, 0.0);
+  std::vector<ShardOutcome> outcomes(shards);
+  std::vector<obs::MetricRegistry> pool_metrics(threads);
+  std::vector<std::vector<obs::TraceRecord>> trace_rings(threads);
+  const bool want_trace = config.trace_events;
+  const des::Time sim_end = config.sim_end;
+  const mac::MacParams mac = config.mac;
+
+  auto worker = [&](std::uint32_t t) {
+    const std::uint32_t lo = t * shards / threads;
+    const std::uint32_t hi = (t + 1) * shards / threads;
+
+    std::unique_ptr<obs::EventTracer> tracer;
+    obs::EventTracer* prev_tracer = nullptr;
+    if (want_trace) {
+      tracer = std::make_unique<obs::EventTracer>(config.trace_capacity);
+      tracer->set_enabled(true);
+      prev_tracer = obs::set_thread_tracer(tracer.get());
+    }
+
+    // Pool baselines before building anything (thread-local arenas).
+    util::PayloadPool& pkt_pool = net::packet_buffer_pool();
+    pkt_pool.reset_high_water();
+    std::uint64_t pkt_allocs_base =
+        pkt_pool.stats().pool_allocs + pkt_pool.stats().heap_allocs;
+    std::uint64_t pkt_heap_base = pkt_pool.stats().heap_allocs;
+    std::uint64_t obj_allocs_base = 0;
+    std::uint64_t obj_heap_base = 0;
+    for_each_object_pool([&](util::PayloadPool& pool) {
+      pool.reset_high_water();
+      obj_allocs_base += pool.stats().pool_allocs + pool.stats().heap_allocs;
+      obj_heap_base += pool.stats().heap_allocs;
+    });
+
+    std::vector<std::unique_ptr<ShardWorld>> mine;
+    mine.reserve(hi - lo);
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      mine.push_back(build_shard(plan, s));
+      worlds[s] = mine.back().get();
+    }
+    // Publish worlds[] (and consume everyone else's) before any cross-shard
+    // outbox access.
+    barrier.arrive_and_wait();
+
+    // t = 0: start protocols and traffic, then publish the initial bounds.
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      ShardWorld& world = *worlds[s];
+      world.network->start_protocols();
+      for (auto& source : world.sources) source->start();
+      bounds[s] = shard_bound(world, 0.0, mac);
+    }
+    barrier.arrive_and_wait();
+
+    des::Time window = sim_end;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      window = std::min(window, bounds[s]);
+    }
+    for (;;) {
+      for (std::uint32_t s = lo; s < hi; ++s) {
+        // Safe to drop last window's handoffs now: every destination
+        // deep-cloned what it needed before the previous barrier.
+        worlds[s]->network->channel().clear_outboxes();
+        worlds[s]->scheduler.run_until(window);
+      }
+      barrier.arrive_and_wait();  // A: all outboxes sealed at `window`
+
+      for (std::uint32_t s = lo; s < hi; ++s) {
+        phy::Channel& channel = worlds[s]->network->channel();
+        // Source-shard-index order, push order within: the deterministic
+        // merge that keeps the replayed receiver walks in serial order.
+        for (std::uint32_t src = 0; src < shards; ++src) {
+          if (src == s) continue;
+          for (const phy::ShardHandoff& handoff :
+               worlds[src]->network->channel().outbox(s)) {
+            channel.inject_remote(handoff);
+          }
+        }
+        // Bound AFTER injection: replayed signals feed the PHY-event term.
+        bounds[s] = shard_bound(*worlds[s], window, mac);
+      }
+      barrier.arrive_and_wait();  // B: bounds published, injections done
+
+      if (window >= sim_end) break;
+      des::Time next = sim_end;
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        next = std::min(next, bounds[s]);
+      }
+      window = next;
+    }
+
+    // Harvest on the owning thread (snapshot_metrics walks thread-local
+    // pool-backed structures), then destroy the worlds here too.
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      harvest_shard(*worlds[s], outcomes[s]);
+    }
+    mine.clear();
+
+    namespace m = obs::metric;
+    obs::MetricRegistry& pools = pool_metrics[t];
+    pools.add(m::kPoolPacketAllocs, pkt_pool.stats().pool_allocs +
+                                        pkt_pool.stats().heap_allocs -
+                                        pkt_allocs_base);
+    pools.add(m::kPoolPacketHeapAllocs,
+              pkt_pool.stats().heap_allocs - pkt_heap_base);
+    pools.set_max(m::kPoolPacketInUseHighWater, pkt_pool.in_use_high_water());
+    std::uint64_t obj_allocs = 0;
+    std::uint64_t obj_heap = 0;
+    std::uint64_t obj_hw = 0;
+    for_each_object_pool([&](const util::PayloadPool& pool) {
+      obj_allocs += pool.stats().pool_allocs + pool.stats().heap_allocs;
+      obj_heap += pool.stats().heap_allocs;
+      obj_hw += pool.in_use_high_water();
+    });
+    pools.add(m::kPoolObjectAllocs, obj_allocs - obj_allocs_base);
+    pools.add(m::kPoolObjectHeapAllocs, obj_heap - obj_heap_base);
+    pools.set_max(m::kPoolObjectInUseHighWater, obj_hw);
+
+    if (want_trace) {
+      trace_rings[t] = tracer->snapshot();
+      obs::set_thread_tracer(prev_tracer);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::uint32_t t = 1; t < threads; ++t) {
+    pool.emplace_back(worker, t);
+  }
+  worker(0);
+  for (std::thread& th : pool) th.join();
+
+  // ---- Deterministic merge (coordinator, after join). ----
+  ScenarioResult r;
+  app::FlowStats flows;
+  {
+    std::vector<app::FlowStats::FlowEvent> merged;
+    std::size_t total = 0;
+    for (const ShardOutcome& out : outcomes) total += out.flow_log.size();
+    merged.reserve(total);
+    for (const ShardOutcome& out : outcomes) {
+      merged.insert(merged.end(), out.flow_log.begin(), out.flow_log.end());
+    }
+    // Each shard's log is already time-sorted (execution order); a stable
+    // sort of the shard-order concatenation is the (time, shard, seq)
+    // merge. Absent cross-shard bitwise-equal timestamps — which the
+    // determinism test would catch — this is the serial event order, so the
+    // replayed dedup windows and FP accumulations match bit-for-bit.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const app::FlowStats::FlowEvent& a,
+                        const app::FlowStats::FlowEvent& b) {
+                       return a.time < b.time;
+                     });
+    for (const app::FlowStats::FlowEvent& event : merged) {
+      flows.replay(event);
+    }
+  }
+
+  r.sent = flows.sent();
+  r.delivered = flows.delivered();
+  r.delivery_ratio = flows.delivery_ratio();
+  r.mean_delay_s = flows.delay().empty() ? 0.0 : flows.delay().mean();
+  r.mean_hops = flows.hops().empty() ? 0.0 : flows.hops().mean();
+  obs::Histogram backoff_slots;
+  for (const ShardOutcome& out : outcomes) {
+    r.mac_packets += out.mac_tx;
+    r.channel_transmissions += out.channel_tx;
+    r.events_executed += out.events_executed;
+    r.metrics.merge(out.metrics);  // shard-index order
+    backoff_slots.merge(out.backoff_slots);
+  }
+  // Percentiles come from the UNION histogram — merging per-shard p50/p99
+  // gauges by max would not match the serial flattening.
+  if (!backoff_slots.empty()) {
+    backoff_slots.snapshot_into(r.metrics, obs::metric::kMacBackoffSlots);
+  }
+  for (const obs::MetricRegistry& pools : pool_metrics) {
+    r.metrics.merge(pools);
+  }
+
+  if (trace_out != nullptr && want_trace) {
+    std::size_t total = 0;
+    for (const auto& ring : trace_rings) total += ring.size();
+    trace_out->reserve(trace_out->size() + total);
+    for (const auto& ring : trace_rings) {
+      trace_out->insert(trace_out->end(), ring.begin(), ring.end());
+    }
+    std::stable_sort(trace_out->begin(), trace_out->end(),
+                     [](const obs::TraceRecord& a, const obs::TraceRecord& b) {
+                       return a.time < b.time;
+                     });
+  }
+  return r;
+}
+
+}  // namespace rrnet::sim

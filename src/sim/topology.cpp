@@ -6,15 +6,27 @@
 
 namespace rrnet::sim {
 
+namespace {
+std::vector<geom::Vec2> channel_positions(const phy::Channel& channel) {
+  std::vector<geom::Vec2> positions;
+  positions.reserve(channel.node_count());
+  for (std::uint32_t i = 0; i < channel.node_count(); ++i) {
+    positions.push_back(channel.position(i));
+  }
+  return positions;
+}
+}  // namespace
+
 Topology::Topology(const phy::Channel& channel)
-    : adjacency_(channel.node_count()) {
-  const double range = channel.nominal_range_m();
-  const double range_sq = range * range;
-  const auto n = static_cast<std::uint32_t>(channel.node_count());
+    : Topology(channel_positions(channel), channel.nominal_range_m()) {}
+
+Topology::Topology(const std::vector<geom::Vec2>& positions, double range_m)
+    : adjacency_(positions.size()) {
+  const double range_sq = range_m * range_m;
+  const auto n = static_cast<std::uint32_t>(positions.size());
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = i + 1; j < n; ++j) {
-      if (geom::distance_sq(channel.position(i), channel.position(j)) <=
-          range_sq) {
+      if (geom::distance_sq(positions[i], positions[j]) <= range_sq) {
         adjacency_[i].push_back(j);
         adjacency_[j].push_back(i);
       }
