@@ -11,9 +11,11 @@
 // broadcast work targets; delivery/delay columns double as a sanity check
 // that the protocols still work at scale.
 //
-// Two rows per size: SSAF at the fig1 density (100 nodes per km^2, flood
-// regime) and RR at the fig3 density (125 nodes per km^2, unicast-with-
-// arbiter regime) — the two protocols the paper contributes.
+// Three rows per size: SSAF at the fig1 density (100 nodes per km^2, flood
+// regime), RR at the fig3 density (125 nodes per km^2, unicast-with-
+// arbiter regime) — the two protocols the paper contributes — and SSAF
+// again under Rayleigh fading, which swaps the deterministic propagation
+// model for the counter-based per-link rng the sharded engine replays.
 //
 // Each (n, protocol) row runs serial (shards = 1) and sharded (shards = 4,
 // one worker thread per shard): the shards/threads columns track the
@@ -37,6 +39,8 @@ struct SweepRow {
   const char* label;
   rrnet::sim::ProtocolKind protocol;
   double nodes_per_km2;
+  rrnet::sim::PropagationKind propagation =
+      rrnet::sim::PropagationKind::FreeSpace;
 };
 
 }  // namespace
@@ -60,10 +64,17 @@ int main(int argc, char** argv) {
     shard_counts = {static_cast<std::uint32_t>(flags.get_int("shards", 1))};
   }
 
-  // fig1: 100 nodes / 1000x1000 m; fig3: 500 nodes / 2000x2000 m.
+  // fig1: 100 nodes / 1000x1000 m; fig3: 500 nodes / 2000x2000 m. The
+  // Rayleigh row reruns the flood regime under stochastic per-link fading:
+  // since the counter-based LinkRng the sharded engine draws fading from is
+  // keyed on (seed, tx, rx, frame), the row scales across shards exactly
+  // like the deterministic ones and exercises the per-receiver rng path at
+  // large n.
   const SweepRow rows[] = {
       {"ssaf", sim::ProtocolKind::Ssaf, 100.0},
       {"rr", sim::ProtocolKind::Routeless, 125.0},
+      {"ssaf_rayleigh", sim::ProtocolKind::Ssaf, 100.0,
+       sim::PropagationKind::Rayleigh},
   };
 
   util::Table table({"nodes", "proto", "shards", "threads", "terrain_m",
@@ -84,6 +95,7 @@ int main(int argc, char** argv) {
             1000.0;
         config.width_m = config.height_m = side;
         config.protocol = row.protocol;
+        config.propagation = row.propagation;
         config.pairs = 10;
         config.cbr_interval = 2.0;
         config.traffic_start = 1.0;

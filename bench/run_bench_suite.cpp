@@ -362,7 +362,8 @@ BenchResult bench_dense_signals() {
 
 BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
                            std::size_t nodes, std::size_t pairs,
-                           std::uint32_t shards = 1) {
+                           std::uint32_t shards = 1,
+                           void (*customize)(sim::ScenarioConfig&) = nullptr) {
   sim::ScenarioConfig config;
   config.nodes = nodes;
   config.width_m = config.height_m = 1000.0;
@@ -373,6 +374,7 @@ BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
   config.sim_end = 10.0;
   config.seed = 42;
   config.shards = shards;
+  if (customize != nullptr) customize(config);
   // Auto worker count (clamped to hardware): under the suite's single-core
   // taskset pinning, spawning one thread per shard would only measure
   // oversubscription; results are bit-identical either way.
@@ -470,6 +472,25 @@ int main(int argc, char** argv) {
   // bookkeeping and are only comparable at a fixed shard count.
   results.push_back(bench_scenario("fig1_ssaf_sharded4",
                                    sim::ProtocolKind::Ssaf, 80, 1, 4));
+  // Dynamic-ownership paths lifted from the serial-only guard: random
+  // waypoint mobility (replicated position updates + node migration at
+  // window barriers) and Rayleigh fading (counter-based per-link rng).
+  // Both are bit-identical to their serial twins by the sharded_test.cpp
+  // gates; these entries track the wall-clock and counter baselines of the
+  // migration/LinkRng machinery itself.
+  results.push_back(bench_scenario(
+      "fig5_mobility_sharded4", sim::ProtocolKind::Ssaf, 80, 2, 4,
+      [](sim::ScenarioConfig& config) {
+        config.mobility = true;
+        config.mobility_min_speed_mps = 5.0;
+        config.mobility_max_speed_mps = 15.0;
+        config.shard_window_batch = 4;
+      }));
+  results.push_back(bench_scenario(
+      "fig1_ssaf_rayleigh_sharded4", sim::ProtocolKind::Ssaf, 80, 1, 4,
+      [](sim::ScenarioConfig& config) {
+        config.propagation = sim::PropagationKind::Rayleigh;
+      }));
   write_json(out, results);
   std::fprintf(stderr, "wrote %s\n", out.c_str());
   return 0;

@@ -57,20 +57,26 @@ RRNET_SCHED_QUEUE=ladder \
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
 
-echo "== tsan build (thread) + sharded/handoff tests =="
+echo "== tsan build (thread) + sharded/handoff/migration tests =="
 # ThreadSanitizer cannot be combined with ASan/UBSan, so the sharded
 # engine's inter-thread machinery (spin-barrier windows, outbox handoffs,
-# per-worker tracer rings) gets its own build. Only the tests that spawn
-# worker threads or exercise the handoff/partition surface run here — the
-# serial suite is already swept by the ASan/UBSan configuration above.
+# node-migration exchange with its parity-double-buffered window bounds,
+# per-worker tracer rings) gets its own build. sharded_test carries the
+# mobility / fading / fig4-energy determinism gates and the nested
+# replications-x-shards pool test, so TSan sweeps the migration barriers,
+# the LinkRng fading path, and the traveling energy meters on every
+# verify. Only the tests that spawn worker threads or exercise the
+# handoff/partition surface run here — the serial suite is already swept
+# by the ASan/UBSan configuration above.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DRRNET_TRACE=ON \
       "-DRRNET_SANITIZE=thread" >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-      --target sharded_test channel_test geom_test
+      --target sharded_test channel_test geom_test mobility_test \
+               energy_failure_test rng_test
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-        -R 'sharded_test|channel_test|geom_test'
+        -R 'sharded_test|channel_test|geom_test|mobility_test|energy_failure_test|rng_test'
 
 if [[ "$WITH_BENCH" == 1 ]]; then
   echo "== engine bench suite =="

@@ -21,6 +21,18 @@ std::uint64_t derive_stream_seed(std::uint64_t base,
   return splitmix64(s);
 }
 
+std::uint64_t link_stream_seed(std::uint64_t base, std::uint32_t tx,
+                               std::uint32_t rx,
+                               std::uint64_t draw_index) noexcept {
+  // Same discipline as derive_stream_seed: fold each key component in
+  // through a full splitmix64 mix so adjacent (tx, rx, draw) tuples land in
+  // unrelated streams. tx/rx pack into one word (node ids are 32-bit).
+  std::uint64_t s = base;
+  s = splitmix64(s) ^ ((static_cast<std::uint64_t>(tx) << 32) | rx);
+  s = splitmix64(s) ^ draw_index;
+  return splitmix64(s);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

@@ -11,7 +11,7 @@ Network::Network(des::Scheduler& scheduler, const geom::Terrain& terrain,
                  phy::RadioParams radio_params, mac::MacParams mac_params,
                  std::vector<geom::Vec2> positions, des::Rng root_rng,
                  phy::ShardSpec shard)
-    : scheduler_(&scheduler) {
+    : scheduler_(&scheduler), root_rng_(root_rng), mac_params_(mac_params) {
   const std::size_t n = positions.size();
   RRNET_EXPECTS(n > 0);
   channel_ = std::make_unique<phy::Channel>(
@@ -40,6 +40,22 @@ Node& Network::node(std::uint32_t id) {
 const Node& Network::node(std::uint32_t id) const {
   RRNET_EXPECTS(id < nodes_.size() && nodes_[id] != nullptr);
   return *nodes_[id];
+}
+
+Node& Network::adopt_node(std::uint32_t id) {
+  RRNET_EXPECTS(id < nodes_.size() && nodes_[id] == nullptr);
+  RRNET_EXPECTS(channel_->owns(id));
+  channel_->adopt_transceiver(id);  // the MAC attaches to it in the ctor
+  nodes_[id] =
+      std::make_unique<Node>(*this, id, mac_params_, root_rng_.fork("node", id));
+  return *nodes_[id];
+}
+
+void Network::evict_node(std::uint32_t id) {
+  RRNET_EXPECTS(id < nodes_.size() && nodes_[id] != nullptr);
+  RRNET_EXPECTS(!channel_->owns(id));
+  nodes_[id].reset();
+  channel_->evict_transceiver(id);
 }
 
 void Network::start_protocols() {

@@ -46,6 +46,19 @@ class Network {
   /// Call every protocol's start() hook (after all protocols are attached).
   void start_protocols();
 
+  // --- Node migration (sharded dynamic ownership) ---
+
+  /// Build the node (radio + MAC) for an id this shard just adopted. The
+  /// channel's owner map must already name this shard. The node gets the
+  /// same id-keyed rng fork as the serial run — identical child streams —
+  /// and its engine state is then restored from the migration record.
+  /// The protocol and delivery handler are attached by the caller (they
+  /// need scenario context the network does not have).
+  Node& adopt_node(std::uint32_t id);
+  /// Destroy an evicted node and its radio (must run on the owning thread:
+  /// both are pool-allocated).
+  void evict_node(std::uint32_t id);
+
   /// Observers for tracing (not owned). Multiple observers may watch the
   /// same network — e.g. a PathTrace plus an ad-hoc counter in a test; all
   /// are notified in registration order on every tx/delivery.
@@ -73,6 +86,10 @@ class Network {
   std::unique_ptr<phy::Channel> channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<PacketObserver*> observers_;
+  /// Retained for adopt_node: forks are keyed off the seed (not stream
+  /// position), so late id-keyed forks reproduce construction-time ones.
+  des::Rng root_rng_;
+  mac::MacParams mac_params_;
 };
 
 }  // namespace rrnet::net

@@ -188,6 +188,10 @@ inline constexpr std::string_view kPoolObjectHeapAllocs =
     "pool.object_heap_allocs";
 inline constexpr std::string_view kPoolObjectInUseHighWater =
     "pool.object_in_use_high_water";
+
+// Sharded engine internals (absent from serial runs; excluded from the
+// bit-identity contract like des.* / pool.*).
+inline constexpr std::string_view kSimNodeMigrations = "sim.node_migrations";
 }  // namespace metric
 
 }  // namespace rrnet::obs

@@ -53,7 +53,24 @@ Channel::Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
   if (shard_.sharded()) {
     outboxes_.resize(shard_.shards);
     handoff_mark_.assign(shard_.shards, 0);
+    migration_marked_.assign(positions.size(), 0);
   }
+  // Per-link stream base: rng_ is fork-derived from the run's root seed,
+  // so every shard computes the same base and stochastic draws replay
+  // identically wherever the receiver walk runs.
+  link_seed_base_ = rng_.seed();
+  stochastic_ = model_->stochastic();
+}
+
+void Channel::adopt_transceiver(std::uint32_t id) {
+  RRNET_EXPECTS(shard_.sharded() && owns(id) && transceivers_[id] == nullptr);
+  transceivers_[id] = std::make_unique<Transceiver>(id, params_);
+  transceivers_[id]->clock_ = scheduler_;
+}
+
+void Channel::evict_transceiver(std::uint32_t id) {
+  RRNET_EXPECTS(shard_.sharded() && !owns(id) && transceivers_[id] != nullptr);
+  transceivers_[id].reset();
 }
 
 Transceiver& Channel::transceiver(std::uint32_t id) {
@@ -73,6 +90,16 @@ geom::Vec2 Channel::position(std::uint32_t id) const {
 void Channel::set_position(std::uint32_t id, geom::Vec2 position) {
   RRNET_EXPECTS(id < transceivers_.size());
   grid_.update_position(id, position);
+  // Dynamic ownership: an owned node that moved out of this strip becomes
+  // a migration candidate, picked up (and re-checked for quiescence) at the
+  // next window barrier. O(movers) — mobility models replicate position
+  // updates on every shard, but only the owner marks.
+  if (shard_.sharded() && shard_.strip_width > 0.0 && owns(id) &&
+      shard_of_position(position) != shard_.shard &&
+      migration_marked_[id] == 0) {
+    migration_marked_[id] = 1;
+    migration_candidates_.push_back(id);
+  }
 }
 
 des::Time Channel::heap_front(std::vector<des::Time>& heap, des::Time now) {
@@ -159,6 +186,13 @@ void Channel::start_transmission(const Airframe& frame, des::Time tx_time,
   tx.frame = frame;
   tx.duration = duration;
   if (record_handoffs) ++handoff_epoch_;
+  // Stochastic models draw from counter-based per-link streams keyed on
+  // (base, sender, receiver, per-sender frame counter) — a pure function of
+  // the transmission, not of draw history — so a destination shard
+  // replaying this walk reproduces every fade bit-for-bit no matter what
+  // its own channel drew in between. The per-sender counter is the low
+  // half of frame.id, which travels inside the handoff.
+  const auto draw_index = frame.id & 0xFFFFFFFFULL;
   // `order` counts every cutoff-passing receiver in grid-query order —
   // including ones this shard does not own — so the equal-arrival
   // tie-break below is the GLOBAL receiver index and a sharded replay
@@ -171,7 +205,13 @@ void Channel::start_transmission(const Airframe& frame, des::Time tx_time,
     // powers are pinned here, so signals in flight ignore later mobility.
     // Drawn in mW: the linear entry point spares a log10 per draw and the
     // pow per arrival that converting back would cost.
-    const double power_mw = model_->rx_power_mw(tx_power_mw_, dist, rng_);
+    double power_mw;
+    if (stochastic_) {
+      des::LinkRng link(link_seed_base_, frame.sender, rx_id, draw_index);
+      power_mw = model_->rx_power_mw(tx_power_mw_, dist, link.rng());
+    } else {
+      power_mw = model_->rx_power_mw(tx_power_mw_, dist, rng_);
+    }
     if (power_mw < interference_cutoff_mw_) continue;  // imperceptible
     const std::uint32_t rx_order = order++;
     if (!owns(rx_id)) {

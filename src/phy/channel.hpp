@@ -46,7 +46,15 @@ struct ShardSpec {
   std::uint32_t shard = 0;   ///< this channel's shard index
   std::uint32_t shards = 1;  ///< total shard count
   /// owner[id] = owning shard of node id; empty means serial (all local).
+  /// Mutable after construction: mobility migrates nodes between strips
+  /// (set_owner), and every shard applies the same migration records in the
+  /// same order, so the maps never diverge.
   std::vector<std::uint32_t> owner;
+  /// Width of one vertical strip (terrain width / shards). Zero means
+  /// ownership is static (no migration candidates are ever marked); the
+  /// sharded engine sets it so set_position can detect strip crossings with
+  /// the exact arithmetic of geom::ShardPartition::shard_of.
+  double strip_width = 0.0;
   [[nodiscard]] bool sharded() const noexcept { return shards > 1; }
 };
 
@@ -168,6 +176,79 @@ class Channel {
   /// Does NOT count toward stats().transmissions (the source shard did).
   void inject_remote(const ShardHandoff& handoff);
 
+  /// True when any per-destination outbox holds a handoff (the sharded
+  /// engine's quiet-window test: nothing outbound means the exchange half
+  /// of the barrier round can be skipped).
+  [[nodiscard]] bool has_outbound() const noexcept {
+    for (const auto& box : outboxes_) {
+      if (!box.empty()) return true;
+    }
+    return false;
+  }
+
+  // --- Dynamic strip ownership (node migration) ---
+
+  /// Strip that owns position `p` — the EXACT arithmetic of
+  /// geom::ShardPartition::shard_of, mirrored here so crossing detection in
+  /// set_position agrees bitwise with the partition the engine built.
+  [[nodiscard]] std::uint32_t shard_of_position(geom::Vec2 p) const noexcept {
+    if (p.x <= 0.0) return 0;
+    const auto s = static_cast<std::uint32_t>(p.x / shard_.strip_width);
+    return s >= shard_.shards ? shard_.shards - 1 : s;
+  }
+
+  /// Re-home node `id` to shard `dst`. Called on EVERY shard for every
+  /// migration record, in the same global order, so all owner maps stay
+  /// identical (handoff routing reads owner[] for non-owned receivers).
+  void set_owner(std::uint32_t id, std::uint32_t dst) {
+    RRNET_EXPECTS(shard_.sharded() && id < shard_.owner.size());
+    shard_.owner[id] = dst;
+  }
+
+  /// Create the radio for a node this shard just adopted (owner map must
+  /// already say the node is local). State is restored separately via
+  /// Transceiver::import_snapshot.
+  void adopt_transceiver(std::uint32_t id);
+  /// Destroy the radio of a node this shard just evicted (frees to this
+  /// thread's pool — eviction always runs on the owning worker).
+  void evict_transceiver(std::uint32_t id);
+
+  /// True while any in-flight transmission still has a pending signal start
+  /// or end at receiver `id` — such a node cannot migrate (the walker would
+  /// touch a destroyed radio). O(active transmissions x receivers), only
+  /// called for boundary-crossing candidates at window barriers.
+  [[nodiscard]] bool has_pending_rx(std::uint32_t id) const noexcept {
+    for (const auto& tx : transmissions_) {
+      for (std::size_t i = tx->next_end; i < tx->receivers.size(); ++i) {
+        if (tx->receivers[i].rx_id == id) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Per-sender frame-id counter transfer (migration: the adopting shard
+  /// must continue the evicted node's id sequence).
+  [[nodiscard]] std::uint32_t frame_counter(std::uint32_t id) const noexcept {
+    return frame_counters_[id];
+  }
+  void restore_frame_counter(std::uint32_t id, std::uint32_t value) noexcept {
+    frame_counters_[id] = value;
+  }
+
+  [[nodiscard]] bool has_migration_candidates() const noexcept {
+    return !migration_candidates_.empty();
+  }
+  /// Drain the deduped list of owned nodes whose last set_position landed
+  /// outside this shard's strip (appended to `out`; marks cleared so a
+  /// node that keeps moving re-registers next window).
+  void take_migration_candidates(std::vector<std::uint32_t>& out) {
+    for (const std::uint32_t id : migration_candidates_) {
+      migration_marked_[id] = 0;
+      out.push_back(id);
+    }
+    migration_candidates_.clear();
+  }
+
  private:
   struct PendingRx {
     des::Time arrival;     ///< absolute signal-start time at this receiver
@@ -219,6 +300,13 @@ class Channel {
   geom::SpatialGrid grid_;
   std::vector<std::unique_ptr<Transceiver>> transceivers_;
   des::Rng rng_;
+  /// Base key of the counter-based per-link streams (des::LinkRng). Taken
+  /// from rng_'s seed, which is fork-derived and therefore identical on
+  /// every shard of a run — the property that makes a replayed receiver
+  /// walk reproduce the serial draws exactly.
+  std::uint64_t link_seed_base_ = 0;
+  /// Cached model_->stochastic(): per-receiver branch on the hot path.
+  bool stochastic_ = false;
   double nominal_range_;
   double interference_range_;
   ChannelStats stats_;
@@ -235,6 +323,10 @@ class Channel {
   /// Scratch: shards already handed the current transmission (reset by id).
   std::vector<std::uint32_t> handoff_mark_;
   std::uint32_t handoff_epoch_ = 0;
+  /// Owned nodes whose position left this strip (deduped via the mark
+  /// array); drained by the sharded engine at window barriers.
+  std::vector<std::uint32_t> migration_candidates_;
+  std::vector<std::uint8_t> migration_marked_;
 };
 
 }  // namespace rrnet::phy

@@ -42,6 +42,12 @@ class PropagationModel {
   /// Linear-domain form of mean_rx_power_dbm (same default round-trip).
   [[nodiscard]] virtual double mean_rx_power_mw(double tx_power_mw,
                                                 double distance_m) const;
+
+  /// True for models whose rx-power draws consume RNG state (fading,
+  /// shadowing). The channel routes such draws through counter-based
+  /// per-link streams (des::LinkRng) instead of its sequential stream, so
+  /// a sharded replay of the receiver walk reproduces them exactly.
+  [[nodiscard]] virtual bool stochastic() const noexcept { return false; }
 };
 
 /// Distances below this are clamped (free-space formulas diverge at d = 0).
@@ -124,6 +130,7 @@ class RayleighFading final : public PropagationModel {
                      des::Rng& rng) const override;
   double mean_rx_power_mw(double tx_power_mw,
                           double distance_m) const override;
+  bool stochastic() const noexcept override { return true; }
 
  private:
   std::unique_ptr<PropagationModel> large_scale_;
@@ -143,6 +150,7 @@ class LogNormalShadowing final : public PropagationModel {
                      des::Rng& rng) const override;
   double mean_rx_power_mw(double tx_power_mw,
                           double distance_m) const override;
+  bool stochastic() const noexcept override { return true; }
 
  private:
   std::unique_ptr<PropagationModel> large_scale_;

@@ -15,18 +15,24 @@ Aggregated run_replications(const ScenarioConfig& base,
   RRNET_EXPECTS(replications > 0);
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   // Workers each replication spawns internally when the sharded engine is
-  // active (run_scenario_sharded applies the same clamp). The replication
-  // pool and the per-replication shard pools share one combined budget:
-  // outer × inner ≈ the requested thread count, instead of multiplying.
+  // active. The replication pool and the per-replication shard pools share
+  // one combined budget: outer × inner ≤ the requested thread count, never
+  // the product. `inner` is clamped to the request too (a caller asking for
+  // 2 threads on an 8-shard scenario gets 1 outer × 2 inner, not 1 × 8),
+  // and is propagated into each replication's shard_threads so
+  // run_scenario_sharded cannot re-derive a larger pool from
+  // hardware_concurrency on its own.
+  if (threads == 0) threads = hw;
   std::size_t inner = 1;
   if (base.shards > 1) {
     const std::size_t per_rep =
         base.shard_threads > 0 ? base.shard_threads : hw;
-    inner = std::max<std::size_t>(1, std::min<std::size_t>(per_rep, base.shards));
+    inner = std::max<std::size_t>(
+        1, std::min({per_rep, static_cast<std::size_t>(base.shards), threads}));
   }
-  if (threads == 0) threads = hw;
   threads = std::max<std::size_t>(1, threads / inner);
   threads = std::min(threads, replications);
+  const auto shard_threads = static_cast<std::uint32_t>(inner);
 
   std::vector<ScenarioResult> results(replications);
   std::atomic<std::size_t> next{0};
@@ -36,6 +42,7 @@ Aggregated run_replications(const ScenarioConfig& base,
       if (i >= replications) return;
       ScenarioConfig config = base;
       config.seed = des::derive_stream_seed(base.seed, i);
+      if (config.shards > 1) config.shard_threads = shard_threads;
       results[i] = run_scenario(config);
     }
   };

@@ -56,13 +56,22 @@ struct ScenarioConfig {
   /// scheduler/channel/nodes, synchronized by conservative time windows
   /// (see DESIGN.md "Parallel execution"). Semantic per-layer counters and
   /// every figure metric are bit-identical for any K; engine-internal
-  /// counters (des.*, pool.*) differ. Sharded runs require static nodes
-  /// (no mobility/failures), a deterministic propagation model (FreeSpace/
-  /// TwoRay/LogDistance), and no path/energy tracking.
+  /// counters (des.*, pool.*, sim.*) differ. Every scenario shape runs
+  /// sharded — mobility (replicated position updates + node migration),
+  /// failures (replicated schedules, ownership-gated toggles), stochastic
+  /// fading (counter-based per-link rng), and energy tracking (meters travel
+  /// with migrating nodes) included. Only trace_paths remains serial-only.
   std::uint32_t shards = 1;
   /// Worker threads driving the shards; 0 = min(hardware_concurrency,
   /// shards). Clamped to `shards` — each worker owns a contiguous block.
   std::uint32_t shard_threads = 0;
+  /// Barrier amortization: max consecutive quiet windows (no shard has
+  /// outbound handoffs or migration work) that may skip the exchange half
+  /// of the barrier round before one is forced. 1 (default) exchanges every
+  /// window; larger values halve the barrier crossings of quiet stretches.
+  /// Results are bit-identical for ANY value — a skipped exchange is
+  /// provably a no-op — so this is purely a performance knob.
+  std::uint32_t shard_window_batch = 1;
 
   // Topology.
   std::size_t nodes = 100;

@@ -1,6 +1,7 @@
 #include "sim/sharded.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <memory>
 #include <thread>
@@ -12,8 +13,10 @@
 #include "geom/shard_partition.hpp"
 #include "net/network.hpp"
 #include "net/packet_buffer.hpp"
+#include "phy/failure.hpp"
 #include "phy/propagation.hpp"
 #include "sim/builder.hpp"
+#include "sim/mobility.hpp"
 #include "sim/spin_barrier.hpp"
 #include "sim/topology.hpp"
 #include "util/contracts.hpp"
@@ -42,6 +45,13 @@ struct ShardWorld {
   std::unique_ptr<net::Network> network;
   app::FlowStats flows;
   std::vector<std::unique_ptr<app::CbrSource>> sources;
+  /// Replicated environment drivers: EVERY shard runs the full failure and
+  /// mobility schedules for ALL nodes from the same rng forks, so position
+  /// grids and on/off states agree bitwise everywhere without any exchange.
+  /// Only the side effects gated on ownership (turn_off on a radio) are
+  /// shard-local — see FailureModel's owns() guards.
+  std::unique_ptr<phy::FailureModel> failures;
+  std::unique_ptr<RandomWaypoint> mobility;
 
   explicit ShardWorld(des::QueueBackend backend) : scheduler(backend) {}
 };
@@ -51,9 +61,31 @@ struct ShardOutcome {
   obs::MetricRegistry metrics;
   obs::Histogram backoff_slots;  // raw buckets; flattened after the merge
   std::vector<app::FlowStats::FlowEvent> flow_log;
+  /// (node id, joules) for every transceiver this shard owned at the end;
+  /// the coordinator sorts by node id and sums in that order, reproducing
+  /// the serial id-order FP accumulation exactly.
+  std::vector<std::pair<std::uint32_t, double>> energy;
   std::uint64_t mac_tx = 0;
   std::uint64_t channel_tx = 0;
   std::uint64_t events_executed = 0;
+};
+
+/// One node changing owner shards, exchanged at a window barrier. Built by
+/// the source shard's worker (in node-id order within the shard), applied
+/// by every worker in (source shard, record) order so all owner maps stay
+/// identical. Snapshots are by value / on the global allocator — the record
+/// crosses threads; the source worker destroys it next round.
+struct NodeMigration {
+  std::uint32_t node = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t frame_counter = 0;
+  std::uint32_t last_uid = 0;
+  net::NodeStats node_stats;
+  des::RngState node_rng;
+  mac::MacMigrationState mac;
+  phy::TransceiverSnapshot radio;
+  std::unique_ptr<net::MigrationBlob> protocol;
 };
 
 /// Conservative lower bound on this shard's next possible transmit time,
@@ -77,7 +109,8 @@ struct BuildPlan {
   const std::vector<geom::Vec2>* positions;
   const std::vector<std::uint32_t>* owner;
   const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs;
-  phy::RadioParams radio;  ///< tx power already calibrated to range_m
+  phy::RadioParams radio;    ///< tx power already calibrated to range_m
+  double strip_width = 0.0;  ///< ShardPartition strip width (crossing detect)
 };
 
 std::unique_ptr<ShardWorld> build_shard(const BuildPlan& plan,
@@ -90,6 +123,7 @@ std::unique_ptr<ShardWorld> build_shard(const BuildPlan& plan,
   spec.shard = shard_index;
   spec.shards = config.shards;
   spec.owner = *plan.owner;
+  spec.strip_width = plan.strip_width;
 
   des::Rng root(config.seed);
   world->network = std::make_unique<net::Network>(
@@ -126,10 +160,51 @@ std::unique_ptr<ShardWorld> build_shard(const BuildPlan& plan,
           network.node(dst), src, pair_cbr, world->flows));
     }
   }
+
+  // Replicated failure schedule (see ShardWorld docs): the full draw stream
+  // runs on every shard from the same fork, exempt list in the same order
+  // the serial builder pushes it.
+  if (config.failure_fraction > 0.0) {
+    phy::FailureConfig fc;
+    fc.off_fraction = config.failure_fraction;
+    fc.mean_cycle_s = config.failure_cycle_s;
+    for (const auto& [src, dst] : *plan.pairs) {
+      fc.exempt_nodes.push_back(src);
+      fc.exempt_nodes.push_back(dst);
+    }
+    world->failures = std::make_unique<phy::FailureModel>(
+        world->scheduler, network.channel(), fc, root.fork("failures"));
+  }
+
+  // Replicated mobility: every shard moves ALL nodes (not just owned ones)
+  // from the same fork, so every shard's position grid stays bitwise equal
+  // to the serial one — which is what lets a replayed handoff walk see the
+  // same distances the source saw.
+  if (config.mobility) {
+    MobilityConfig mc;
+    mc.min_speed_mps = config.mobility_min_speed_mps;
+    mc.max_speed_mps = config.mobility_max_speed_mps;
+    mc.pause_s = config.mobility_pause_s;
+    for (const auto& [src, dst] : *plan.pairs) {
+      mc.pinned_nodes.push_back(src);
+      mc.pinned_nodes.push_back(dst);
+    }
+    world->mobility = std::make_unique<RandomWaypoint>(
+        world->scheduler, network.channel(), *plan.terrain, mc,
+        root.fork("mobility"));
+  }
+
+  if (config.track_energy) {
+    for (std::uint32_t id = 0; id < network.size(); ++id) {
+      if (!network.has_node(id)) continue;
+      network.channel().transceiver(id).enable_energy(config.energy_profile,
+                                                      world->scheduler);
+    }
+  }
   return world;
 }
 
-void harvest_shard(ShardWorld& world, ShardOutcome& out) {
+void harvest_shard(ShardWorld& world, ShardOutcome& out, bool track_energy) {
   namespace m = obs::metric;
   net::Network& network = *world.network;
   network.snapshot_metrics(out.metrics, &out.backoff_slots);
@@ -139,6 +214,18 @@ void harvest_shard(ShardWorld& world, ShardOutcome& out) {
   out.mac_tx = network.total_mac_tx();
   out.channel_tx = network.channel().stats().transmissions;
   out.events_executed = world.scheduler.executed_count();
+  if (track_energy) {
+    // Every shard's scheduler sits at sim_end here (the last window), so the
+    // final dwell interval closes at the same instant as the serial run's.
+    for (std::uint32_t id = 0; id < network.size(); ++id) {
+      if (!network.has_node(id)) continue;
+      phy::Transceiver& radio = network.channel().transceiver(id);
+      radio.finalize_energy();
+      if (const phy::EnergyMeter* meter = radio.energy_meter()) {
+        out.energy.emplace_back(id, meter->consumed_joules());
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -148,19 +235,13 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
   const std::uint32_t shards = config.shards;
   RRNET_EXPECTS(shards >= 2);
   RRNET_EXPECTS(config.nodes >= 2);
-  // The sharded engine supports the static-topology scenario family. Each
-  // unsupported feature either moves nodes across strip boundaries
-  // (mobility), consumes shard-local rng in a globally ordered way
-  // (failures, stochastic fading), or walks packet paths across worlds
-  // (path trace). Energy sums in node-id order serially; a shard-order sum
-  // would break bitwise reproducibility.
-  RRNET_EXPECTS(!config.mobility);
-  RRNET_EXPECTS(config.failure_fraction == 0.0);
+  // The only remaining serial-only feature: PathTrace observes every
+  // network-layer tx in one world, and relay paths cross strips. Mobility
+  // is handled by replicated position updates + node migration, failures by
+  // replicated draw streams with ownership-gated toggles, fading by the
+  // counter-based per-link rng, and energy by meters that travel with
+  // migrating nodes and a node-id-order final sum.
   RRNET_EXPECTS(!config.trace_paths);
-  RRNET_EXPECTS(!config.track_energy);
-  RRNET_EXPECTS(config.propagation == PropagationKind::FreeSpace ||
-                config.propagation == PropagationKind::TwoRay ||
-                config.propagation == PropagationKind::LogDistance);
 
   std::uint32_t threads = config.shard_threads;
   if (threads == 0) {
@@ -204,20 +285,44 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
     }
   }
 
-  BuildPlan plan{&config, &terrain, &positions, &owner, &pairs, radio};
+  BuildPlan plan{&config,   &terrain, &positions,
+                 &owner,    &pairs,   radio,
+                 partition.strip_width()};
 
-  // ---- Shared window-protocol state. worlds/bounds slots are written by
-  // the owning worker and read by all; every cross-thread handoff of these
-  // is ordered by a barrier crossing (or thread join for the outcomes). ----
+  // ---- Shared window-protocol state. worlds/bounds/emitted/migration
+  // slots are written by the owning worker and read by all; every
+  // cross-thread handoff of these is ordered by a barrier crossing (or
+  // thread join for the outcomes). ----
   SpinBarrier barrier(threads);
   std::vector<ShardWorld*> worlds(shards, nullptr);
-  std::vector<des::Time> bounds(shards, 0.0);
+  // bounds / emitted are double-buffered by round parity: a quiet round has
+  // a single barrier (A), so round r's readers and round r+1's writers share
+  // the span between two A crossings — parity gives them disjoint slots, and
+  // the next same-parity write (round r+2) is separated from round r's reads
+  // by barrier A(r+1). bounds[p][s] is the conservative transmit bound of
+  // shard s; emitted[p][s] flags outbound handoffs or migration work.
+  std::array<std::vector<des::Time>, 2> bounds{
+      std::vector<des::Time>(shards, 0.0),
+      std::vector<des::Time>(shards, 0.0)};
+  std::array<std::vector<std::uint8_t>, 2> emitted{
+      std::vector<std::uint8_t>(shards, 0),
+      std::vector<std::uint8_t>(shards, 0)};
   std::vector<ShardOutcome> outcomes(shards);
   std::vector<obs::MetricRegistry> pool_metrics(threads);
   std::vector<std::vector<obs::TraceRecord>> trace_rings(threads);
+  // Deferred node migrations: written by the source shard's worker between
+  // barriers A and B (exchange rounds only), counted via migration_counts
+  // (published before B so readers never size() a foreign vector
+  // mid-write), applied by everyone between B and C, destroyed by the
+  // source worker at the next loop top (ordered by C — records only exist
+  // in rounds that crossed it).
+  std::vector<std::vector<NodeMigration>> migrations(shards);
+  std::vector<std::uint32_t> migration_counts(shards, 0);
   const bool want_trace = config.trace_events;
+  const bool track_energy = config.track_energy;
   const des::Time sim_end = config.sim_end;
   const mac::MacParams mac = config.mac;
+  const std::uint32_t window_batch = std::max(1u, config.shard_window_batch);
 
   auto worker = [&](std::uint32_t t) {
     const std::uint32_t lo = t * shards / threads;
@@ -255,27 +360,76 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
     // outbox access.
     barrier.arrive_and_wait();
 
-    // t = 0: start protocols and traffic, then publish the initial bounds.
+    // t = 0: start protocols, environment drivers, and traffic in the
+    // serial SimInstance order, then publish the initial bounds (parity
+    // buffer 0 — the startup acts as round 0).
     for (std::uint32_t s = lo; s < hi; ++s) {
       ShardWorld& world = *worlds[s];
       world.network->start_protocols();
+      if (world.failures != nullptr) world.failures->start();
+      if (world.mobility != nullptr) world.mobility->start();
       for (auto& source : world.sources) source->start();
-      bounds[s] = shard_bound(world, 0.0, mac);
+      bounds[0][s] = shard_bound(world, 0.0, mac);
     }
     barrier.arrive_and_wait();
 
+    // Boundary-crossing nodes seen but not yet quiescent, per owned shard
+    // (worker-local: only this thread harvests candidates from its shards).
+    std::vector<std::vector<std::uint32_t>> pending(shards);
+    std::vector<std::uint32_t> keep;
+    // Outgoing migrations per owned shard (observability: summed into the
+    // sim.node_migrations counter at harvest).
+    std::vector<std::uint64_t> migrated(shards, 0);
+
     des::Time window = sim_end;
     for (std::uint32_t s = 0; s < shards; ++s) {
-      window = std::min(window, bounds[s]);
+      window = std::min(window, bounds[0][s]);
     }
+    // Consecutive windows that skipped the exchange; replicated identically
+    // on every worker (it advances off shared emitted[] state only), so all
+    // workers take the same barrier path every round.
+    std::uint32_t quiet_streak = 0;
+    std::uint32_t parity = 0;
     for (;;) {
+      parity ^= 1;
       for (std::uint32_t s = lo; s < hi; ++s) {
-        // Safe to drop last window's handoffs now: every destination
-        // deep-cloned what it needed before the previous barrier.
+        // Safe to drop last window's handoffs and migration records now:
+        // every destination deep-cloned / applied what it needed before the
+        // previous barrier.
         worlds[s]->network->channel().clear_outboxes();
+        migrations[s].clear();
         worlds[s]->scheduler.run_until(window);
       }
-      barrier.arrive_and_wait();  // A: all outboxes sealed at `window`
+      for (std::uint32_t s = lo; s < hi; ++s) {
+        phy::Channel& channel = worlds[s]->network->channel();
+        emitted[parity][s] = channel.has_outbound() ||
+                                     channel.has_migration_candidates() ||
+                                     !pending[s].empty()
+                                 ? 1
+                                 : 0;
+        // Provisional bound; exact when the exchange below is skipped
+        // (injection and migration would both be no-ops then).
+        bounds[parity][s] = shard_bound(*worlds[s], window, mac);
+      }
+      barrier.arrive_and_wait();  // A: outboxes sealed, emitted[] published
+
+      bool exchange = window >= sim_end || quiet_streak + 1 >= window_batch;
+      for (std::uint32_t s = 0; s < shards && !exchange; ++s) {
+        exchange = emitted[parity][s] != 0;
+      }
+      if (!exchange) {
+        // Quiet window: nothing outbound anywhere, so the injection +
+        // rebound + barrier B round-trip is skipped entirely. Bit-identical
+        // for any window_batch — the skipped work is provably a no-op.
+        ++quiet_streak;
+        des::Time next = sim_end;
+        for (std::uint32_t s = 0; s < shards; ++s) {
+          next = std::min(next, bounds[parity][s]);
+        }
+        window = next;
+        continue;
+      }
+      quiet_streak = 0;
 
       for (std::uint32_t s = lo; s < hi; ++s) {
         phy::Channel& channel = worlds[s]->network->channel();
@@ -288,15 +442,101 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
             channel.inject_remote(handoff);
           }
         }
+
+        // Migration records AFTER injection: a handoff aimed at a crossing
+        // node parks a pending rx on it, which vetoes the move this round.
+        net::Network& network = *worlds[s]->network;
+        channel.take_migration_candidates(pending[s]);
+        std::sort(pending[s].begin(), pending[s].end());
+        pending[s].erase(std::unique(pending[s].begin(), pending[s].end()),
+                         pending[s].end());
+        keep.clear();
+        for (const std::uint32_t id : pending[s]) {
+          net::Node& node = network.node(id);
+          // Non-migratable protocols keep static ownership: semantically any
+          // owner map is correct (the full grid replays every walk), the
+          // strips just stay unbalanced. Drop the candidate for good.
+          if (!node.protocol().migratable()) continue;
+          const std::uint32_t dst =
+              channel.shard_of_position(channel.position(id));
+          if (dst == s) continue;  // wandered back home before quiescing
+          phy::Transceiver& radio = channel.transceiver(id);
+          if (!node.protocol().quiescent() || !node.mac().quiescent() ||
+              !radio.quiescent() || channel.has_pending_rx(id)) {
+            keep.push_back(id);  // busy: retry at a later window
+            continue;
+          }
+          NodeMigration rec;
+          rec.node = id;
+          rec.src = s;
+          rec.dst = dst;
+          rec.frame_counter = channel.frame_counter(id);
+          rec.last_uid = node.last_uid();
+          rec.node_stats = node.stats();
+          rec.node_rng = node.rng().state();
+          rec.mac = node.mac().export_migration_state();
+          rec.radio = radio.export_snapshot();
+          rec.protocol = node.protocol().export_state();
+          migrations[s].push_back(std::move(rec));
+        }
+        pending[s].assign(keep.begin(), keep.end());
+        migration_counts[s] =
+            static_cast<std::uint32_t>(migrations[s].size());
+        if (window < sim_end) migrated[s] += migrations[s].size();
+
         // Bound AFTER injection: replayed signals feed the PHY-event term.
-        bounds[s] = shard_bound(*worlds[s], window, mac);
+        // Migrating nodes are quiescent by construction, so re-homing them
+        // after barrier B cannot invalidate this bound.
+        bounds[parity][s] = shard_bound(*worlds[s], window, mac);
       }
-      barrier.arrive_and_wait();  // B: bounds published, injections done
+      barrier.arrive_and_wait();  // B: bounds + migration counts published
+
+      std::uint32_t total_migrations = 0;
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        total_migrations += migration_counts[s];
+      }
+      if (window < sim_end && total_migrations > 0) {
+        // EVERY worker walks ALL records in (source shard, record) order:
+        // each updates the owner maps of the shards it owns for every
+        // record, and performs the evict / adopt halves it owns. The
+        // per-record order (owner map first) satisfies the adopt/evict
+        // contracts when src or dst is local.
+        for (std::uint32_t src = 0; src < shards; ++src) {
+          for (const NodeMigration& rec : migrations[src]) {
+            for (std::uint32_t s = lo; s < hi; ++s) {
+              worlds[s]->network->channel().set_owner(rec.node, rec.dst);
+            }
+            if (rec.src >= lo && rec.src < hi) {
+              worlds[rec.src]->network->evict_node(rec.node);
+            }
+            if (rec.dst >= lo && rec.dst < hi) {
+              ShardWorld& world = *worlds[rec.dst];
+              net::Node& node = world.network->adopt_node(rec.node);
+              SimInstance::attach_protocol(config, node);
+              app::attach_sink(node, world.flows);
+              node.protocol().start();
+              world.network->channel().restore_frame_counter(
+                  rec.node, rec.frame_counter);
+              node.restore_migration_state(rec.node_stats, rec.last_uid,
+                                           rec.node_rng);
+              node.mac().import_migration_state(rec.mac);
+              world.network->channel().transceiver(rec.node).import_snapshot(
+                  rec.radio);
+              if (rec.protocol != nullptr) {
+                node.protocol().import_state(*rec.protocol);
+              }
+            }
+          }
+        }
+        // C: all adoptions done before any source clears its records (next
+        // loop top) or transmits to the node's new home.
+        barrier.arrive_and_wait();
+      }
 
       if (window >= sim_end) break;
       des::Time next = sim_end;
       for (std::uint32_t s = 0; s < shards; ++s) {
-        next = std::min(next, bounds[s]);
+        next = std::min(next, bounds[parity][s]);
       }
       window = next;
     }
@@ -304,7 +544,10 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
     // Harvest on the owning thread (snapshot_metrics walks thread-local
     // pool-backed structures), then destroy the worlds here too.
     for (std::uint32_t s = lo; s < hi; ++s) {
-      harvest_shard(*worlds[s], outcomes[s]);
+      harvest_shard(*worlds[s], outcomes[s], track_energy);
+      if (migrated[s] > 0) {
+        outcomes[s].metrics.add(obs::metric::kSimNodeMigrations, migrated[s]);
+      }
     }
     mine.clear();
 
@@ -380,6 +623,23 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
     r.events_executed += out.events_executed;
     r.metrics.merge(out.metrics);  // shard-index order
     backoff_slots.merge(out.backoff_slots);
+  }
+  if (track_energy) {
+    // Exactly one shard reported each node (migrations re-home the meter
+    // with the node). Summing in node-id order reproduces the serial FP
+    // accumulation bit-for-bit regardless of final ownership.
+    std::vector<std::pair<std::uint32_t, double>> energy;
+    for (const ShardOutcome& out : outcomes) {
+      energy.insert(energy.end(), out.energy.begin(), out.energy.end());
+    }
+    std::sort(energy.begin(), energy.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    double joules = 0.0;
+    for (const auto& [id, j] : energy) joules += j;
+    r.total_energy_j = joules;
+    if (r.delivered > 0) {
+      r.energy_per_delivered_j = joules / static_cast<double>(r.delivered);
+    }
   }
   // Percentiles come from the UNION histogram — merging per-shard p50/p99
   // gauges by max would not match the serial flattening.

@@ -32,9 +32,14 @@ namespace rrnet::sim {
 
 /// Run `config` across config.shards spatial shards on up to
 /// config.shard_threads workers. Requires config.shards >= 2 (use
-/// run_scenario / SimInstance for serial), static nodes (no mobility, no
-/// failures), a deterministic propagation model (FreeSpace / TwoRay /
-/// LogDistance), and no path-trace or energy tracking.
+/// run_scenario / SimInstance for serial) and no path tracing (PathTrace
+/// observes one world). Everything else — mobility, failures, stochastic
+/// fading, energy tracking — runs sharded and stays bit-identical to
+/// serial: mobility and failure schedules are replicated on every shard
+/// from the same rng forks, nodes that cross strip boundaries migrate at
+/// window barriers once quiescent, fading draws come from counter-based
+/// per-link streams (des::LinkRng) that any shard can replay, and energy
+/// meters travel with migrating nodes (final sum in node-id order).
 ///
 /// When `trace_out` is non-null and config.trace_events is set, the
 /// per-worker tracer rings are merged by timestamp into it (stable across
