@@ -24,11 +24,15 @@
 // columns are only printed once per row pair and any drift is a bug.
 //
 // Flags: --quick (n = 1000 only), --nodes N (single custom size), --seed,
-// --reps, --shards K (single custom shard count).
+// --reps, --shards K (single custom shard count), --proto LABEL (single
+// row family: ssaf / rr / ssaf_rayleigh), --rss-budget-mib M (exit
+// non-zero if peak RSS ever exceeds M — the verify.sh smoke gate).
 #include <algorithm>
 #include <cmath>
 #include <chrono>
 #include <thread>
+
+#include <sys/resource.h>
 
 #include "bench_common.hpp"
 #include "sim/runner.hpp"
@@ -43,6 +47,13 @@ struct SweepRow {
       rrnet::sim::PropagationKind::FreeSpace;
 };
 
+/// Process peak RSS in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mib() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,7 +65,10 @@ int main(int argc, char** argv) {
       "engine scaling toward multi-hop radio-network regimes (Ghaffari & "
       "Haeupler; Czumaj & Davies)");
 
-  std::vector<std::size_t> sizes = {1000, 5000, 10000, 100000};
+  // The n = 1,000,000 size runs the SSAF flood row only, serial: it exists
+  // to prove the million-node path (construction, CSR index, memory), not
+  // to wait out an RR unicast run 3x as long.
+  std::vector<std::size_t> sizes = {1000, 5000, 10000, 100000, 1000000};
   if (flags.get_bool("quick", false)) sizes = {1000};
   if (flags.has("nodes")) {
     sizes = {static_cast<std::size_t>(flags.get_int("nodes", 1000))};
@@ -63,6 +77,9 @@ int main(int argc, char** argv) {
   if (flags.has("shards")) {
     shard_counts = {static_cast<std::uint32_t>(flags.get_int("shards", 1))};
   }
+  const double rss_budget_mib =
+      static_cast<double>(flags.get_int("rss-budget-mib", 0));
+  const std::string proto_filter = flags.get_string("proto", "");
 
   // fig1: 100 nodes / 1000x1000 m; fig3: 500 nodes / 2000x2000 m. The
   // Rayleigh row reruns the flood regime under stochastic per-link fading:
@@ -78,11 +95,19 @@ int main(int argc, char** argv) {
   };
 
   util::Table table({"nodes", "proto", "shards", "threads", "terrain_m",
-                     "events", "wall_s", "events_per_s", "delivery",
-                     "delay_s", "mac_pkts"});
+                     "events", "wall_s", "events_per_s", "setup_ns_node",
+                     "rss_mib", "delivery", "delay_s", "mac_pkts"});
+  bool rss_budget_blown = false;
   for (const std::size_t nodes : sizes) {
     for (const SweepRow& row : rows) {
+      if (!proto_filter.empty() && proto_filter != row.label) continue;
       for (const std::uint32_t shards : shard_counts) {
+        if (nodes >= 1000000 &&
+            (row.protocol != sim::ProtocolKind::Ssaf ||
+             row.propagation != sim::PropagationKind::FreeSpace ||
+             shards != 1)) {
+          continue;
+        }
         sim::ScenarioConfig config = row.protocol == sim::ProtocolKind::Ssaf
                                          ? bench::figure1_setup()
                                          : bench::figure3_setup();
@@ -114,25 +139,56 @@ int main(int argc, char** argv) {
 
         // run_scenario (not run_replications): the scaling table needs the
         // raw event count and a wall clock unpolluted by worker-thread
-        // setup.
-        const auto t0 = std::chrono::steady_clock::now();
-        const sim::ScenarioResult result = sim::run_scenario(config);
-        const double wall =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count();
+        // setup. Serial rows split construction out of the wall clock so
+        // the setup_ns_node column tracks build cost (placement, CSR grid,
+        // arena carves) separately from simulated throughput; sharded rows
+        // build inside their workers, so the column reads 0 there.
+        sim::ScenarioResult result;
+        double setup_ns_node = 0.0;
+        double wall = 0.0;
+        if (shards == 1) {
+          const auto build0 = std::chrono::steady_clock::now();
+          sim::SimInstance instance(config);
+          const auto build1 = std::chrono::steady_clock::now();
+          setup_ns_node = std::chrono::duration<double, std::nano>(build1 -
+                                                                   build0)
+                              .count() /
+                          static_cast<double>(nodes);
+          instance.run();
+          result = instance.result();
+          wall = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - build1)
+                     .count();
+        } else {
+          const auto t0 = std::chrono::steady_clock::now();
+          result = sim::run_scenario(config);
+          wall = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+        }
         const double events = static_cast<double>(result.events_executed);
+        const double rss_mib = peak_rss_mib();
         table.add_row({static_cast<double>(nodes), std::string(row.label),
                        static_cast<double>(shards),
                        static_cast<double>(threads), side, events, wall,
-                       wall > 0.0 ? events / wall : 0.0,
-                       result.delivery_ratio, result.mean_delay_s,
+                       wall > 0.0 ? events / wall : 0.0, setup_ns_node,
+                       rss_mib, result.delivery_ratio, result.mean_delay_s,
                        static_cast<double>(result.mac_packets)});
-        std::fprintf(stderr, "  [n=%zu %s K=%u] %.1fs wall, %.0f events\n",
-                     nodes, row.label, shards, wall, events);
+        std::fprintf(stderr,
+                     "  [n=%zu %s K=%u] %.1fs wall, %.0f events, "
+                     "%.0f ns/node setup, %.0f MiB peak\n",
+                     nodes, row.label, shards, wall, events, setup_ns_node,
+                     rss_mib);
+        if (rss_budget_mib > 0.0 && rss_mib > rss_budget_mib) {
+          std::fprintf(stderr,
+                       "  RSS budget exceeded: %.0f MiB > %.0f MiB "
+                       "(n=%zu %s K=%u)\n",
+                       rss_mib, rss_budget_mib, nodes, row.label, shards);
+          rss_budget_blown = true;
+        }
       }
     }
   }
   bench::emit(table, "abl_large_n.csv");
-  return 0;
+  return rss_budget_blown ? 1 : 0;
 }

@@ -87,6 +87,10 @@ struct BenchResult {
   double best_round_ns = 0.0;  ///< fastest round's ns/event (noise floor)
   std::uint64_t allocations = 0;
   std::uint64_t alloc_bytes = 0;
+  /// Scenario construction cost (serial scenario benches only): ns per node
+  /// to build the full instance — placement, grid, pools, node stacks.
+  /// 0 when not measured; check_bench.py gates it when both sides have it.
+  double setup_ns_per_node = 0.0;
   /// Deterministic per-layer counters (scenario benches only): lets
   /// check_bench.py flag behaviour drift (e.g. a retry storm) that does not
   /// show up as a timing regression.
@@ -388,6 +392,20 @@ BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
       shards == 1 ? 1
                   : std::min(std::max(1u, std::thread::hardware_concurrency()),
                              shards);
+  if (shards == 1) {
+    // Construction cost, best of three (same noise-floor rationale as the
+    // main loop). Pools are warm from the measured rounds above, so this is
+    // the steady-state rebuild cost a replication sweep pays per instance.
+    double best_ns = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < 3; ++round) {
+      const auto t0 = Clock::now();
+      sim::SimInstance instance(config);
+      const auto t1 = Clock::now();
+      best_ns = std::min(
+          best_ns, std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+    bench.setup_ns_per_node = best_ns / static_cast<double>(nodes);
+  }
   // Counters are deterministic per seed, so the last round's snapshot is
   // representative. Pool counters are excluded: they depend on how many
   // rounds ran on this thread before (warm arenas), not on the scenario.
@@ -428,6 +446,11 @@ void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
                   r.allocs_per_event(),
                   static_cast<unsigned long long>(r.alloc_bytes));
     os << buf;
+    if (r.setup_ns_per_node > 0.0) {
+      std::snprintf(buf, sizeof(buf), ", \"setup_ns_per_node\": %.2f",
+                    r.setup_ns_per_node);
+      os << buf;
+    }
     if (!r.counters.empty()) {
       os << ", \"counters\": {";
       for (std::size_t c = 0; c < r.counters.size(); ++c) {

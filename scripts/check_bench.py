@@ -44,7 +44,11 @@ import sys
 from pathlib import Path
 
 TIME_TOLERANCE = 0.35     # +35% ns/event before we call it a regression
-ALLOC_TOLERANCE = 0.02    # +0.02 allocs/event absolute
+# +0.01 allocs/event absolute. Tightened from 0.02 once the sharded
+# entries' per-run construction churn (MetricRegistry map nodes, grid
+# vector-of-vectors, Transmission regrowth) was pooled/flattened: the
+# worst entry now sits near 0.011, so the old band could hide a 3x jump.
+ALLOC_TOLERANCE = 0.01
 COUNTER_TOLERANCE = 0.10  # +/-10% relative drift per behaviour counter
 REQUIRED_COUNTERS = ("phy.tx_dropped_busy",)
 
@@ -100,6 +104,21 @@ def main(argv):
                 f"{name}: {got_allocs:.4f} allocs/ev exceeds "
                 f"{base_allocs:.4f} +{ALLOC_TOLERANCE} = {alloc_limit:.4f}"
             )
+        # Construction cost (ns/node), emitted by serial scenario benches.
+        # Gated like ns_per_event when both sides carry it — the large-n
+        # work moved scenario build from O(n log n)-with-realloc to bulk
+        # passes, and this keeps that from silently regressing.
+        base_setup = base.get("setup_ns_per_node")
+        got_setup = got.get("setup_ns_per_node")
+        if gate_time and base_setup is not None and got_setup is not None:
+            setup_limit = base_setup * (1.0 + TIME_TOLERANCE)
+            if got_setup > setup_limit:
+                verdict = "REGRESSION(setup)"
+                failures.append(
+                    f"{name}: setup {got_setup:.1f} ns/node exceeds "
+                    f"{base_setup:.1f} +{TIME_TOLERANCE:.0%} = "
+                    f"{setup_limit:.1f}"
+                )
         base_counters = base.get("counters", {})
         got_counters = got.get("counters", {})
         if got_counters:

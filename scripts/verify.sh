@@ -2,10 +2,14 @@
 # Tier-1 verification: plain build + tests, then the same suite under
 # ASan/UBSan (second build dir, registered as the "sanitize" configuration).
 #
-# Usage: scripts/verify.sh [--with-bench]
-#   --with-bench  additionally run the engine benchmark suite and refresh
-#                 bench_results/BENCH_engine.json (plain build only; never
-#                 benchmark a sanitized binary).
+# Usage: scripts/verify.sh [--with-bench] [--large-n-smoke]
+#   --with-bench     additionally run the engine benchmark suite and refresh
+#                    bench_results/BENCH_engine.json (plain build only; never
+#                    benchmark a sanitized binary).
+#   --large-n-smoke  additionally run one n=100k SSAF serial row through
+#                    abl_large_n with an RSS budget assertion — proves the
+#                    bulk-construction / CSR-index path stays within its
+#                    memory envelope without waiting out the full sweep.
 #
 # Every run (with or without --with-bench) executes the bench suite once
 # and gates it against the checked-in baseline via scripts/check_bench.py:
@@ -15,7 +19,14 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
 WITH_BENCH=0
-[[ "${1:-}" == "--with-bench" ]] && WITH_BENCH=1
+LARGE_N_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --with-bench) WITH_BENCH=1 ;;
+    --large-n-smoke) LARGE_N_SMOKE=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== header self-containment =="
 # Every header must compile standalone (no hidden include-order coupling).
@@ -42,6 +53,15 @@ FRESH_BENCH="$(mktemp /tmp/rrnet_bench.XXXXXX.json)"
 trap 'rm -f "$FRESH_BENCH"' EXIT
 taskset -c 0 ./build/bench/run_bench_suite "$FRESH_BENCH"
 python3 scripts/check_bench.py "$FRESH_BENCH"
+
+if [[ "$LARGE_N_SMOKE" == 1 ]]; then
+  echo "== large-n smoke (n=100k SSAF serial, RSS budget) =="
+  # Budget: the n=100k SSAF row peaks around 1.1 GiB (node stacks + CSR
+  # index + scheduler); 2048 MiB leaves headroom for allocator noise while
+  # still catching an accidental O(n*K) replication or growth-realloc storm.
+  ./build/bench/abl_large_n --nodes 100000 --shards 1 --proto ssaf \
+    --rss-budget-mib 2048
+fi
 
 echo "== sanitize build (address;undefined;trace) + ctest =="
 # Tracing is compiled IN here so the sanitizers sweep the tracer hot path

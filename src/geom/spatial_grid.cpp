@@ -16,13 +16,15 @@ SpatialGrid::SpatialGrid(const Terrain& terrain, double cell_size,
           1, static_cast<std::size_t>(std::ceil(terrain.height() / cell_size)))),
       width_(terrain.width()),
       height_(terrain.height()),
-      positions_(positions),
-      cells_(cols_ * rows_) {
+      positions_(positions) {
   RRNET_EXPECTS(cell_size > 0.0);
+  cell_of_.resize(positions_.size());
   for (std::uint32_t id = 0; id < positions_.size(); ++id) {
     RRNET_EXPECTS(terrain.contains(positions_[id]));
-    cells_[cell_index(positions_[id])].push_back(id);
+    cell_of_[id] = static_cast<std::uint32_t>(cell_index(positions_[id]));
   }
+  listed_.assign(positions_.size(), 0);
+  rebuild_csr();
 }
 
 std::size_t SpatialGrid::cell_index(Vec2 p) const noexcept {
@@ -31,6 +33,29 @@ std::size_t SpatialGrid::cell_index(Vec2 p) const noexcept {
   col = std::min(col, cols_ - 1);
   row = std::min(row, rows_ - 1);
   return row * cols_ + col;
+}
+
+void SpatialGrid::rebuild_csr() {
+  // Counting sort over current cells; filling in ascending id order keeps
+  // every cell span sorted by id.
+  const std::size_t cells = cols_ * rows_;
+  offsets_.assign(cells + 1, 0);
+  ids_.resize(positions_.size());
+  for (const std::uint32_t c : cell_of_) ++offsets_[c + 1];
+  for (std::size_t c = 1; c <= cells; ++c) offsets_[c] += offsets_[c - 1];
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::uint32_t id = 0; id < positions_.size(); ++id) {
+    ids_[cursor[cell_of_[id]]++] = id;
+  }
+  base_cell_of_ = cell_of_;
+}
+
+void SpatialGrid::compact() {
+  if (dislodged_.empty()) return;
+  rebuild_csr();
+  for (const std::uint32_t id : dislodged_) listed_[id] = 0;
+  dislodged_.clear();
+  scan_debt_ = 0;
 }
 
 void SpatialGrid::query(Vec2 center, double radius,
@@ -45,36 +70,84 @@ void SpatialGrid::query(Vec2 center, double radius,
       std::floor((center.y - radius) / cell_size_));
   const auto row_hi = static_cast<std::int64_t>(
       std::floor((center.y + radius) / cell_size_));
-  for (std::int64_t row = std::max<std::int64_t>(0, row_lo);
-       row <= std::min<std::int64_t>(static_cast<std::int64_t>(rows_) - 1, row_hi);
-       ++row) {
-    for (std::int64_t col = std::max<std::int64_t>(0, col_lo);
-         col <= std::min<std::int64_t>(static_cast<std::int64_t>(cols_) - 1, col_hi);
-         ++col) {
-      for (std::uint32_t id :
-           cells_[static_cast<std::size_t>(row) * cols_ +
-                  static_cast<std::size_t>(col)]) {
-        if (distance_sq(positions_[id], center) <= r_sq) out.push_back(id);
+  const std::int64_t row_min = std::max<std::int64_t>(0, row_lo);
+  const std::int64_t row_max =
+      std::min<std::int64_t>(static_cast<std::int64_t>(rows_) - 1, row_hi);
+  const std::int64_t col_min = std::max<std::int64_t>(0, col_lo);
+  const std::int64_t col_max =
+      std::min<std::int64_t>(static_cast<std::int64_t>(cols_) - 1, col_hi);
+  const bool clean = dislodged_.empty();
+  for (std::int64_t row = row_min; row <= row_max; ++row) {
+    const std::size_t base = static_cast<std::size_t>(row) * cols_;
+    for (std::int64_t col = col_min; col <= col_max; ++col) {
+      const std::size_t c = base + static_cast<std::size_t>(col);
+      const std::uint32_t* it = ids_.data() + offsets_[c];
+      const std::uint32_t* end = ids_.data() + offsets_[c + 1];
+      if (clean) {
+        for (; it != end; ++it) {
+          if (distance_sq(positions_[*it], center) <= r_sq) out.push_back(*it);
+        }
+      } else {
+        // Base spans are stale: an id counts only if it still lives here.
+        for (; it != end; ++it) {
+          if (cell_of_[*it] == c &&
+              distance_sq(positions_[*it], center) <= r_sq) {
+            out.push_back(*it);
+          }
+        }
       }
     }
+  }
+  if (!clean) {
+    // Dislodged ids are missing from (or stale in) their base span; any
+    // point within `radius` lies inside the clamped cell rect, so the
+    // distance test alone decides membership.
+    for (const std::uint32_t id : dislodged_) {
+      if (cell_of_[id] != base_cell_of_[id] &&
+          distance_sq(positions_[id], center) <= r_sq) {
+        out.push_back(id);
+      }
+    }
+    scan_debt_ += dislodged_.size();
   }
   std::sort(out.begin(), out.end());
 }
 
 void SpatialGrid::update_position(std::uint32_t id, Vec2 new_position) {
   RRNET_EXPECTS(id < positions_.size());
-  const std::size_t old_cell = cell_index(positions_[id]);
-  const std::size_t new_cell = cell_index(new_position);
   positions_[id] = new_position;
-  if (old_cell == new_cell) return;
-  auto& bucket = cells_[old_cell];
-  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
-  cells_[new_cell].push_back(id);
+  const auto new_cell = static_cast<std::uint32_t>(cell_index(new_position));
+  if (new_cell == cell_of_[id]) return;
+  cell_of_[id] = new_cell;
+  if (!listed_[id] && new_cell != base_cell_of_[id]) {
+    listed_[id] = 1;
+    dislodged_.push_back(id);
+  }
+  // Epoch rule: rebuild once queries have paid (in extra dislodged-list
+  // scans) roughly what a rebuild costs, or when the list itself would
+  // make single queries O(n/8). Both triggers are pure counters, so shard
+  // replicas replaying the same moves stay deterministic in results even
+  // if their query mixes (and hence epoch boundaries) differ.
+  const std::uint64_t rebuild_cost = positions_.size() + cols_ * rows_;
+  if (scan_debt_ >= rebuild_cost ||
+      dislodged_.size() >= std::max<std::size_t>(64, positions_.size() / 8)) {
+    compact();
+  }
 }
 
 Vec2 SpatialGrid::position(std::uint32_t id) const {
   RRNET_EXPECTS(id < positions_.size());
   return positions_[id];
+}
+
+std::size_t SpatialGrid::index_bytes() const noexcept {
+  return offsets_.capacity() * sizeof(std::uint32_t) +
+         ids_.capacity() * sizeof(std::uint32_t) +
+         cell_of_.capacity() * sizeof(std::uint32_t) +
+         base_cell_of_.capacity() * sizeof(std::uint32_t) +
+         dislodged_.capacity() * sizeof(std::uint32_t) +
+         listed_.capacity() * sizeof(std::uint8_t) +
+         positions_.capacity() * sizeof(Vec2);
 }
 
 }  // namespace rrnet::geom

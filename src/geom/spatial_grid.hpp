@@ -4,6 +4,17 @@
 // transmission; with ~500 nodes and ~25 neighbors this must not be O(n).
 // Cell size equals the query radius used most often (the interference
 // range), so a query touches at most 9 cells.
+//
+// Layout is flat CSR: one offsets array (cells + 1 entries) into one
+// contiguous ids array, built in a single counting-sort pass. Filling in
+// ascending id order keeps every cell span sorted by id, so `query()`
+// output stays sorted without relying on insertion history. Mobility does
+// not splice the CSR per move: `update_position` only rewrites `cell_of_`
+// and appends the id to a dislodged list; queries scan the (stale) base
+// span filtered by the current cell plus the dislodged list, and the index
+// is recompacted in O(n + cells) once the accumulated query overhead since
+// the last epoch would exceed a rebuild ("scan debt"), or when the
+// dislodged list hits a hard cap.
 #pragma once
 
 #include <cstdint>
@@ -26,13 +37,28 @@ class SpatialGrid {
   void query(Vec2 center, double radius, std::vector<std::uint32_t>& out) const;
 
   /// Move a node (e.g. mobility extensions); keeps the index consistent.
+  /// Deferred: the CSR arrays are only rebuilt at epoch boundaries.
   void update_position(std::uint32_t id, Vec2 new_position);
+
+  /// Rebuild the CSR arrays from current cells and start a new epoch.
+  /// Called automatically from `update_position` when the deferred-update
+  /// overhead amortizes a rebuild; callable explicitly at window barriers.
+  void compact();
 
   [[nodiscard]] Vec2 position(std::uint32_t id) const;
   [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] double cell_size() const noexcept { return cell_size_; }
+  /// Moves recorded since the last compaction epoch.
+  [[nodiscard]] std::size_t pending_updates() const noexcept {
+    return dislodged_.size();
+  }
+  /// Heap bytes held by the index arrays (capacity, not size) — lets the
+  /// sharded coordinator audit shared-vs-replicated index memory.
+  [[nodiscard]] std::size_t index_bytes() const noexcept;
 
  private:
   [[nodiscard]] std::size_t cell_index(Vec2 p) const noexcept;
+  void rebuild_csr();
 
   double cell_size_;
   std::size_t cols_;
@@ -40,7 +66,17 @@ class SpatialGrid {
   double width_;
   double height_;
   std::vector<Vec2> positions_;
-  std::vector<std::vector<std::uint32_t>> cells_;
+  std::vector<std::uint32_t> offsets_;       // cells + 1; CSR row starts
+  std::vector<std::uint32_t> ids_;           // n; per-cell spans sorted by id
+  std::vector<std::uint32_t> cell_of_;       // current cell of each id
+  std::vector<std::uint32_t> base_cell_of_;  // cell at last compaction
+  std::vector<std::uint32_t> dislodged_;     // ids moved out of their base cell
+  std::vector<std::uint8_t> listed_;         // id already on dislodged_
+  // Amortization state: each query pays O(|dislodged_|) extra; once that
+  // debt exceeds a rebuild cost we compact. Mutable because `query()` is
+  // logically const; only ever written when dislodged_ is non-empty, so a
+  // grid shared read-only across shards (static scenarios) never races.
+  mutable std::uint64_t scan_debt_ = 0;
 };
 
 }  // namespace rrnet::geom

@@ -10,13 +10,15 @@ Network::Network(des::Scheduler& scheduler, const geom::Terrain& terrain,
                  std::unique_ptr<phy::PropagationModel> model,
                  phy::RadioParams radio_params, mac::MacParams mac_params,
                  std::vector<geom::Vec2> positions, des::Rng root_rng,
-                 phy::ShardSpec shard)
+                 phy::ShardSpec shard,
+                 std::shared_ptr<const geom::SpatialGrid> shared_index)
     : scheduler_(&scheduler), root_rng_(root_rng), mac_params_(mac_params) {
-  const std::size_t n = positions.size();
+  const std::size_t n =
+      shared_index ? shared_index->size() : positions.size();
   RRNET_EXPECTS(n > 0);
   channel_ = std::make_unique<phy::Channel>(
       scheduler, terrain, std::move(model), radio_params, std::move(positions),
-      root_rng.fork("channel"), std::move(shard));
+      root_rng.fork("channel"), std::move(shard), std::move(shared_index));
   nodes_.reserve(n);
   for (std::uint32_t id = 0; id < n; ++id) {
     // Fork the per-node stream even for remote ids: forks are keyed off the

@@ -7,6 +7,7 @@
 
 #include "des/rng.hpp"
 #include "des/scheduler.hpp"
+#include "geom/spatial_grid.hpp"
 #include "geom/terrain.hpp"
 #include "mac/csma.hpp"
 #include "net/node.hpp"
@@ -23,11 +24,15 @@ class Network {
   /// (and their transceivers) exist only for owned ids; node(id) on a
   /// remote id is a contract violation. Rng forks are keyed by node id, so
   /// every shard hands its nodes the exact streams the serial run would.
+  /// A non-null `shared_index` replaces the per-channel grid build with a
+  /// read-only view of one immutable index (static-position sharded runs);
+  /// `positions` may then be empty.
   Network(des::Scheduler& scheduler, const geom::Terrain& terrain,
           std::unique_ptr<phy::PropagationModel> model,
           phy::RadioParams radio_params, mac::MacParams mac_params,
           std::vector<geom::Vec2> positions, des::Rng root_rng,
-          phy::ShardSpec shard = {});
+          phy::ShardSpec shard = {},
+          std::shared_ptr<const geom::SpatialGrid> shared_index = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;

@@ -1,52 +1,77 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstring>
+
+#include "util/contracts.hpp"
 
 namespace rrnet::obs {
 
+namespace {
+
+/// lower_bound over the sorted entry vector by name.
+template <typename Vec>
+auto name_lower_bound(Vec& entries, std::string_view name) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const auto& entry, std::string_view n) { return entry.view() < n; });
+}
+
+}  // namespace
+
+const MetricRegistry::Entry* MetricRegistry::find(
+    std::string_view name) const noexcept {
+  const auto it = name_lower_bound(entries_, name);
+  return it != entries_.end() && it->view() == name ? &*it : nullptr;
+}
+
+MetricRegistry::Entry& MetricRegistry::find_or_insert(std::string_view name,
+                                                      MetricKind kind) {
+  RRNET_EXPECTS(name.size() <= kMaxNameLen);
+  if (entries_.capacity() == 0) entries_.reserve(48);
+  auto it = name_lower_bound(entries_, name);
+  if (it != entries_.end() && it->view() == name) return *it;
+  Entry entry;
+  entry.kind = kind;
+  entry.len = static_cast<std::uint8_t>(name.size());
+  std::memcpy(entry.name, name.data(), name.size());
+  return *entries_.insert(it, entry);
+}
+
 void MetricRegistry::add(std::string_view name, std::uint64_t delta) {
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    it = entries_.emplace(std::string(name), Entry{MetricKind::Counter, 0})
-             .first;
-  }
-  it->second.value += delta;
+  find_or_insert(name, MetricKind::Counter).value += delta;
 }
 
 void MetricRegistry::set_max(std::string_view name, std::uint64_t value) {
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    entries_.emplace(std::string(name), Entry{MetricKind::Gauge, value});
-    return;
-  }
-  it->second.kind = MetricKind::Gauge;
-  it->second.value = std::max(it->second.value, value);
+  Entry& entry = find_or_insert(name, MetricKind::Gauge);
+  entry.kind = MetricKind::Gauge;
+  entry.value = std::max(entry.value, value);
 }
 
 void MetricRegistry::merge(const MetricRegistry& other) {
-  for (const auto& [name, entry] : other.entries_) {
+  for (const Entry& entry : other.entries_) {
     if (entry.kind == MetricKind::Gauge) {
-      set_max(name, entry.value);
+      set_max(entry.view(), entry.value);
     } else {
-      add(name, entry.value);
+      add(entry.view(), entry.value);
     }
   }
 }
 
 std::uint64_t MetricRegistry::value(std::string_view name) const noexcept {
-  const auto it = entries_.find(name);
-  return it == entries_.end() ? 0u : it->second.value;
+  const Entry* entry = find(name);
+  return entry == nullptr ? 0u : entry->value;
 }
 
 bool MetricRegistry::contains(std::string_view name) const noexcept {
-  return entries_.find(name) != entries_.end();
+  return find(name) != nullptr;
 }
 
 std::vector<Metric> MetricRegistry::snapshot() const {
   std::vector<Metric> out;
   out.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) {
-    out.push_back(Metric{name, entry.kind, entry.value});
+  for (const Entry& entry : entries_) {
+    out.push_back(Metric{std::string(entry.view()), entry.kind, entry.value});
   }
   return out;
 }

@@ -20,7 +20,6 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,8 +40,18 @@ struct Metric {
 
 /// Deterministically ordered (by name) scalar metric store. Cheap to copy;
 /// intended for end-of-run snapshots, never for per-event updates.
+///
+/// Storage is a name-sorted flat vector of 64-byte entries with inline
+/// names: the node-and-string churn of the std::map this replaced was the
+/// single largest per-run allocation source in sharded scenarios (one
+/// registry per shard plus merges, every metric name longer than SSO).
+/// Entries are trivially copyable; a registry's only allocation is its
+/// vector's growth, reserved to typical size on first insert.
 class MetricRegistry {
  public:
+  /// Longest accepted metric name; inline storage keeps entries at 64 B.
+  static constexpr std::size_t kMaxNameLen = 54;
+
   /// Add `delta` to counter `name` (created at zero when absent).
   void add(std::string_view name, std::uint64_t delta);
   /// Raise gauge `name` to at least `value` (created when absent).
@@ -63,10 +72,21 @@ class MetricRegistry {
 
  private:
   struct Entry {
-    MetricKind kind = MetricKind::Counter;
     std::uint64_t value = 0;
+    MetricKind kind = MetricKind::Counter;
+    std::uint8_t len = 0;
+    char name[kMaxNameLen];  ///< not NUL-terminated; `len` bytes valid
+    [[nodiscard]] std::string_view view() const noexcept {
+      return {name, len};
+    }
   };
-  std::map<std::string, Entry, std::less<>> entries_;
+  static_assert(sizeof(Entry) == 64);
+
+  [[nodiscard]] const Entry* find(std::string_view name) const noexcept;
+  /// Sorted-position insert (or existing entry); sets kind only on create.
+  Entry& find_or_insert(std::string_view name, MetricKind kind);
+
+  std::vector<Entry> entries_;  ///< sorted by name
 };
 
 /// Log2-bucketed histogram of nonnegative integer samples: bucket 0 counts

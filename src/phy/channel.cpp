@@ -13,32 +13,39 @@ namespace rrnet::phy {
 Channel::Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
                  std::unique_ptr<PropagationModel> model, RadioParams params,
                  std::vector<geom::Vec2> positions, des::Rng rng,
-                 ShardSpec shard)
+                 ShardSpec shard,
+                 std::shared_ptr<const geom::SpatialGrid> shared_index)
     : scheduler_(&scheduler),
       model_(std::move(model)),
       params_(params),
       tx_power_mw_(dbm_to_mw(params.tx_power_dbm)),
       rx_threshold_mw_(dbm_to_mw(params.rx_threshold_dbm)),
       interference_cutoff_mw_(dbm_to_mw(params.interference_cutoff_dbm)),
-      grid_(terrain, /*cell_size=*/
-            std::max(1.0, range_for_threshold(*model_, params.tx_power_dbm,
-                                              params.interference_cutoff_dbm,
-                                              terrain.diameter())),
-            positions),
-      rng_(rng),
       nominal_range_(range_for_threshold(*model_, params.tx_power_dbm,
                                          params.rx_threshold_dbm,
                                          terrain.diameter())),
       interference_range_(range_for_threshold(*model_, params.tx_power_dbm,
                                               params.interference_cutoff_dbm,
                                               terrain.diameter())),
+      rng_(rng),
       shard_(std::move(shard)) {
   RRNET_EXPECTS(model_ != nullptr);
-  RRNET_EXPECTS(!positions.empty());
-  RRNET_EXPECTS(shard_.owner.empty() || shard_.owner.size() == positions.size());
-  frame_counters_.assign(positions.size(), 0);
-  transceivers_.reserve(positions.size());
-  for (std::uint32_t id = 0; id < positions.size(); ++id) {
+  if (shared_index) {
+    RRNET_EXPECTS(positions.empty() ||
+                  positions.size() == shared_index->size());
+    shared_grid_ = std::move(shared_index);
+    grid_ = shared_grid_.get();
+  } else {
+    owned_grid_ = std::make_unique<geom::SpatialGrid>(
+        terrain, /*cell_size=*/std::max(1.0, interference_range_), positions);
+    grid_ = owned_grid_.get();
+  }
+  const std::size_t n = grid_->size();
+  RRNET_EXPECTS(n > 0);
+  RRNET_EXPECTS(shard_.owner.empty() || shard_.owner.size() == n);
+  frame_counters_.assign(n, 0);
+  transceivers_.reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
     if (!owns(id)) {
       // Remote node: position indexed (the grid needs every node for
       // bit-identical receiver walks), radio lives on its owning shard.
@@ -53,13 +60,40 @@ Channel::Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
   if (shard_.sharded()) {
     outboxes_.resize(shard_.shards);
     handoff_mark_.assign(shard_.shards, 0);
-    migration_marked_.assign(positions.size(), 0);
+    migration_marked_.assign(n, 0);
   }
   // Per-link stream base: rng_ is fork-derived from the run's root seed,
   // so every shard computes the same base and stochastic draws replay
   // identically wherever the receiver walk runs.
   link_seed_base_ = rng_.seed();
   stochastic_ = model_->stochastic();
+}
+
+Channel::~Channel() {
+  // Retire transmission records to the thread's spare pool so the next run
+  // built on this thread starts with warmed receiver-list capacity. Clear
+  // payload handles here, on the owning thread — refcounts are non-atomic.
+  auto& spare = spare_transmissions();
+  constexpr std::size_t kMaxSpare = 256;
+  for (auto& tx : transmissions_) {
+    if (!tx || spare.size() >= kMaxSpare) break;
+    tx->frame = Airframe{};
+    tx->receivers.clear();
+    tx->next_start = 0;
+    tx->next_end = 0;
+    spare.push_back(std::move(tx));
+  }
+}
+
+std::vector<std::unique_ptr<Channel::Transmission>>&
+Channel::spare_transmissions() {
+  static thread_local std::vector<std::unique_ptr<Transmission>> pool;
+  return pool;
+}
+
+std::vector<std::uint32_t>& Channel::query_scratch() {
+  static thread_local std::vector<std::uint32_t> scratch;
+  return scratch;
 }
 
 void Channel::adopt_transceiver(std::uint32_t id) {
@@ -84,12 +118,15 @@ const Transceiver& Channel::transceiver(std::uint32_t id) const {
 }
 
 geom::Vec2 Channel::position(std::uint32_t id) const {
-  return grid_.position(id);
+  return grid_->position(id);
 }
 
 void Channel::set_position(std::uint32_t id, geom::Vec2 position) {
   RRNET_EXPECTS(id < transceivers_.size());
-  grid_.update_position(id, position);
+  // A shared index is immutable by contract (mobility scenarios keep
+  // per-shard replicas), so mutation requires exclusive ownership.
+  RRNET_EXPECTS(owned_grid_ != nullptr);
+  owned_grid_->update_position(id, position);
   // Dynamic ownership: an owned node that moved out of this strip becomes
   // a migration candidate, picked up (and re-checked for quiescence) at the
   // next window barrier. O(movers) — mobility models replicate position
@@ -179,8 +216,9 @@ void Channel::inject_remote(const ShardHandoff& handoff) {
 
 void Channel::start_transmission(const Airframe& frame, des::Time tx_time,
                                  des::Time duration, bool record_handoffs) {
-  const geom::Vec2 origin = grid_.position(frame.sender);
-  grid_.query(origin, interference_range_, query_buffer_);
+  const geom::Vec2 origin = grid_->position(frame.sender);
+  std::vector<std::uint32_t>& query_buffer = query_scratch();
+  grid_->query(origin, interference_range_, query_buffer);
   const std::uint32_t slot = acquire_transmission();
   Transmission& tx = *transmissions_[slot];
   tx.frame = frame;
@@ -198,9 +236,9 @@ void Channel::start_transmission(const Airframe& frame, des::Time tx_time,
   // tie-break below is the GLOBAL receiver index and a sharded replay
   // interleaves identically to the serial walk.
   std::uint32_t order = 0;
-  for (const std::uint32_t rx_id : query_buffer_) {
+  for (const std::uint32_t rx_id : query_buffer) {
     if (rx_id == frame.sender) continue;
-    const double dist = geom::distance(origin, grid_.position(rx_id));
+    const double dist = geom::distance(origin, grid_->position(rx_id));
     // Power draws stay in grid-query order at transmit time; positions and
     // powers are pinned here, so signals in flight ignore later mobility.
     // Drawn in mW: the linear entry point spares a log10 per draw and the
@@ -303,7 +341,13 @@ std::uint32_t Channel::acquire_transmission() {
     free_transmissions_.pop_back();
     return slot;
   }
-  transmissions_.push_back(std::make_unique<Transmission>());
+  auto& spare = spare_transmissions();
+  if (!spare.empty()) {
+    transmissions_.push_back(std::move(spare.back()));
+    spare.pop_back();
+  } else {
+    transmissions_.push_back(std::make_unique<Transmission>());
+  }
   return static_cast<std::uint32_t>(transmissions_.size() - 1);
 }
 

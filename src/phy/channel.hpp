@@ -77,13 +77,20 @@ class Channel {
   /// per node (per OWNED node when `shard` says this channel is one shard
   /// of a sharded run). The scheduler, model, and params must outlive the
   /// channel.
+  ///
+  /// When `shared_index` is non-null the channel queries that immutable
+  /// grid instead of building its own (the sharded engine passes one index
+  /// to every static-position shard, cutting index memory from O(n*K) to
+  /// O(n)); `positions` may then be empty, and set_position is forbidden.
   Channel(des::Scheduler& scheduler, const geom::Terrain& terrain,
           std::unique_ptr<PropagationModel> model, RadioParams params,
           std::vector<geom::Vec2> positions, des::Rng rng,
-          ShardSpec shard = {});
+          ShardSpec shard = {},
+          std::shared_ptr<const geom::SpatialGrid> shared_index = nullptr);
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
+  ~Channel();
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return transceivers_.size();
@@ -106,6 +113,15 @@ class Channel {
   /// floor at mean power; they could not move any SINR perceptibly).
   [[nodiscard]] double interference_range_m() const noexcept {
     return interference_range_;
+  }
+
+  /// Heap bytes of the spatial index this channel queries; `owns_index()`
+  /// is false when the index is shared across shards (static scenarios).
+  [[nodiscard]] std::size_t index_bytes() const noexcept {
+    return grid_->index_bytes();
+  }
+  [[nodiscard]] bool owns_index() const noexcept {
+    return owned_grid_ != nullptr;
   }
 
   [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
@@ -277,6 +293,15 @@ class Channel {
   std::uint32_t acquire_transmission();
   void release_transmission(std::uint32_t slot);
 
+  /// Thread-local pool of retired Transmission records (receiver-list
+  /// capacity retained). Channels are built and torn down once per run —
+  /// serially or one per shard worker — so without this every run re-grows
+  /// every receiver vector from scratch; with it, warm runs on the same
+  /// thread are allocation-free here.
+  static std::vector<std::unique_ptr<Transmission>>& spare_transmissions();
+  /// Thread-local grid-query scratch, same rationale.
+  static std::vector<std::uint32_t>& query_scratch();
+
   /// Shared body of transmit() and inject_remote(): build the receiver
   /// walk for `frame` put on the air at `tx_time` for `duration`. In shard
   /// mode, skips non-owned receivers (keeping their global order indices)
@@ -297,7 +322,14 @@ class Channel {
   double tx_power_mw_;
   double rx_threshold_mw_;
   double interference_cutoff_mw_;
-  geom::SpatialGrid grid_;
+  double nominal_range_;
+  double interference_range_;
+  /// Exactly one of owned_grid_/shared_grid_ is set; grid_ views it.
+  /// shared_grid_ is immutable (concurrent const queries from all shard
+  /// workers); owned_grid_ additionally serves set_position.
+  std::unique_ptr<geom::SpatialGrid> owned_grid_;
+  std::shared_ptr<const geom::SpatialGrid> shared_grid_;
+  const geom::SpatialGrid* grid_ = nullptr;
   std::vector<std::unique_ptr<Transceiver>> transceivers_;
   des::Rng rng_;
   /// Base key of the counter-based per-link streams (des::LinkRng). Taken
@@ -307,11 +339,8 @@ class Channel {
   std::uint64_t link_seed_base_ = 0;
   /// Cached model_->stochastic(): per-receiver branch on the hot path.
   bool stochastic_ = false;
-  double nominal_range_;
-  double interference_range_;
   ChannelStats stats_;
   std::vector<std::uint32_t> frame_counters_;  ///< per-sender frame-id counters
-  mutable std::vector<std::uint32_t> query_buffer_;
   std::vector<std::unique_ptr<Transmission>> transmissions_;
   std::vector<std::uint32_t> free_transmissions_;
   ShardSpec shard_;

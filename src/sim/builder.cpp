@@ -89,6 +89,52 @@ void SimInstance::attach_protocol(const ScenarioConfig& config,
   RRNET_ASSERT(false);
 }
 
+void SimInstance::reserve_node_pools(const ScenarioConfig& config,
+                                     std::size_t nodes) {
+  if (nodes == 0) return;
+  // One entry per size class: distinct types can share a class, so counts
+  // accumulate before any pool is grown.
+  std::size_t need[util::kSizeClassMax / util::kSizeClassStep] = {};
+  const auto note = [&](std::size_t bytes) {
+    if (bytes == 0 || bytes > util::kSizeClassMax) return;
+    need[(bytes + util::kSizeClassStep - 1) / util::kSizeClassStep - 1] +=
+        nodes;
+  };
+  note(sizeof(net::Node));
+  note(sizeof(phy::Transceiver));
+  note(sizeof(mac::CsmaMac));
+  switch (config.protocol) {
+    case ProtocolKind::Counter1Flooding:
+    case ProtocolKind::BlindFlooding:
+      note(sizeof(proto::FloodingProtocol));
+      break;
+    case ProtocolKind::Ssaf:
+      note(sizeof(proto::SsafProtocol));
+      break;
+    case ProtocolKind::Routeless:
+      note(sizeof(proto::RoutelessProtocol));
+      break;
+    case ProtocolKind::Aodv:
+      note(sizeof(proto::AodvProtocol));
+      break;
+    case ProtocolKind::Gradient:
+      note(sizeof(proto::GradientProtocol));
+      break;
+    case ProtocolKind::Dsdv:
+      note(sizeof(proto::DsdvProtocol));
+      break;
+    case ProtocolKind::Dsr:
+      note(sizeof(proto::DsrProtocol));
+      break;
+  }
+  for (std::size_t i = 0; i < util::kSizeClassMax / util::kSizeClassStep; ++i) {
+    if (need[i] == 0) continue;
+    const std::size_t rounded = (i + 1) * util::kSizeClassStep;
+    util::PayloadPool& pool = util::sized_pool(rounded);
+    pool.ensure_capacity(pool.in_use() + need[i], rounded);
+  }
+}
+
 SimInstance::SimInstance(const ScenarioConfig& config)
     : config_(config),
       scheduler_(config.scheduler_queue),
@@ -132,6 +178,7 @@ SimInstance::SimInstance(const ScenarioConfig& config)
   std::vector<geom::Vec2> positions =
       geom::place_uniform(terrain_, config_.nodes, placement_rng);
 
+  reserve_node_pools(config_, config_.nodes);
   network_ = std::make_unique<net::Network>(
       scheduler_, terrain_, std::move(model), radio, config_.mac,
       std::move(positions), root.fork("network"));

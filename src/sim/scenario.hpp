@@ -67,11 +67,15 @@ struct ScenarioConfig {
   std::uint32_t shard_threads = 0;
   /// Barrier amortization: max consecutive quiet windows (no shard has
   /// outbound handoffs or migration work) that may skip the exchange half
-  /// of the barrier round before one is forced. 1 (default) exchanges every
-  /// window; larger values halve the barrier crossings of quiet stretches.
-  /// Results are bit-identical for ANY value — a skipped exchange is
-  /// provably a no-op — so this is purely a performance knob.
-  std::uint32_t shard_window_batch = 1;
+  /// of the barrier round before one is forced. 1 exchanges every window;
+  /// larger values halve the barrier crossings of quiet stretches. 0
+  /// (default) enables the adaptive controller: the allowance doubles
+  /// (capped at 64) after every forced exchange that found all shards
+  /// quiet and snaps back to 1 on a busy window, so idle stretches widen
+  /// automatically while bursts stay tightly synchronized. Results are
+  /// bit-identical for ANY value — a skipped exchange is provably a no-op —
+  /// so this is purely a performance knob.
+  std::uint32_t shard_window_batch = 0;
 
   // Topology.
   std::size_t nodes = 100;

@@ -111,6 +111,11 @@ struct BuildPlan {
   const std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs;
   phy::RadioParams radio;    ///< tx power already calibrated to range_m
   double strip_width = 0.0;  ///< ShardPartition strip width (crossing detect)
+  /// Static-position runs: one immutable CSR index built by the
+  /// coordinator and queried concurrently by every shard — index memory is
+  /// O(n) instead of O(n*K). Null under mobility (each shard keeps a
+  /// mutable replica driven by its own replicated position updates).
+  std::shared_ptr<const geom::SpatialGrid> shared_index;
 };
 
 std::unique_ptr<ShardWorld> build_shard(const BuildPlan& plan,
@@ -125,11 +130,19 @@ std::unique_ptr<ShardWorld> build_shard(const BuildPlan& plan,
   spec.owner = *plan.owner;
   spec.strip_width = plan.strip_width;
 
+  // Pre-carve this worker's object pools for the nodes this shard owns —
+  // at n=1M a shard would otherwise grow its arenas through thousands of
+  // reallocation steps during the node loop below.
+  std::size_t owned = 0;
+  for (const std::uint32_t o : *plan.owner) owned += o == shard_index ? 1 : 0;
+  SimInstance::reserve_node_pools(config, owned);
+
   des::Rng root(config.seed);
   world->network = std::make_unique<net::Network>(
       world->scheduler, *plan.terrain, SimInstance::make_propagation(config),
-      plan.radio, config.mac, *plan.positions, root.fork("network"),
-      std::move(spec));
+      plan.radio, config.mac,
+      plan.shared_index ? std::vector<geom::Vec2>{} : *plan.positions,
+      root.fork("network"), std::move(spec), plan.shared_index);
 
   net::Network& network = *world->network;
   for (std::uint32_t id = 0; id < network.size(); ++id) {
@@ -285,9 +298,23 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
     }
   }
 
+  // Static positions: build the spatial index ONCE (same cell-size
+  // expression the channel uses) and hand every shard a read-only view.
+  // Queries are const and the grid is never mutated (set_position asserts
+  // exclusive ownership), so concurrent walks are race-free.
+  std::shared_ptr<const geom::SpatialGrid> shared_index;
+  if (!config.mobility) {
+    const double cell = std::max(
+        1.0, phy::range_for_threshold(*model, radio.tx_power_dbm,
+                                      radio.interference_cutoff_dbm,
+                                      terrain.diameter()));
+    shared_index =
+        std::make_shared<const geom::SpatialGrid>(terrain, cell, positions);
+  }
+
   BuildPlan plan{&config,   &terrain, &positions,
                  &owner,    &pairs,   radio,
-                 partition.strip_width()};
+                 partition.strip_width(), shared_index};
 
   // ---- Shared window-protocol state. worlds/bounds/emitted/migration
   // slots are written by the owning worker and read by all; every
@@ -322,7 +349,14 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
   const bool track_energy = config.track_energy;
   const des::Time sim_end = config.sim_end;
   const mac::MacParams mac = config.mac;
-  const std::uint32_t window_batch = std::max(1u, config.shard_window_batch);
+  // shard_window_batch == 0 selects the adaptive controller: the batch
+  // doubles (capped) after each forced exchange that found every shard
+  // quiet, and snaps back to 1 the moment any shard emits. Every worker
+  // replicates the controller off shared emitted[] state, so all take the
+  // same barrier path — and any batch value is bit-identical anyway (the
+  // skipped exchange rounds are provably no-ops; see the purity test).
+  const bool adaptive_batch = config.shard_window_batch == 0;
+  constexpr std::uint32_t kMaxWindowBatch = 64;
 
   auto worker = [&](std::uint32_t t) {
     const std::uint32_t lo = t * shards / threads;
@@ -389,6 +423,8 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
     // on every worker (it advances off shared emitted[] state only), so all
     // workers take the same barrier path every round.
     std::uint32_t quiet_streak = 0;
+    std::uint32_t window_batch =
+        adaptive_batch ? 1 : std::max(1u, config.shard_window_batch);
     std::uint32_t parity = 0;
     for (;;) {
       parity ^= 1;
@@ -413,10 +449,12 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
       }
       barrier.arrive_and_wait();  // A: outboxes sealed, emitted[] published
 
-      bool exchange = window >= sim_end || quiet_streak + 1 >= window_batch;
-      for (std::uint32_t s = 0; s < shards && !exchange; ++s) {
-        exchange = emitted[parity][s] != 0;
+      bool any_emitted = false;
+      for (std::uint32_t s = 0; s < shards && !any_emitted; ++s) {
+        any_emitted = emitted[parity][s] != 0;
       }
+      const bool exchange =
+          window >= sim_end || quiet_streak + 1 >= window_batch || any_emitted;
       if (!exchange) {
         // Quiet window: nothing outbound anywhere, so the injection +
         // rebound + barrier B round-trip is skipped entirely. Bit-identical
@@ -428,6 +466,13 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
         }
         window = next;
         continue;
+      }
+      if (adaptive_batch) {
+        // Busy window: exchanges are earning their keep, go tight. A forced
+        // exchange that found nothing anywhere: widen the quiet allowance.
+        window_batch = any_emitted
+                           ? 1
+                           : std::min(window_batch * 2, kMaxWindowBatch);
       }
       quiet_streak = 0;
 

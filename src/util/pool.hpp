@@ -68,12 +68,30 @@ class PayloadPool {
   PayloadPool(const PayloadPool&) = delete;
   PayloadPool& operator=(const PayloadPool&) = delete;
 
-  ~PayloadPool() { ::operator delete(arena_); }
+  ~PayloadPool() {
+    for (std::byte* arena : arenas_) ::operator delete(arena);
+  }
+
+  /// Grow the pool so at least `chunks` chunks of `payload_bytes` exist in
+  /// total, carving one additional arena for the shortfall. Fixes the chunk
+  /// size if no allocation has happened yet; a size mismatch with an
+  /// already-sized pool is ignored (those requests heap-fall-back anyway).
+  /// Large-n scenario builders call this up front so constructing n nodes
+  /// is one arena carve instead of thousands of heap fallbacks.
+  void ensure_capacity(std::size_t chunks, std::size_t payload_bytes) {
+    if (chunks == 0 || payload_bytes == 0) return;
+    if (chunk_bytes_ == 0) {
+      carve_arena(payload_bytes, std::max(chunks, capacity_));
+      return;
+    }
+    if (payload_bytes != chunk_bytes_ || chunks <= carved_) return;
+    carve_arena(chunk_bytes_, chunks - carved_);
+  }
 
   /// Allocate `bytes` of payload. Pool-served when `bytes` matches the
   /// pool's chunk size and a free chunk exists; heap otherwise.
   void* allocate(std::size_t bytes) {
-    if (arena_ == nullptr && bytes > 0) carve_arena(bytes);
+    if (chunk_bytes_ == 0 && bytes > 0) carve_arena(bytes, capacity_);
     if (bytes == chunk_bytes_ && !free_.empty()) {
       Header* h = free_.back();
       free_.pop_back();
@@ -106,7 +124,11 @@ class PayloadPool {
   }
 
   [[nodiscard]] const PoolStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total pooled chunks: carved so far, or the first-carve size if the
+  /// chunk size is not yet known.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return carved_ > 0 ? carved_ : capacity_;
+  }
   [[nodiscard]] std::size_t free_count() const noexcept {
     return free_.size();
   }
@@ -126,17 +148,19 @@ class PayloadPool {
     PayloadPool* owner;
   };
 
-  void carve_arena(std::size_t payload_bytes) {
+  void carve_arena(std::size_t payload_bytes, std::size_t count) {
     // Round the stride so every chunk's payload is max_align_t-aligned.
     constexpr std::size_t kAlign = alignof(std::max_align_t);
     const std::size_t stride =
         sizeof(Header) + ((payload_bytes + kAlign - 1) / kAlign) * kAlign;
     chunk_bytes_ = payload_bytes;
-    arena_ = static_cast<std::byte*>(::operator new(stride * capacity_));
-    free_.reserve(capacity_);
+    auto* arena = static_cast<std::byte*>(::operator new(stride * count));
+    arenas_.push_back(arena);
+    carved_ += count;
+    free_.reserve(carved_);
     // Push in reverse so chunks are handed out in ascending address order.
-    for (std::size_t i = capacity_; i-- > 0;) {
-      Header* h = reinterpret_cast<Header*>(arena_ + i * stride);
+    for (std::size_t i = count; i-- > 0;) {
+      Header* h = reinterpret_cast<Header*>(arena + i * stride);
       h->owner = this;
       free_.push_back(h);
     }
@@ -144,7 +168,8 @@ class PayloadPool {
 
   std::size_t capacity_;
   std::size_t chunk_bytes_ = 0;  ///< fixed by the first allocation
-  std::byte* arena_ = nullptr;
+  std::size_t carved_ = 0;       ///< total chunks across all arenas
+  std::vector<std::byte*> arenas_;
   std::vector<Header*> free_;
   PoolStats stats_;
   std::size_t in_use_ = 0;

@@ -209,6 +209,62 @@ INSTANTIATE_TEST_SUITE_P(
                       GridCase{3, 100.0, 10.0}, GridCase{4, 33.0, 400.0},
                       GridCase{5, 1500.0, 200.0}));
 
+// Differential fuzz: the CSR index with epoch-deferred mobility updates
+// must agree with a brute-force O(n) reference across interleaved move /
+// query / explicit-compact operations. The mix is tuned so queries run in
+// every internal state — clean (freshly compacted), dirty (dislodged list
+// populated), and across automatic compactions triggered both by scan
+// debt (many dirty queries) and by the dislodged hard cap (move bursts).
+TEST(SpatialGrid, DifferentialFuzzAgainstBruteForce) {
+  constexpr std::uint32_t kNodes = 257;  // not a multiple of the cell grid
+  constexpr int kOps = 4000;
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const Terrain t(1000.0, 640.0);
+    des::Rng rng(seed);
+    std::vector<Vec2> reference = place_uniform(t, kNodes, rng);
+    SpatialGrid grid(t, 120.0, reference);
+    std::size_t compactions_seen = 0;
+    std::vector<std::uint32_t> got;
+    for (int op = 0; op < kOps; ++op) {
+      const double dice = rng.uniform(0.0, 1.0);
+      if (dice < 0.55) {
+        // Move: half local jitter (often same cell), half teleport.
+        const auto id =
+            static_cast<std::uint32_t>(rng.uniform_int(0, kNodes - 1));
+        Vec2 next;
+        if (rng.uniform(0.0, 1.0) < 0.5) {
+          next = t.clamp({reference[id].x + rng.uniform(-30.0, 30.0),
+                          reference[id].y + rng.uniform(-30.0, 30.0)});
+        } else {
+          next = {rng.uniform(0.0, 1000.0), rng.uniform(0.0, 640.0)};
+        }
+        reference[id] = next;
+        grid.update_position(id, next);
+      } else if (dice < 0.97) {
+        // Query: compare against brute force at a random center/radius.
+        const Vec2 center{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 640.0)};
+        const double radius = rng.uniform(1.0, 500.0);
+        grid.query(center, radius, got);
+        std::vector<std::uint32_t> expected;
+        for (std::uint32_t i = 0; i < kNodes; ++i) {
+          if (distance(reference[i], center) <= radius) expected.push_back(i);
+        }
+        EXPECT_EQ(got, expected) << "seed=" << seed << " op=" << op;
+        if (got != expected) return;  // one detailed failure is enough
+      } else {
+        // Explicit epoch boundary, as the sharded window barrier does.
+        grid.compact();
+        EXPECT_EQ(grid.pending_updates(), 0u);
+      }
+      if (grid.pending_updates() == 0) ++compactions_seen;
+      EXPECT_EQ(grid.position(static_cast<std::uint32_t>(op) % kNodes),
+                reference[op % kNodes]);
+    }
+    // The op mix must actually have exercised epoch transitions.
+    EXPECT_GT(compactions_seen, 5u) << "seed=" << seed;
+  }
+}
+
 TEST(ShardPartition, EdgeAndBoundaryOwnership) {
   const Terrain terrain(1000.0, 600.0);
   const ShardPartition part(terrain, 4);
