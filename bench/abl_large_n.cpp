@@ -26,15 +26,20 @@
 // Flags: --quick (n = 1000 only), --nodes N (single custom size), --seed,
 // --reps, --shards K (single custom shard count), --proto LABEL (single
 // row family: ssaf / rr / ssaf_rayleigh), --rss-budget-mib M (exit
-// non-zero if peak RSS ever exceeds M — the verify.sh smoke gate).
+// non-zero when peak RSS exceeds M — enforced mid-run by the
+// RunHealthMonitor, which aborts the offending row gracefully instead of
+// letting it finish or OOM), --progress BOOL (live events/s + RSS lines
+// every ~2s; defaults to on when stderr is a TTY).
 #include <algorithm>
 #include <cmath>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
-#include <sys/resource.h>
+#include <unistd.h>
 
 #include "bench_common.hpp"
+#include "obs/profiler.hpp"
 #include "sim/runner.hpp"
 
 namespace {
@@ -46,13 +51,6 @@ struct SweepRow {
   rrnet::sim::PropagationKind propagation =
       rrnet::sim::PropagationKind::FreeSpace;
 };
-
-/// Process peak RSS in MiB (ru_maxrss is KiB on Linux).
-double peak_rss_mib() {
-  rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
 
 }  // namespace
 
@@ -80,6 +78,11 @@ int main(int argc, char** argv) {
   const double rss_budget_mib =
       static_cast<double>(flags.get_int("rss-budget-mib", 0));
   const std::string proto_filter = flags.get_string("proto", "");
+  // Live progress defaults to on for interactive runs only, so redirected
+  // CI logs stay clean unless asked for (--progress true).
+  const bool progress = flags.has("progress")
+                            ? flags.get_bool("progress", true)
+                            : isatty(fileno(stderr)) != 0;
 
   // fig1: 100 nodes / 1000x1000 m; fig3: 500 nodes / 2000x2000 m. The
   // Rayleigh row reruns the flood regime under stochastic per-link fading:
@@ -131,6 +134,22 @@ int main(int argc, char** argv) {
         // (on a small box the sharded engine still runs — and stays
         // bit-identical — with fewer workers than shards).
         config.shard_threads = 0;
+        // Sharded rows carry the runtime profiler (round-boundary stamps
+        // only) so the stderr line can report barrier-wait share — the
+        // number ROADMAP item 1's window tuning needs from this sweep.
+        config.profile_runtime = shards > 1;
+        // One monitor per row: progress lines, mid-run RSS/budget samples
+        // (window barriers when sharded, ~262k-event slices serial), and
+        // graceful partial-result abort when the budget blows.
+        char label[64];
+        std::snprintf(label, sizeof(label), "n=%zu %s K=%u", nodes,
+                      row.label, shards);
+        obs::RunHealthMonitor::Config monitor_config;
+        monitor_config.progress = progress;
+        monitor_config.rss_budget_mib = rss_budget_mib;
+        monitor_config.label = label;
+        obs::RunHealthMonitor monitor(monitor_config);
+        config.health_monitor = &monitor;
         const std::uint32_t threads =
             shards == 1
                 ? 1
@@ -167,23 +186,35 @@ int main(int argc, char** argv) {
                      .count();
         }
         const double events = static_cast<double>(result.events_executed);
-        const double rss_mib = peak_rss_mib();
+        const double rss_mib = monitor.peak_rss_mib();
         table.add_row({static_cast<double>(nodes), std::string(row.label),
                        static_cast<double>(shards),
                        static_cast<double>(threads), side, events, wall,
                        wall > 0.0 ? events / wall : 0.0, setup_ns_node,
                        rss_mib, result.delivery_ratio, result.mean_delay_s,
                        static_cast<double>(result.mac_packets)});
-        std::fprintf(stderr,
-                     "  [n=%zu %s K=%u] %.1fs wall, %.0f events, "
-                     "%.0f ns/node setup, %.0f MiB peak\n",
-                     nodes, row.label, shards, wall, events, setup_ns_node,
-                     rss_mib);
-        if (rss_budget_mib > 0.0 && rss_mib > rss_budget_mib) {
+        if (shards > 1 &&
+            result.metrics.contains(obs::metric::kRuntimeBarrierWaitPct)) {
+          std::fprintf(
+              stderr,
+              "  [n=%zu %s K=%u] %.1fs wall, %.0f events, %.0f MiB peak, "
+              "%llu%% barrier wait over %llu rounds\n",
+              nodes, row.label, shards, wall, events, rss_mib,
+              static_cast<unsigned long long>(result.metrics.value(
+                  obs::metric::kRuntimeBarrierWaitPct)),
+              static_cast<unsigned long long>(
+                  result.metrics.value(obs::metric::kShardRounds)));
+        } else {
           std::fprintf(stderr,
-                       "  RSS budget exceeded: %.0f MiB > %.0f MiB "
-                       "(n=%zu %s K=%u)\n",
-                       rss_mib, rss_budget_mib, nodes, row.label, shards);
+                       "  [n=%zu %s K=%u] %.1fs wall, %.0f events, "
+                       "%.0f ns/node setup, %.0f MiB peak\n",
+                       nodes, row.label, shards, wall, events, setup_ns_node,
+                       rss_mib);
+        }
+        if (monitor.budget_exceeded()) {
+          std::fprintf(stderr, "  run aborted: %s (n=%zu %s K=%u)\n",
+                       monitor.abort_reason().c_str(), nodes, row.label,
+                       shards);
           rss_budget_blown = true;
         }
       }

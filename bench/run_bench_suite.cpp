@@ -378,6 +378,11 @@ BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
   config.sim_end = 10.0;
   config.seed = 42;
   config.shards = shards;
+  // Sharded entries carry runtime telemetry (barrier-wait share, rounds) in
+  // their informational counters. Runtime-gated, round-boundary stamps only:
+  // the sharded time columns are not gated anyway (threads > 1) and the
+  // alloc impact is a handful of setup allocations per run.
+  config.profile_runtime = shards > 1;
   if (customize != nullptr) customize(config);
   // Auto worker count (clamped to hardware): under the suite's single-core
   // taskset pinning, spawning one thread per shard would only measure
@@ -415,6 +420,16 @@ BenchResult bench_scenario(const std::string& name, sim::ProtocolKind proto,
         m::kPhyTxDroppedBusy, m::kPhyDropAbortedOff, m::kMacRetries,
         m::kMacBackoffs, m::kNetTxControl, m::kNetDupCacheHits,
         m::kElectionWon, m::kDesEventsExecuted}) {
+    if (last.metrics.contains(key)) {
+      bench.counters.emplace_back(std::string(key), last.metrics.value(key));
+    }
+  }
+  // Runtime telemetry on the sharded entries: recorded for trend-watching,
+  // never gated (check_bench.py treats shard.* / runtime.* as
+  // informational — wall-clock derived values are machine noise).
+  for (const std::string_view key :
+       {m::kShardRounds, m::kShardExchangeRounds, m::kShardHandoffs,
+        m::kRuntimeBarrierWaitPct}) {
     if (last.metrics.contains(key)) {
       bench.counters.emplace_back(std::string(key), last.metrics.value(key));
     }

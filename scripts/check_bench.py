@@ -37,6 +37,12 @@ REQUIRED_COUNTERS must appear in every fresh scenario benchmark (any bench
 that exports counters at all). This catches a counter being silently wired
 out of the metric snapshot: `phy.tx_dropped_busy` started life as exactly
 such a silent drop, so its presence is now load-bearing.
+
+Counters whose names start with an INFORMATIONAL_COUNTER_PREFIXES entry
+(the runtime profiler's shard.* / runtime.* telemetry on the sharded
+entries) are printed for trend-watching but never gated: barrier-wait
+share is wall-clock derived, and the round/handoff counts may legitimately
+shift with any engine-internal scheduling change.
 """
 
 import json
@@ -51,6 +57,12 @@ TIME_TOLERANCE = 0.35     # +35% ns/event before we call it a regression
 ALLOC_TOLERANCE = 0.01
 COUNTER_TOLERANCE = 0.10  # +/-10% relative drift per behaviour counter
 REQUIRED_COUNTERS = ("phy.tx_dropped_busy",)
+# Recorded-not-gated telemetry (runtime profiler output on sharded entries).
+INFORMATIONAL_COUNTER_PREFIXES = ("shard.", "runtime.")
+
+
+def informational(key):
+    return key.startswith(INFORMATIONAL_COUNTER_PREFIXES)
 
 
 def load(path):
@@ -130,6 +142,8 @@ def main(argv):
                         f"fresh run (metric wiring regressed?)"
                     )
         for key in sorted(set(base_counters) & set(got_counters)):
+            if informational(key):
+                continue
             b, g = base_counters[key], got_counters[key]
             band = max(abs(b) * COUNTER_TOLERANCE, 1.0)
             if abs(g - b) > band:
@@ -143,6 +157,8 @@ def main(argv):
             f"(base {base_ns:8.1f}), {got_allocs:.4f} allocs/ev "
             f"(base {base_allocs:.4f})"
         )
+        for key in sorted(k for k in got_counters if informational(k)):
+            print(f"      [info] {key} = {got_counters[key]} (not gated)")
     for name in sorted(set(fresh) - set(baseline)):
         print(f"  [new] {name}: no baseline yet")
 

@@ -50,7 +50,8 @@ grep -q "RRNET_TRACE:BOOL=OFF" build/CMakeCache.txt || {
   exit 1
 }
 FRESH_BENCH="$(mktemp /tmp/rrnet_bench.XXXXXX.json)"
-trap 'rm -f "$FRESH_BENCH"' EXIT
+EXPORT_DIR="$(mktemp -d /tmp/rrnet_profiled.XXXXXX)"
+trap 'rm -f "$FRESH_BENCH"; rm -rf "$EXPORT_DIR"' EXIT
 taskset -c 0 ./build/bench/run_bench_suite "$FRESH_BENCH"
 python3 scripts/check_bench.py "$FRESH_BENCH"
 
@@ -76,6 +77,17 @@ cmake --build build-sanitize -j "$JOBS"
 RRNET_SCHED_QUEUE=ladder \
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+
+echo "== profiled run export (report.json + worker-lane trace) =="
+# The sanitize build has RRNET_TRACE=ON, so this small sharded run captures
+# real WindowSpan/BarrierWait worker lanes. run_profiled exits non-zero
+# when any worker's phase breakdown covers <95% of its round-loop wall
+# (the profiler's accounting contract); both artifacts must be valid JSON.
+./build-sanitize/bench/run_profiled --scenario fig1 --shards 4 --threads 2 \
+  --sim-end 6 --report "$EXPORT_DIR/report.json" \
+  --trace "$EXPORT_DIR/trace.json"
+python3 -m json.tool "$EXPORT_DIR/report.json" >/dev/null
+python3 -m json.tool "$EXPORT_DIR/trace.json" >/dev/null
 
 echo "== tsan build (thread) + sharded/handoff/migration tests =="
 # ThreadSanitizer cannot be combined with ASan/UBSan, so the sharded

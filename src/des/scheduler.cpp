@@ -140,4 +140,16 @@ void Scheduler::run_until(Time t_end) {
   now_ = t_end;
 }
 
+bool Scheduler::run_until(Time t_end, std::uint64_t max_events) {
+  RRNET_EXPECTS(t_end >= now_);
+  std::uint64_t executed = 0;
+  while (settle_top() && queue_top().time <= t_end) {
+    if (executed == max_events) return false;
+    step();
+    ++executed;
+  }
+  now_ = t_end;
+  return true;
+}
+
 }  // namespace rrnet::des

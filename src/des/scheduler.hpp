@@ -109,6 +109,12 @@ class Scheduler {
   void run();
   /// Run events with time <= t_end, then advance the clock to t_end.
   void run_until(Time t_end);
+  /// Bounded slice of run_until: execute at most `max_events` events with
+  /// time <= t_end. Advances the clock to t_end (and returns true) only
+  /// once every such event has run, so repeated calls execute exactly the
+  /// sequence the unbounded overload would. The run-health monitor's
+  /// serial sampling loop drives this between checkpoints.
+  bool run_until(Time t_end, std::uint64_t max_events);
   /// Execute at most one event; returns false when the queue is empty.
   bool step();
 

@@ -20,7 +20,10 @@
 // Chrome trace-event format — the produced file loads directly in Perfetto
 // (ui.perfetto.dev) or chrome://tracing: packet events are instants on
 // pid 0 with tid = node id, scheduler handler spans are duration events on
-// pid 1 (ts = simulated microseconds, dur = handler wall-clock time).
+// pid 1 (ts = simulated microseconds, dur = handler wall-clock time), and
+// shard-worker window rounds (WindowSpan / BarrierWait, emitted when
+// ScenarioConfig::profile_runtime is on) are duration events on pid 2 with
+// tid = worker index — one Perfetto lane per worker.
 #pragma once
 
 #include <cstddef>
@@ -45,6 +48,8 @@ enum class EventKind : std::uint16_t {
   ArbiterRetransmit, ///< arbiter re-triggered an election
   ArbiterAck,        ///< arbiter heard a relay and acknowledged
   HandlerSpan,       ///< one scheduler handler execution; id = wall ns
+  WindowSpan,        ///< one shard-window execute; node = worker, id = wall ns
+  BarrierWait,       ///< one round's barrier spinning; node = worker, id = ns
 };
 
 /// Drop classification shared by PhyDrop and MacDrop records.
@@ -133,6 +138,13 @@ bool export_records_jsonl_file(const std::vector<TraceRecord>& records,
                                const std::string& path);
 bool export_records_chrome_trace_file(const std::vector<TraceRecord>& records,
                                       const std::string& path);
+
+/// Timestamp-stable merge of per-worker record streams (each already in
+/// capture order): equal timestamps keep stream order, then intra-stream
+/// order. The sharded engine merges its per-worker rings through this; the
+/// ring-wrap tests exercise it directly.
+[[nodiscard]] std::vector<TraceRecord> merge_records_by_time(
+    const std::vector<std::vector<TraceRecord>>& streams);
 
 /// The tracer capturing this thread's events (null = none). Installed per
 /// worker thread by sim::SimInstance, matching the simulator's

@@ -201,6 +201,14 @@ class Channel {
     }
     return false;
   }
+  /// Total handoffs parked across all destination outboxes (profiler
+  /// fan-out accounting; outboxes are sealed between barriers, so reading
+  /// sizes during the exchange is race-free).
+  [[nodiscard]] std::uint64_t outbound_handoffs() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& box : outboxes_) n += box.size();
+    return n;
+  }
 
   // --- Dynamic strip ownership (node migration) ---
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geom/placement.hpp"
+#include "obs/profiler.hpp"
 #include "sim/topology.hpp"
 #include "proto/flooding.hpp"
 #include "util/contracts.hpp"
@@ -283,10 +284,29 @@ void SimInstance::run_until(des::Time t) {
     if (mobility_ != nullptr) mobility_->start();
     for (auto& source : sources_) source->start();
   }
-  scheduler_.run_until(t);
+  obs::RunHealthMonitor* monitor = config_.health_monitor;
+  if (monitor == nullptr) {
+    scheduler_.run_until(t);
+    return;
+  }
+  // Serial health sampling: run in bounded event slices so the monitor can
+  // sample throughput/RSS "every N events" and enforce budgets between
+  // slices. The slice sequence executes exactly what one run_until(t)
+  // would, so results are unchanged; a budget abort stops at a slice edge
+  // and keeps the partial state consistent for result().
+  constexpr std::uint64_t kEventsPerCheckpoint = std::uint64_t{1} << 18;
+  bool within_budget = monitor->checkpoint(scheduler_.executed_count());
+  while (within_budget && !scheduler_.run_until(t, kEventsPerCheckpoint)) {
+    within_budget = monitor->checkpoint(scheduler_.executed_count());
+  }
 }
 
-void SimInstance::run() { run_until(config_.sim_end); }
+void SimInstance::run() {
+  run_until(config_.sim_end);
+  if (config_.health_monitor != nullptr) {
+    config_.health_monitor->finish_run(scheduler_.executed_count());
+  }
+}
 
 ScenarioResult SimInstance::result() const {
   ScenarioResult r;

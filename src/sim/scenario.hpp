@@ -19,6 +19,10 @@
 #include "proto/routeless.hpp"
 #include "proto/ssaf.hpp"
 
+namespace rrnet::obs {
+class RunHealthMonitor;
+}  // namespace rrnet::obs
+
 namespace rrnet::sim {
 
 enum class ProtocolKind : std::uint8_t {
@@ -142,6 +146,21 @@ struct ScenarioConfig {
   /// hot-path events; a compiled-out build runs but records nothing.
   bool trace_events = false;
   std::size_t trace_capacity = 1u << 20;  ///< ring size, in records
+
+  /// Attribute wall clock per shard worker across the three phases of each
+  /// window round (execute / barrier-wait / exchange+migration), plus
+  /// window-width / bound-source / handoff-fanout / batch-width telemetry,
+  /// surfaced as shard.* / runtime.* registry entries and — in RRNET_TRACE
+  /// builds with trace_events on — WindowSpan/BarrierWait worker lanes in
+  /// the Chrome trace. Stamps are taken only at round boundaries, never
+  /// per event, so enabling this cannot perturb bit-identity. Serial runs
+  /// (shards == 1) have no rounds to attribute and ignore it.
+  bool profile_runtime = false;
+  /// Optional run-health monitor (non-owning; see obs::RunHealthMonitor):
+  /// sampled at window barriers (sharded) or every ~262k events (serial)
+  /// for throughput/RSS progress, wall-clock + RSS budget enforcement with
+  /// graceful partial-result abort, and structured report.json output.
+  obs::RunHealthMonitor* health_monitor = nullptr;
 
   // Mobility (random waypoint; traffic endpoints are pinned).
   bool mobility = false;

@@ -13,6 +13,7 @@
 #include "geom/shard_partition.hpp"
 #include "net/network.hpp"
 #include "net/packet_buffer.hpp"
+#include "obs/profiler.hpp"
 #include "phy/failure.hpp"
 #include "phy/propagation.hpp"
 #include "sim/builder.hpp"
@@ -94,11 +95,22 @@ struct NodeMigration {
 /// on the CsmaMac note_armed_tx() hooks covering every timer whose expiry
 /// can transmit with less than a DIFS of warning.
 des::Time shard_bound(ShardWorld& world, des::Time now,
-                      const mac::MacParams& mac) {
+                      const mac::MacParams& mac,
+                      obs::BoundSource* source = nullptr) {
   phy::Channel& channel = world.network->channel();
   des::Time bound = channel.earliest_armed_tx(now);
-  bound = std::min(bound, channel.earliest_phy_event(now) + mac.sifs);
-  bound = std::min(bound, world.scheduler.next_event_time() + mac.difs);
+  obs::BoundSource which = obs::BoundSource::ArmedTx;
+  const des::Time phy = channel.earliest_phy_event(now) + mac.sifs;
+  if (phy < bound) {
+    bound = phy;
+    which = obs::BoundSource::PendingPhy;
+  }
+  const des::Time next = world.scheduler.next_event_time() + mac.difs;
+  if (next < bound) {
+    bound = next;
+    which = obs::BoundSource::NextEvent;
+  }
+  if (source != nullptr) *source = which;
   return bound;
 }
 
@@ -357,10 +369,26 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
   // skipped exchange rounds are provably no-ops; see the purity test).
   const bool adaptive_batch = config.shard_window_batch == 0;
   constexpr std::uint32_t kMaxWindowBatch = 64;
+  // Runtime profiler: per-worker phase/round accumulators, stamped only at
+  // round boundaries (never per event — bit-identity untouched).
+  std::unique_ptr<obs::RuntimeProfiler> profiler;
+  if (config.profile_runtime) {
+    profiler = std::make_unique<obs::RuntimeProfiler>(threads);
+  }
+  obs::RunHealthMonitor* monitor = config.health_monitor;
+  if (monitor != nullptr) monitor->begin_run();
+  // Budget abort flag: worker 0 decides between barriers A and B of an
+  // exchange round, every worker reads it after B — a plain byte is enough,
+  // the barrier crossings order the accesses. All workers then break at the
+  // same round with every shard quiesced at the same window, so the partial
+  // result flows through the normal harvest/merge.
+  std::uint8_t stop_requested = 0;
 
   auto worker = [&](std::uint32_t t) {
     const std::uint32_t lo = t * shards / threads;
     const std::uint32_t hi = (t + 1) * shards / threads;
+    obs::WorkerProfile* const prof =
+        profiler != nullptr ? &profiler->worker(t) : nullptr;
 
     std::unique_ptr<obs::EventTracer> tracer;
     obs::EventTracer* prev_tracer = nullptr;
@@ -426,6 +454,11 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
     std::uint32_t window_batch =
         adaptive_batch ? 1 : std::max(1u, config.shard_window_batch);
     std::uint32_t parity = 0;
+    // Profiler round state: the previous round's window (for width), and
+    // this round's barrier spin total (A + B + C) for the trace lane.
+    des::Time window_start = 0.0;
+    [[maybe_unused]] std::uint64_t round_barrier_ns = 0;
+    if (prof != nullptr) prof->begin();
     for (;;) {
       parity ^= 1;
       for (std::uint32_t s = lo; s < hi; ++s) {
@@ -445,9 +478,33 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
                                  : 0;
         // Provisional bound; exact when the exchange below is skipped
         // (injection and migration would both be no-ops then).
-        bounds[parity][s] = shard_bound(*worlds[s], window, mac);
+        obs::BoundSource bound_src = obs::BoundSource::ArmedTx;
+        bounds[parity][s] = shard_bound(*worlds[s], window, mac,
+                                        prof != nullptr ? &bound_src : nullptr);
+        if (prof != nullptr) {
+          ++prof->bound_source[static_cast<std::uint8_t>(bound_src)];
+        }
+      }
+      if (prof != nullptr) {
+        ++prof->rounds;
+        const std::uint64_t exec_ns = prof->lap(obs::ShardPhase::Execute);
+        RRNET_TRACE_EVENT(obs::EventKind::WindowSpan, window_start, t, exec_ns,
+                          0);
+        (void)exec_ns;
+        if (t == 0) {
+          // Window width / batch are global round properties: one observer,
+          // or K workers would inflate the histogram counts K-fold.
+          const double width_s = window - window_start;
+          prof->window_width_ns.observe(
+              width_s > 0.0 ? static_cast<std::uint64_t>(width_s * 1e9) : 0);
+        }
+        window_start = window;
+        round_barrier_ns = 0;
       }
       barrier.arrive_and_wait();  // A: outboxes sealed, emitted[] published
+      if (prof != nullptr) {
+        round_barrier_ns = prof->lap(obs::ShardPhase::BarrierWait);
+      }
 
       bool any_emitted = false;
       for (std::uint32_t s = 0; s < shards && !any_emitted; ++s) {
@@ -460,6 +517,10 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
         // rebound + barrier B round-trip is skipped entirely. Bit-identical
         // for any window_batch — the skipped work is provably a no-op.
         ++quiet_streak;
+        if (prof != nullptr) {
+          RRNET_TRACE_EVENT(obs::EventKind::BarrierWait, window, t,
+                            round_barrier_ns, 0);
+        }
         des::Time next = sim_end;
         for (std::uint32_t s = 0; s < shards; ++s) {
           next = std::min(next, bounds[parity][s]);
@@ -475,9 +536,20 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
                            : std::min(window_batch * 2, kMaxWindowBatch);
       }
       quiet_streak = 0;
+      if (prof != nullptr) {
+        ++prof->exchange_rounds;
+        if (!any_emitted && window < sim_end) ++prof->forced_quiet_exchanges;
+        if (t == 0) prof->batch_width.observe(window_batch);
+      }
 
       for (std::uint32_t s = lo; s < hi; ++s) {
         phy::Channel& channel = worlds[s]->network->channel();
+        if (prof != nullptr) {
+          // This shard's sealed outboxes: its exchange fan-out this round.
+          const std::uint64_t fanout = channel.outbound_handoffs();
+          prof->handoffs_out += fanout;
+          prof->handoff_fanout.observe(fanout);
+        }
         // Source-shard-index order, push order within: the deterministic
         // merge that keeps the replayed receiver walks in serial order.
         for (std::uint32_t src = 0; src < shards; ++src) {
@@ -527,14 +599,33 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
         pending[s].assign(keep.begin(), keep.end());
         migration_counts[s] =
             static_cast<std::uint32_t>(migrations[s].size());
-        if (window < sim_end) migrated[s] += migrations[s].size();
+        if (window < sim_end) {
+          migrated[s] += migrations[s].size();
+          if (prof != nullptr) prof->migrations_out += migrations[s].size();
+        }
 
         // Bound AFTER injection: replayed signals feed the PHY-event term.
         // Migrating nodes are quiescent by construction, so re-homing them
         // after barrier B cannot invalidate this bound.
         bounds[parity][s] = shard_bound(*worlds[s], window, mac);
       }
+      if (t == 0 && monitor != nullptr) {
+        // Health sample on exchange rounds only: foreign executed_ counters
+        // were last written before barrier A (happens-before via the spin
+        // barrier) and their owners are parked until B, so summing them
+        // here is race-free. Quiet rounds cross only barrier A and give no
+        // such window.
+        std::uint64_t events = 0;
+        for (std::uint32_t s = 0; s < shards; ++s) {
+          events += worlds[s]->scheduler.executed_count();
+        }
+        stop_requested = monitor->checkpoint(events) ? 0 : 1;
+      }
+      if (prof != nullptr) (void)prof->lap(obs::ShardPhase::Exchange);
       barrier.arrive_and_wait();  // B: bounds + migration counts published
+      if (prof != nullptr) {
+        round_barrier_ns += prof->lap(obs::ShardPhase::BarrierWait);
+      }
 
       std::uint32_t total_migrations = 0;
       for (std::uint32_t s = 0; s < shards; ++s) {
@@ -573,11 +664,23 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
             }
           }
         }
+        if (prof != nullptr) (void)prof->lap(obs::ShardPhase::Exchange);
         // C: all adoptions done before any source clears its records (next
         // loop top) or transmits to the node's new home.
         barrier.arrive_and_wait();
+        if (prof != nullptr) {
+          round_barrier_ns += prof->lap(obs::ShardPhase::BarrierWait);
+        }
+      }
+      if (prof != nullptr) {
+        RRNET_TRACE_EVENT(obs::EventKind::BarrierWait, window, t,
+                          round_barrier_ns, 0);
       }
 
+      // Budget abort (worker 0's verdict, published before barrier B): all
+      // workers break at the same round, every shard quiesced at `window`,
+      // migrations fully applied — a consistent partial result.
+      if (stop_requested != 0) break;
       if (window >= sim_end) break;
       des::Time next = sim_end;
       for (std::uint32_t s = 0; s < shards; ++s) {
@@ -585,6 +688,7 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
       }
       window = next;
     }
+    if (prof != nullptr) prof->end();
 
     // Harvest on the owning thread (snapshot_metrics walks thread-local
     // pool-backed structures), then destroy the worlds here too.
@@ -694,18 +798,16 @@ ScenarioResult run_scenario_sharded(const ScenarioConfig& config,
   for (const obs::MetricRegistry& pools : pool_metrics) {
     r.metrics.merge(pools);
   }
+  if (profiler != nullptr) profiler->snapshot_into(r.metrics);
+  if (monitor != nullptr) {
+    if (profiler != nullptr) monitor->note_profile(*profiler);
+    monitor->finish_run(r.events_executed);
+  }
 
   if (trace_out != nullptr && want_trace) {
-    std::size_t total = 0;
-    for (const auto& ring : trace_rings) total += ring.size();
-    trace_out->reserve(trace_out->size() + total);
-    for (const auto& ring : trace_rings) {
-      trace_out->insert(trace_out->end(), ring.begin(), ring.end());
-    }
-    std::stable_sort(trace_out->begin(), trace_out->end(),
-                     [](const obs::TraceRecord& a, const obs::TraceRecord& b) {
-                       return a.time < b.time;
-                     });
+    const std::vector<obs::TraceRecord> merged =
+        obs::merge_records_by_time(trace_rings);
+    trace_out->insert(trace_out->end(), merged.begin(), merged.end());
   }
   return r;
 }

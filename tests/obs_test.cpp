@@ -1,6 +1,7 @@
 // Observability layer: metric registry semantics, histogram flattening,
 // tracer ring mechanics, exporter formats, and the end-to-end fig3-style
 // capture (metrics invariants + Perfetto-loadable trace file).
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/builder.hpp"
 #include "sim/replication.hpp"
@@ -293,6 +295,127 @@ TEST(ObsIntegration, TraceCaptureExportsChromeTrace) {
   std::string head;
   std::getline(in, head);
   EXPECT_EQ(head, "{\"traceEvents\":[");
+  std::remove(path.c_str());
+}
+
+TEST(EventTracer, MultiRingMergeStaysOrderedWithExactDrops) {
+  // Two worker rings wrapping at different rates, fed interleaved
+  // increasing timestamps of the kinds the runtime profiler emits. The
+  // merged stream must stay timestamp-ordered (stable across rings for
+  // equal times) and each ring's dropped() must be exact.
+  obs::EventTracer small(8);
+  obs::EventTracer large(64);
+  small.set_enabled(true);
+  large.set_enabled(true);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const double t = static_cast<double>(i) * 1e-3;
+    small.record(obs::EventKind::WindowSpan, t, /*node=*/0, /*id=*/i * 10);
+    if (i % 2 == 0) {
+      large.record(obs::EventKind::BarrierWait, t, 1, i * 7);
+    }
+    large.record(obs::EventKind::HandlerSpan, t, obs::kNoTraceNode, i);
+  }
+  EXPECT_EQ(small.recorded(), 40u);
+  EXPECT_EQ(small.size(), 8u);
+  EXPECT_EQ(small.dropped(), 32u);
+  EXPECT_EQ(large.recorded(), 60u);
+  EXPECT_EQ(large.size(), 60u);
+  EXPECT_EQ(large.dropped(), 0u);
+
+  const std::vector<obs::TraceRecord> merged =
+      obs::merge_records_by_time({small.snapshot(), large.snapshot()});
+  ASSERT_EQ(merged.size(), small.size() + large.size());
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].time, merged[i].time);
+  }
+  // Stability: at any shared timestamp the first ring's survivor precedes
+  // the second ring's records (concatenation order under stable_sort).
+  const double last_t = static_cast<double>(39) * 1e-3;
+  const auto it = std::find_if(merged.begin(), merged.end(),
+                               [&](const obs::TraceRecord& r) {
+                                 return r.time == last_t;
+                               });
+  ASSERT_NE(it, merged.end());
+  EXPECT_EQ(it->kind, static_cast<std::uint16_t>(obs::EventKind::WindowSpan));
+
+  // The new kinds render as pid-2 duration spans in the Chrome export.
+  std::ostringstream chrome;
+  ASSERT_TRUE(obs::export_records_chrome_trace(merged, chrome));
+  const std::string out = chrome.str();
+  EXPECT_NE(out.find("\"name\":\"window\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"barrier_wait\""), std::string::npos);
+  EXPECT_NE(out.find("\"pid\":2"), std::string::npos);
+}
+
+TEST(RuntimeProfiler, SnapshotFlattensPhasesAndHistograms) {
+  obs::RuntimeProfiler profiler(2);
+  obs::WorkerProfile& w0 = profiler.worker(0);
+  w0.phase_ns[0] = 800;
+  w0.phase_ns[1] = 150;
+  w0.phase_ns[2] = 50;
+  w0.rounds = 10;
+  w0.exchange_rounds = 4;
+  w0.forced_quiet_exchanges = 1;
+  w0.handoffs_out = 12;
+  w0.bound_source[0] = 7;
+  w0.bound_source[2] = 3;
+  w0.window_width_ns.observe(4000);
+  obs::WorkerProfile& w1 = profiler.worker(1);
+  w1.phase_ns[0] = 200;
+  w1.phase_ns[1] = 700;
+  w1.phase_ns[2] = 100;
+  w1.rounds = 10;  // replicated across workers -> gauge, not 2x counter
+  w1.exchange_rounds = 4;
+  w1.handoffs_out = 3;
+
+  obs::MetricRegistry reg;
+  profiler.snapshot_into(reg);
+  EXPECT_EQ(reg.value(m::kRuntimeExecuteNs), 1000u);
+  EXPECT_EQ(reg.value(m::kRuntimeBarrierWaitNs), 850u);
+  EXPECT_EQ(reg.value(m::kRuntimeExchangeNs), 150u);
+  EXPECT_EQ(reg.value(m::kShardRounds), 10u);
+  EXPECT_EQ(reg.value(m::kShardExchangeRounds), 4u);
+  EXPECT_EQ(reg.value(m::kShardHandoffs), 15u);
+  EXPECT_EQ(reg.value(m::kShardBoundArmedTx), 7u);
+  EXPECT_EQ(reg.value(m::kShardBoundNextEvent), 3u);
+  // 850 of 2000 total ns -> 42%; per-worker: w0 15%, w1 70%.
+  EXPECT_EQ(reg.value(m::kRuntimeBarrierWaitPct), 42u);
+  EXPECT_EQ(reg.value("runtime.w0.barrier_wait_pct"), 15u);
+  EXPECT_EQ(reg.value("runtime.w1.barrier_wait_pct"), 70u);
+  EXPECT_TRUE(reg.contains("shard.window_width_ns.count"));
+  EXPECT_EQ(reg.value("shard.window_width_ns.sum"), 4000u);
+}
+
+TEST(RunHealthMonitor, WritesParseableReportAndEnforcesRssBudget) {
+  obs::RunHealthMonitor::Config config;
+  config.rss_budget_mib = 0.001;  // any live process exceeds this
+  config.sample_period_s = 0.0;   // sample on every checkpoint
+  obs::RunHealthMonitor monitor(config);
+  monitor.begin_run();
+  EXPECT_FALSE(monitor.checkpoint(1000));
+  EXPECT_TRUE(monitor.budget_exceeded());
+  EXPECT_NE(monitor.abort_reason().find("rss"), std::string::npos);
+  monitor.finish_run(1000);
+  EXPECT_EQ(monitor.events(), 1000u);
+  EXPECT_GT(monitor.peak_rss_mib(), 0.0);
+  EXPECT_GE(monitor.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(monitor.min_phase_coverage(), 1.0);  // no profile noted
+
+  const std::string path = ::testing::TempDir() + "rrnet_run_report.json";
+  ASSERT_TRUE(monitor.write_report_json(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"schema\": \"rrnet-run-report-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"aborted\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"throughput\": ["), std::string::npos);
+  // No profile was noted, so no phases object (and no NaN anywhere).
+  EXPECT_EQ(json.find("\"phases\""), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
   std::remove(path.c_str());
 }
 

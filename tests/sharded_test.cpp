@@ -1,7 +1,8 @@
 // Determinism gate for the sharded engine: for any shard count K, every
 // semantic metric — flow stats, per-layer counters, figure columns — must
 // be bit-identical to the serial run. Engine-internal counters (des.*,
-// pool.*) legitimately differ (extra walker bookkeeping, per-worker pools)
+// pool.*, shard.*, runtime.*) legitimately differ (extra walker
+// bookkeeping, per-worker pools, wall-clock-derived profiler telemetry)
 // and are excluded.
 #include <algorithm>
 #include <cstdint>
@@ -14,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "net/packet_buffer.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "proto/dsr.hpp"
 #include "sim/builder.hpp"
@@ -26,7 +28,8 @@ namespace {
 
 bool engine_internal(std::string_view name) {
   return name.starts_with("des.") || name.starts_with("pool.") ||
-         name.starts_with("sim.");
+         name.starts_with("sim.") || name.starts_with("shard.") ||
+         name.starts_with("runtime.");
 }
 
 void expect_semantically_identical(const ScenarioResult& serial,
@@ -383,6 +386,54 @@ TEST(ShardedDeterminism, SingleThreadEqualsMultiThread) {
   expect_semantically_identical(one, four, 4);
 }
 
+TEST(ShardedDeterminism, RuntimeProfilerOnStaysBitIdentical) {
+  // The profiler stamps wall clock only at round boundaries, so turning it
+  // on must not move a single semantic bit — at any K, against a serial
+  // baseline that also has it enabled (a no-op there).
+  ScenarioConfig base = fig1_scenario();
+  base.profile_runtime = true;
+  const ScenarioResult serial = run_scenario(base);
+  ASSERT_GT(serial.sent, 0u);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    ScenarioConfig config = base;
+    config.shards = shards;
+    config.shard_threads = 2;
+    const ScenarioResult result = run_scenario(config);
+    expect_semantically_identical(serial, result, shards);
+    // The telemetry itself must be there (excluded from the sweep above).
+    EXPECT_GT(result.metrics.value(obs::metric::kShardRounds), 0u)
+        << "K=" << shards;
+    EXPECT_GT(result.metrics.value(obs::metric::kRuntimeExecuteNs), 0u)
+        << "K=" << shards;
+    EXPECT_GE(result.metrics.value(obs::metric::kRuntimeBarrierWaitPct), 0u)
+        << "K=" << shards;
+  }
+}
+
+TEST(ShardedDeterminism, HealthMonitorAndProfilerComposeWithMigration) {
+  // Monitor + profiler together on the hardest scenario (mobile nodes
+  // crossing strips): still bit-identical, and the monitor observed a live
+  // run without tripping any budget (none were set).
+  const ScenarioResult serial = run_scenario(mobility_scenario());
+  ASSERT_GT(serial.sent, 0u);
+  ScenarioConfig config = mobility_scenario();
+  config.shards = 4;
+  config.shard_threads = 2;
+  config.profile_runtime = true;
+  obs::RunHealthMonitor monitor;
+  config.health_monitor = &monitor;
+  const ScenarioResult result = run_scenario(config);
+  expect_semantically_identical(serial, result, 4);
+  EXPECT_EQ(result.events_executed, monitor.events());
+  EXPECT_GT(monitor.wall_s(), 0.0);
+  EXPECT_FALSE(monitor.budget_exceeded());
+  EXPECT_GE(monitor.samples().size(), 1u);
+  // note_profile ran in the coordinator: the report gets one phase
+  // breakdown per worker, each fully covered by the contiguous laps.
+  ASSERT_EQ(monitor.worker_phases().size(), 2u);
+  EXPECT_GT(monitor.min_phase_coverage(), 0.95);
+}
+
 TEST(ClonePacketDeep, CopiesEveryFieldAndRehomesExtension) {
   net::PacketInit init;
   init.type = net::PacketType::Data;
@@ -435,16 +486,22 @@ TEST(ClonePacketDeep, CopiesEveryFieldAndRehomesExtension) {
 }
 
 TEST(ShardedTrace, TwoShardRunTracesSameEventMultisetAsOneShard) {
-  // HandlerSpan ids are wall-clock nanoseconds and scheduler structure is
-  // engine-internal, so the comparison covers packet-lifecycle and
-  // election records only. With tracing compiled out both sides are empty
-  // and the test degenerates to checking the merge path doesn't crash.
+  // HandlerSpan / WindowSpan / BarrierWait ids are wall-clock nanoseconds
+  // and scheduler/worker structure is engine-internal, so the comparison
+  // covers packet-lifecycle and election records only. With tracing
+  // compiled out both sides are empty and the test degenerates to checking
+  // the merge path doesn't crash.
   using Key = std::tuple<double, std::uint64_t, std::uint32_t, std::uint16_t,
                          std::uint16_t>;
   const auto semantic_keys = [](const std::vector<obs::TraceRecord>& records) {
     std::vector<Key> keys;
     for (const obs::TraceRecord& rec : records) {
-      if (rec.kind == static_cast<std::uint16_t>(obs::EventKind::HandlerSpan)) {
+      if (rec.kind ==
+              static_cast<std::uint16_t>(obs::EventKind::HandlerSpan) ||
+          rec.kind ==
+              static_cast<std::uint16_t>(obs::EventKind::WindowSpan) ||
+          rec.kind ==
+              static_cast<std::uint16_t>(obs::EventKind::BarrierWait)) {
         continue;
       }
       keys.emplace_back(rec.time, rec.id, rec.node, rec.kind, rec.arg);
